@@ -1,0 +1,45 @@
+# C²-Bound reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures figures-full examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One iteration of every figure/table benchmark with its headline metric.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x -run XXX .
+
+figures:
+	$(GO) run ./cmd/figures
+
+# Paper-scale DSE: 10 values per dimension (10^6 configurations).
+figures-full:
+	$(GO) run ./cmd/figures -full -only fig12
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/scaling
+	$(GO) run ./examples/scheduling
+	$(GO) run ./examples/detector
+	$(GO) run ./examples/energy
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/dse
+
+cover:
+	$(GO) test -short -cover ./internal/...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,89 @@
+// Command c2bound solves the C²-Bound analytic optimization for an
+// application profile on a chip budget and prints the recommended design:
+// core count, silicon split, and the model's view of the memory system at
+// the optimum.
+//
+// Usage:
+//
+//	c2bound [-app fluidanimate|tmm|stencil|fft] [-area mm2] [-fseq f]
+//	        [-fmem f] [-conc C] [-gorder b] [-maxn n]
+//
+// Flags override the preset profile's fields, so one command answers
+// "what if this application had concurrency 8?" style questions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	c2bound "repro"
+)
+
+func main() {
+	appName := flag.String("app", "fluidanimate", "application preset: fluidanimate, tmm, stencil, fft")
+	area := flag.Float64("area", 0, "total chip area in mm² (0: default 400)")
+	fseq := flag.Float64("fseq", -1, "sequential fraction override")
+	fmem := flag.Float64("fmem", -1, "memory access frequency override")
+	conc := flag.Float64("conc", 0, "pin the data-access concurrency C (C_H = C_M = C)")
+	gorder := flag.Float64("gorder", -1, "g(N) = N^b growth exponent override")
+	maxn := flag.Int("maxn", 0, "largest core count to consider")
+	flag.Parse()
+
+	var app c2bound.App
+	switch *appName {
+	case "fluidanimate":
+		app = c2bound.FluidanimateApp()
+	case "tmm":
+		app = c2bound.TMMApp()
+	case "stencil":
+		app = c2bound.StencilApp()
+	case "fft":
+		app = c2bound.FFTApp()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown application %q\n", *appName)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fseq >= 0 {
+		app.Fseq = *fseq
+	}
+	if *fmem >= 0 {
+		app.Fmem = *fmem
+	}
+	if *conc >= 1 {
+		app = app.WithConcurrency(*conc)
+	}
+	if *gorder >= 0 {
+		app.G = c2bound.PowerLaw(*gorder)
+		app.GOrder = *gorder
+	}
+
+	cfg := c2bound.DefaultChip()
+	if *area > 0 {
+		cfg.TotalArea = *area
+	}
+
+	m := c2bound.Model{Chip: cfg, App: app}
+	res, err := m.Optimize(c2bound.OptimizeOptions{MaxN: *maxn})
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+
+	fmt.Printf("application       : %s (fseq=%.3g fmem=%.3g C_H=%.3g C_M=%.3g g~N^%.3g)\n",
+		app.Name, app.Fseq, app.Fmem, app.CH, app.CM, app.GOrder)
+	fmt.Printf("chip budget       : %.4g mm² (%.4g mm² fixed)\n", cfg.TotalArea, cfg.FixedArea)
+	fmt.Printf("regime            : %v\n", res.Regime)
+	fmt.Printf("optimal design    : %v\n", res.Design)
+	fmt.Printf("  per-core caches : L1 %.4g KB, L2 slice %.4g KB\n",
+		cfg.L1SizeKB(res.Design), cfg.L2SizeKB(res.Design))
+	fmt.Printf("  on-chip capacity: %.4g MB\n", cfg.OnChipCapacityKB(res.Design)/1024)
+	fmt.Printf("model at optimum  : CPI_exe=%.3f C-AMAT=%.3f (C=%.2f) CPI=%.3f\n",
+		res.Eval.CPIExe, res.Eval.CAMAT, res.Eval.C, res.Eval.CPI)
+	fmt.Printf("  L1 MR=%.4f  L2 MR=%.4f  loaded mem latency=%.1f cycles (ρ=%.2f)\n",
+		res.Eval.L1MR, res.Eval.L2MR, res.Eval.MemLat, res.Eval.Rho)
+	fmt.Printf("objective         : T=%.6g, W=%.6g, W/T=%.6g\n",
+		res.Eval.Time, res.Eval.Work, res.Eval.Throughput)
+	fmt.Printf("solver            : %s after %d objective evaluations\n", res.Method, res.Evaluations)
+}

@@ -1,0 +1,75 @@
+// Command simtrace runs the many-core simulator on a synthetic workload
+// and prints the measured statistics: CPI, cache behaviour, the C-AMAT
+// decomposition from the per-core HCD/MCD detectors, and the per-layer
+// APC values.
+//
+// Usage:
+//
+//	simtrace [-workload name] [-cores n] [-ws bytes] [-refs n]
+//	         [-gap g] [-issue w] [-rob n] [-l1 KB] [-l2 KB] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	c2bound "repro"
+)
+
+func main() {
+	workload := flag.String("workload", "fluidanimate", "workload: "+strings.Join(c2bound.Workloads(), ", "))
+	cores := flag.Int("cores", 4, "number of cores")
+	ws := flag.Uint64("ws", 8<<20, "working set bytes")
+	refs := flag.Int("refs", 50000, "memory references per core")
+	gap := flag.Float64("gap", 2, "mean compute instructions between references")
+	issue := flag.Int("issue", 4, "issue width")
+	rob := flag.Int("rob", 128, "ROB entries")
+	l1 := flag.Int("l1", 32, "L1 size KB")
+	l2 := flag.Int("l2", 2048, "shared L2 size KB")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	flag.Parse()
+
+	cfg := c2bound.DefaultMachine(*cores)
+	cfg.Core.IssueWidth = *issue
+	cfg.Core.ROB = *rob
+	cfg.L1.SizeKB = *l1
+	cfg.L2.SizeKB = *l2
+
+	res, err := c2bound.RunWorkload(cfg, *workload, *ws, *gap, *refs, *seed)
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+
+	fmt.Printf("machine   : %d cores, %d-wide, ROB %d, L1 %dKB, L2 %dKB\n",
+		*cores, *issue, *rob, *l1, *l2)
+	fmt.Printf("workload  : %s, %s working set, %d refs/core, fmem≈%.2f\n",
+		*workload, byteSize(*ws), *refs, 1/(1+*gap))
+	fmt.Printf("cycles    : %d (slowest core)\n", res.Cycles)
+	fmt.Printf("CPI       : %.4f over %d instructions (%d memory accesses)\n",
+		res.CPI, res.Instructions, res.MemAccesses)
+	fmt.Printf("L1        : MR=%.4f merges=%d writebacks=%d avg latency=%.1f\n",
+		res.L1Stats.MissRate(), res.L1Stats.MSHRMerges, res.L1Stats.Writebacks, res.L1Stats.AvgLatency())
+	fmt.Printf("L2        : MR=%.4f accesses=%d\n", res.L2Stats.MissRate(), res.L2Stats.Accesses)
+	fmt.Printf("DRAM      : accesses=%d row-hit rate=%.3f\n",
+		res.DRAMStats.Accesses(), res.DRAMStats.RowHitRate())
+	p := res.L1Params
+	fmt.Printf("AMAT      : %.3f cycles (H=%.0f MR=%.4f AMP=%.2f)\n", p.AMAT(), p.H, p.MR, p.AMP)
+	fmt.Printf("C-AMAT    : %.3f cycles (C_H=%.3f C_M=%.3f pMR=%.4f pAMP=%.2f)\n",
+		p.CAMAT(), p.CH, p.CM, p.PMR, p.PAMP)
+	fmt.Printf("C         : %.3f (data access concurrency)\n", p.Concurrency())
+	fmt.Printf("APC       : L1=%.4f LLC=%.4f mem=%.4f\n", res.APCL1, res.APCL2, res.APCMem)
+}
+
+func byteSize(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}

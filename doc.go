@@ -1,0 +1,32 @@
+// Package c2bound is a Go implementation of C²-Bound — the capacity- and
+// concurrency-driven analytical model for many-core design of Liu & Sun
+// (SC'15) — together with every substrate the paper's evaluation depends
+// on: the C-AMAT concurrent-latency model and its online detector, Sun-Ni
+// memory-bounded speedup, a Pollack's-rule chip cost model, a trace-driven
+// many-core simulator (OoO cores, non-blocking caches, mesh NoC,
+// bank/row-buffer DRAM), the APC per-layer metric, prior-art baselines
+// (Hill-Marty, Sun-Chen, Cassidy-Andreou, ANN predictive DSE) and the APS
+// (Analysis-Plus-Simulation) design-space-exploration flow.
+//
+// The package is a facade: it re-exports the library's primary types and
+// entry points so downstream users import only this path. The
+// implementation lives in internal/ subpackages, one per subsystem.
+//
+// # Quick start
+//
+//	// Measure C-AMAT on the paper's Fig. 1 trace.
+//	an, _ := c2bound.Analyze(c2bound.Fig1Trace())
+//	fmt.Println(an.Params().CAMAT()) // 1.6
+//
+//	// Solve the C²-Bound optimization for an application profile.
+//	m := c2bound.Model{Chip: c2bound.DefaultChip(), App: c2bound.FluidanimateApp()}
+//	res, _ := m.Optimize(c2bound.OptimizeOptions{})
+//	fmt.Println(res.Design, res.Regime)
+//
+//	// Run the many-core simulator and read back measured C-AMAT/APC.
+//	sims, _ := c2bound.RunWorkload(c2bound.DefaultMachine(8), "fluidanimate", 8<<20, 2, 50000, 1)
+//	fmt.Println(sims.L1Params, sims.APCL1, sims.APCL2, sims.APCMem)
+//
+// See examples/ for complete programs and DESIGN.md for the experiment
+// index.
+package c2bound

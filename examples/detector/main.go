@@ -1,0 +1,44 @@
+// Command detector shows the HCD/MCD C-AMAT analyzer (the paper's Fig. 4
+// hardware) measuring live parameters on the simulated machine, and how
+// those parameters feed the C²-Bound model: it runs three workloads with
+// very different concurrency behaviour and prints the measured C-AMAT
+// decomposition for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	c2bound "repro"
+)
+
+func main() {
+	cfg := c2bound.DefaultMachine(1)
+	type row struct {
+		workload string
+		ws       uint64
+		note     string
+	}
+	rows := []row{
+		{"stream", 16 << 20, "sequential streaming: hardware prefetch-like spatial locality, high MLP"},
+		{"pchase", 16 << 20, "dependent pointer chase: every load waits for the previous one, C collapses"},
+		{"tiledmm", 2 << 20, "tiled matrix multiply: cache-resident tiles, few misses"},
+	}
+	for _, r := range rows {
+		res, err := c2bound.RunWorkload(cfg, r.workload, r.ws, 2, 30000, 11)
+		if err != nil {
+			log.Fatalf("%s: %v", r.workload, err)
+		}
+		p := res.L1Params
+		fmt.Printf("== %s ==\n%s\n", r.workload, r.note)
+		fmt.Printf("CPI = %.3f\n", res.CPI)
+		fmt.Printf("AMAT   = %7.2f cycles   (H=%.0f, MR=%.3f, AMP=%.1f)\n", p.AMAT(), p.H, p.MR, p.AMP)
+		fmt.Printf("C-AMAT = %7.2f cycles   (C_H=%.2f, C_M=%.2f, pMR=%.3f, pAMP=%.1f)\n",
+			p.CAMAT(), p.CH, p.CM, p.PMR, p.PAMP)
+		fmt.Printf("C = AMAT/C-AMAT = %.2f\n", p.Concurrency())
+		fmt.Printf("decomposition check: H/C_H + pMR·pAMP/C_M = %.4f = ActiveCycles/Accesses = %.4f\n\n",
+			p.CAMAT(), res.L1Aggregate.CAMATDirect())
+	}
+	fmt.Println("The detector's output is exactly what the paper's Fig. 4 hardware")
+	fmt.Println("collects online; these parameters are the characterization input of APS.")
+}

@@ -1,0 +1,53 @@
+// Command energy demonstrates the §VII multi-objective extension of
+// C²-Bound: the same application and chip optimized for execution time,
+// total energy, energy-delay product and ED²P, plus the time/energy
+// Pareto frontier a designer would choose from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	c2bound "repro"
+)
+
+func main() {
+	app := c2bound.FluidanimateApp()
+	app.Fseq = 0.1
+	app.G = c2bound.FixedSize() // fixed problem: the race-to-idle setting
+	app.GOrder = 0
+	m := c2bound.Model{Chip: c2bound.DefaultChip(), App: app}
+	pm := c2bound.DefaultPowerModel()
+
+	timeRes, err := m.Optimize(c2bound.OptimizeOptions{MaxN: 64})
+	if err != nil {
+		log.Fatalf("time optimize: %v", err)
+	}
+	timeE, err := m.EvaluateEnergy(timeRes.Design, pm)
+	if err != nil {
+		log.Fatalf("time energy eval: %v", err)
+	}
+	fmt.Println("== Single-objective optima ==")
+	fmt.Printf("%-12s %-34s T=%.4g  E=%.4g  EDP=%.4g\n",
+		"min-time", timeRes.Design.String(), timeE.Time, timeE.Energy, timeE.EDP)
+	for _, obj := range []c2bound.EnergyObjective{c2bound.MinEnergy, c2bound.MinEDP, c2bound.MinED2P} {
+		d, e, err := m.OptimizeEnergy(pm, obj, c2bound.OptimizeOptions{MaxN: 64})
+		if err != nil {
+			log.Fatalf("%v: %v", obj, err)
+		}
+		fmt.Printf("%-12s %-34s T=%.4g  E=%.4g  EDP=%.4g\n",
+			obj.String(), d.String(), e.Time, e.Energy, e.EDP)
+	}
+
+	frontier, err := m.ParetoFrontier(pm, c2bound.OptimizeOptions{MaxN: 64})
+	if err != nil {
+		log.Fatalf("pareto: %v", err)
+	}
+	fmt.Println("\n== Time/energy Pareto frontier ==")
+	fmt.Printf("%-6s %-8s %-12s %-12s\n", "N", "A0", "time", "energy")
+	for _, p := range frontier {
+		fmt.Printf("%-6d %-8.3g %-12.4g %-12.4g\n", p.Design.N, p.Design.CoreArea, p.Time, p.Energy)
+	}
+	fmt.Println("\nThe energy optimum leaves silicon dark and runs slower (race-to-idle does")
+	fmt.Println("not pay when leakage is low); EDP balances the two; ED²P hugs the time optimum.")
+}

@@ -1,0 +1,56 @@
+// Command quickstart walks the three core uses of the library in one
+// short program: measuring C-AMAT on a trace (the paper's Fig. 1 worked
+// example), solving the C²-Bound optimization for an application profile,
+// and validating the analytic picture against the many-core simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	c2bound "repro"
+)
+
+func main() {
+	// 1. C-AMAT on the paper's five-access demonstration trace.
+	an, err := c2bound.Analyze(c2bound.Fig1Trace())
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	p := an.Params()
+	fmt.Println("== C-AMAT (Fig. 1 trace) ==")
+	fmt.Printf("AMAT   = %.3f cycles (paper: 3.8)\n", p.AMAT())
+	fmt.Printf("C-AMAT = %.3f cycles (paper: 1.6)\n", p.CAMAT())
+	fmt.Printf("C      = %.3f (concurrency)\n", p.Concurrency())
+	fmt.Printf("C_H=%.2f C_M=%.2f pMR=%.2f pAMP=%.2f\n\n", p.CH, p.CM, p.PMR, p.PAMP)
+
+	// 2. Solve the C²-Bound design optimization for a fluidanimate-like
+	// application on a 400 mm² chip.
+	m := c2bound.Model{Chip: c2bound.DefaultChip(), App: c2bound.FluidanimateApp()}
+	res, err := m.Optimize(c2bound.OptimizeOptions{})
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+	fmt.Println("== C²-Bound optimization ==")
+	fmt.Printf("regime: %v (g grows %s linearly)\n", res.Regime,
+		map[bool]string{true: "at least", false: "slower than"}[res.Regime == c2bound.MaximizeThroughput])
+	fmt.Printf("optimal design: %v\n", res.Design)
+	fmt.Printf("C-AMAT at optimum: %.3f (C = %.2f), CPI = %.3f\n",
+		res.Eval.CAMAT, res.Eval.C, res.Eval.CPI)
+	fmt.Printf("throughput W/T: %.4g  (solver: %s, %d objective evaluations)\n\n",
+		res.Eval.Throughput, res.Method, res.Evaluations)
+
+	// 3. Cross-check with the trace-driven many-core simulator: run the
+	// synthetic fluidanimate workload and read the detector's measured
+	// C-AMAT parameters.
+	sims, err := c2bound.RunWorkload(c2bound.DefaultMachine(8), "fluidanimate", 8<<20, 2, 20000, 1)
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+	fmt.Println("== Simulator cross-check (8 cores, fluidanimate) ==")
+	fmt.Printf("CPI = %.3f over %d instructions\n", sims.CPI, sims.Instructions)
+	fmt.Printf("measured L1 %v\n", sims.L1Params)
+	fmt.Printf("APC per layer: L1=%.4f LLC=%.4f mem=%.4f\n", sims.APCL1, sims.APCL2, sims.APCMem)
+	fmt.Printf("per-core APC = 1/C-AMAT identity: %.4f = %.4f\n",
+		1/sims.L1Aggregate.CAMATDirect(), 1/sims.L1Params.CAMAT())
+}

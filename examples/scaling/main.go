@@ -1,0 +1,73 @@
+// Command scaling regenerates the paper's memory-bounded scaling study
+// (Figs. 8-11): problem size W, execution time T and throughput W/T as
+// the core count grows to 1000 under data-access concurrency C ∈ {1,4,8},
+// at two memory access frequencies. It prints the four tables and the
+// headline observations the paper draws from them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/tablefmt"
+)
+
+func main() {
+	type figFunc func() (*tablefmt.Table, []experiments.ScalingPoint, error)
+	figs := []struct {
+		name string
+		gen  figFunc
+	}{
+		{"Fig. 8", experiments.Fig8},
+		{"Fig. 9", experiments.Fig9},
+		{"Fig. 10", experiments.Fig10},
+		{"Fig. 11", experiments.Fig11},
+	}
+	for _, fig := range figs {
+		tb, pts, err := fig.gen()
+		if err != nil {
+			log.Fatalf("%s: %v", fig.name, err)
+		}
+		fmt.Println(tb.String())
+		switch fig.name {
+		case "Fig. 8":
+			concurrencySpeedup(pts)
+		case "Fig. 10":
+			throughputKnee(pts)
+		}
+	}
+}
+
+// concurrencySpeedup prints the paper's headline observation from Fig. 8:
+// the speedup that memory concurrency alone delivers at fixed N = 1000.
+func concurrencySpeedup(pts []experiments.ScalingPoint) {
+	at := map[float64]experiments.ScalingPoint{}
+	for _, p := range pts {
+		if p.N == 1000 {
+			at[p.C] = p
+		}
+	}
+	fmt.Printf("At N=1000: T(C=1)/T(C=4) = %.2f, T(C=1)/T(C=8) = %.2f\n",
+		at[1].T/at[4].T, at[1].T/at[8].T)
+	fmt.Println("→ improving data access concurrency alone yields large speedups at fixed core count.")
+	fmt.Println()
+}
+
+// throughputKnee prints the Fig. 10 observation: without memory
+// concurrency about one hundred cores saturate throughput, while higher C
+// keeps improving to a later optimum.
+func throughputKnee(pts []experiments.ScalingPoint) {
+	best := map[float64]experiments.ScalingPoint{}
+	for _, p := range pts {
+		if p.WT > best[p.C].WT {
+			best[p.C] = p
+		}
+	}
+	for _, c := range experiments.PaperConcurrencies() {
+		b := best[c]
+		fmt.Printf("C=%g: best W/T = %.4g at N = %d\n", c, b.WT, b.N)
+	}
+	fmt.Println("→ higher memory concurrency raises the throughput optimum and pushes it to more cores.")
+	fmt.Println()
+}

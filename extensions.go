@@ -1,0 +1,80 @@
+package c2bound
+
+import (
+	"repro/internal/adapt"
+	"repro/internal/camat"
+	"repro/internal/core"
+)
+
+// §VII extensions: asymmetric/dynamic CMP DSE, energy-aware
+// multi-objective optimization, the generalized parallelism-profile
+// objective, and the recursive multi-level C-AMAT.
+
+type (
+	// AsymModel is the asymmetric-CMP variant of Model.
+	AsymModel = core.AsymModel
+	// AsymDesign is one asymmetric design point (big core + N small).
+	AsymDesign = core.AsymDesign
+	// AsymEval is an evaluated asymmetric design.
+	AsymEval = core.AsymEval
+
+	// PowerModel is the first-order CMP power model.
+	PowerModel = core.PowerModel
+	// EnergyEval extends Eval with power/energy/EDP terms.
+	EnergyEval = core.EnergyEval
+	// EnergyObjective selects the energy target (MinEnergy/MinEDP/MinED2P).
+	EnergyObjective = core.EnergyObjective
+	// ParetoPoint is one non-dominated (time, energy) design.
+	ParetoPoint = core.ParetoPoint
+
+	// DOPPhase is one entry of a degree-of-parallelism profile.
+	DOPPhase = core.DOPPhase
+
+	// CAMATHierarchy evaluates the recursive multi-level C-AMAT.
+	CAMATHierarchy = camat.Hierarchy
+	// CAMATLevel is one level of a CAMATHierarchy.
+	CAMATLevel = camat.LevelParams
+)
+
+// Energy objective values.
+const (
+	MinEnergy = core.MinEnergy
+	MinEDP    = core.MinEDP
+	MinED2P   = core.MinED2P
+)
+
+// DefaultPowerModel returns 22 nm-class power constants.
+func DefaultPowerModel() PowerModel { return core.DefaultPowerModel() }
+
+// TwoPhaseProfile builds the classic (f_seq, N) parallelism profile.
+func TwoPhaseProfile(fseq float64, n int) []DOPPhase { return core.TwoPhaseProfile(fseq, n) }
+
+// ValidateProfile checks a degree-of-parallelism profile.
+func ValidateProfile(profile []DOPPhase) error { return core.ValidateProfile(profile) }
+
+// Online adaptation (§IV-§V "reconfigurable hardware or management
+// software"): phase detection from detector counters and C²-Bound-driven
+// reconfiguration.
+
+type (
+	// WindowStats is one measurement interval from the lightweight
+	// counters.
+	WindowStats = adapt.WindowStats
+	// PhaseDetector flags C-AMAT parameter drift.
+	PhaseDetector = adapt.PhaseDetector
+	// AdaptController re-optimizes on phase changes.
+	AdaptController = adapt.Controller
+	// AdaptDecision is one controller step's outcome.
+	AdaptDecision = adapt.Decision
+)
+
+// CachePartition is one application's share of a partitioned shared
+// cache (the paper's "partitioning … resources among diverse
+// applications").
+type CachePartition = core.CachePartition
+
+// PartitionCache divides a shared LLC among co-scheduled applications by
+// greedy marginal utility on the C-AMAT-weighted stall term.
+func PartitionCache(cfg ChipConfig, apps []App, totalKB, granKB float64) ([]CachePartition, error) {
+	return core.PartitionCache(cfg, apps, totalKB, granKB)
+}

@@ -1,0 +1,191 @@
+// Package adapt implements the online use of C²-Bound the paper
+// describes in §IV and §V: applications move between processor-bound and
+// memory-bound behaviour phase by phase, so "reconfigurable hardware or
+// management software (for scheduling, partitioning and allocating) is
+// called for to achieve the dynamic matching between application and
+// underlying hardware". A PhaseDetector watches the lightweight HCD/MCD
+// counters for drift in the measured C-AMAT parameters; a Controller
+// re-solves the analytic optimization whenever a new phase appears and
+// emits the reconfiguration decisions.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/camat"
+	"repro/internal/chip"
+	"repro/internal/core"
+)
+
+// WindowStats is what the lightweight counters deliver per measurement
+// interval: the C-AMAT parameter set from the detector plus the cache
+// miss rates needed to refit the capacity curves.
+type WindowStats struct {
+	Instructions uint64
+	Accesses     uint64
+	Params       camat.Params
+	L1MR         float64 // at L1CapKB
+	L2MR         float64 // at L2CapKB
+	L1CapKB      float64
+	L2CapKB      float64
+}
+
+// Validate checks a window.
+func (w WindowStats) Validate() error {
+	if w.Instructions == 0 || w.Accesses == 0 {
+		return fmt.Errorf("adapt: empty window")
+	}
+	if w.Accesses > w.Instructions {
+		return fmt.Errorf("adapt: %d accesses exceed %d instructions", w.Accesses, w.Instructions)
+	}
+	if w.L1CapKB <= 0 || w.L2CapKB <= 0 {
+		return fmt.Errorf("adapt: missing capacity context")
+	}
+	return w.Params.Validate()
+}
+
+// PhaseDetector flags a phase change when the measured C-AMAT or miss
+// rate drifts beyond Threshold (relative) from the current phase's
+// reference window.
+type PhaseDetector struct {
+	// Threshold is the relative drift that opens a new phase (default 0.3).
+	Threshold float64
+
+	ref     WindowStats
+	started bool
+}
+
+// Observe feeds one window; it reports whether a new phase begins (the
+// first window always does) and updates the reference on change.
+func (pd *PhaseDetector) Observe(w WindowStats) bool {
+	th := pd.Threshold
+	if th <= 0 {
+		th = 0.3
+	}
+	if !pd.started {
+		pd.started = true
+		pd.ref = w
+		return true
+	}
+	drift := func(now, ref float64) float64 {
+		if ref == 0 {
+			if now == 0 {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		return math.Abs(now-ref) / math.Abs(ref)
+	}
+	changed := drift(w.Params.CAMAT(), pd.ref.Params.CAMAT()) > th ||
+		drift(w.L1MR, pd.ref.L1MR) > th ||
+		drift(w.Params.Concurrency(), pd.ref.Params.Concurrency()) > th
+	if changed {
+		pd.ref = w
+	}
+	return changed
+}
+
+// Decision is one controller step's outcome.
+type Decision struct {
+	Window       int
+	PhaseChange  bool
+	Reconfigured bool
+	Design       chip.Design
+	App          core.App // the profile derived for the current phase
+}
+
+// Controller turns window measurements into reconfiguration decisions.
+// Base supplies the fields counters cannot observe (f_seq, g(N), IC0);
+// everything else is refit from each phase's first window.
+type Controller struct {
+	Chip     chip.Config
+	Base     core.App
+	Detector PhaseDetector
+	Optimize core.Options
+	// MinGain suppresses reconfigurations whose predicted improvement is
+	// below this relative margin (default 0.02): switching has real cost.
+	MinGain float64
+
+	current     chip.Design
+	currentTime float64 // predicted time of current design under current phase
+	haveDesign  bool
+	windows     int
+	reconfigs   int
+}
+
+// Reconfigurations returns how many times the controller switched designs.
+func (c *Controller) Reconfigurations() int { return c.reconfigs }
+
+// Windows returns how many windows the controller has consumed.
+func (c *Controller) Windows() int { return c.windows }
+
+// appFromWindow refits the phase profile from measured counters.
+func (c *Controller) appFromWindow(w WindowStats) core.App {
+	app := c.Base
+	app.Fmem = float64(w.Accesses) / float64(w.Instructions)
+	app.CH = math.Max(1, w.Params.CH)
+	app.CM = math.Max(1, w.Params.CM)
+	if w.Params.MR > 0 {
+		app.PMRRatio = math.Min(1, w.Params.PMR/w.Params.MR)
+	}
+	if w.Params.AMP > 0 {
+		app.PAMPRatio = w.Params.PAMP / w.Params.AMP
+	}
+	// Single-point capacity refit: keep the base curve's exponent, move
+	// the curve through the measured (capacity, miss rate) point.
+	l1 := c.Base.L1Miss
+	l1.Base = math.Max(w.L1MR, 1e-5)
+	l1.RefKB = w.L1CapKB
+	app.L1Miss = l1
+	l2 := c.Base.L2Miss
+	l2.Base = math.Max(w.L2MR, 1e-5)
+	l2.RefKB = w.L2CapKB
+	app.L2Miss = l2
+	return app
+}
+
+// Step consumes one measurement window and returns the decision. The
+// returned design is always the controller's current recommendation.
+func (c *Controller) Step(w WindowStats) (Decision, error) {
+	if err := w.Validate(); err != nil {
+		return Decision{}, err
+	}
+	c.windows++
+	dec := Decision{Window: c.windows}
+
+	changed := c.Detector.Observe(w)
+	dec.PhaseChange = changed
+	app := c.appFromWindow(w)
+	dec.App = app
+	if !changed && c.haveDesign {
+		dec.Design = c.current
+		return dec, nil
+	}
+	m := core.Model{Chip: c.Chip, App: app}
+	res, err := m.Optimize(c.Optimize)
+	if err != nil {
+		return Decision{}, fmt.Errorf("adapt: reoptimize: %w", err)
+	}
+	minGain := c.MinGain
+	if minGain <= 0 {
+		minGain = 0.02
+	}
+	if c.haveDesign {
+		// Would the new design beat the current one under the new phase
+		// by enough to justify switching?
+		curTime := m.TimeAt(c.current)
+		if !(res.Eval.Time < curTime*(1-minGain)) {
+			dec.Design = c.current
+			c.currentTime = curTime
+			return dec, nil
+		}
+	}
+	c.current = res.Design
+	c.currentTime = res.Eval.Time
+	c.haveDesign = true
+	c.reconfigs++
+	dec.Reconfigured = true
+	dec.Design = c.current
+	return dec, nil
+}

@@ -1,0 +1,184 @@
+package adapt
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/speedup"
+)
+
+// windowFor builds a measurement window consistent with an application
+// profile evaluated at the probe design.
+func windowFor(t *testing.T, app core.App, cfg chip.Config) WindowStats {
+	t.Helper()
+	d := chip.Design{N: 4, CoreArea: 4, L1Area: 1, L2Area: 4}
+	m := core.Model{Chip: cfg, App: app}
+	e, err := m.Evaluate(d)
+	if err != nil {
+		t.Fatalf("probe evaluate: %v", err)
+	}
+	return WindowStats{
+		Instructions: 100000,
+		Accesses:     uint64(100000 * app.Fmem),
+		Params:       m.CamatParams(e),
+		L1MR:         e.L1MR,
+		L2MR:         e.L2MR,
+		L1CapKB:      cfg.L1SizeKB(d),
+		L2CapKB:      cfg.L2SizeKB(d),
+	}
+}
+
+func baseApp() core.App {
+	app := core.FluidanimateApp()
+	app.G = speedup.PowerLaw(0.5)
+	app.GOrder = 0.5
+	return app
+}
+
+func TestWindowValidate(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	good := windowFor(t, baseApp(), cfg)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good window rejected: %v", err)
+	}
+	bad := good
+	bad.Instructions = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("empty window accepted")
+	}
+	bad = good
+	bad.Accesses = bad.Instructions + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("accesses > instructions accepted")
+	}
+	bad = good
+	bad.L1CapKB = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("missing capacity accepted")
+	}
+	bad = good
+	bad.Params.CH = 0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestPhaseDetector(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	appA := baseApp()
+	appB := baseApp().WithConcurrency(8)
+	appB.L1Miss.Base *= 6 // very different locality
+	wA := windowFor(t, appA, cfg)
+	wB := windowFor(t, appB, cfg)
+
+	var pd PhaseDetector
+	if !pd.Observe(wA) {
+		t.Fatal("first window is not a new phase")
+	}
+	if pd.Observe(wA) {
+		t.Fatal("identical window flagged as phase change")
+	}
+	if !pd.Observe(wB) {
+		t.Fatal("distinct phase not detected")
+	}
+	if pd.Observe(wB) {
+		t.Fatal("stable new phase flagged again")
+	}
+	if !pd.Observe(wA) {
+		t.Fatal("return to phase A not detected")
+	}
+}
+
+func TestControllerReconfiguresAcrossPhases(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	appA := baseApp() // cache-friendly phase
+	appB := baseApp().WithConcurrency(8)
+	appB.L1Miss.Base = 0.4
+	appB.L2Miss.Base = 0.8
+
+	ctl := Controller{Chip: cfg, Base: baseApp(), Optimize: core.Options{MaxN: 64}}
+	wA := windowFor(t, appA, cfg)
+	wB := windowFor(t, appB, cfg)
+
+	// Phase pattern A A B B A A.
+	var designs []chip.Design
+	for i, w := range []WindowStats{wA, wA, wB, wB, wA, wA} {
+		dec, err := ctl.Step(w)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		designs = append(designs, dec.Design)
+		if err := cfg.CheckFeasible(dec.Design); err != nil {
+			t.Fatalf("step %d: infeasible design: %v", i, err)
+		}
+	}
+	if ctl.Reconfigurations() < 2 {
+		t.Fatalf("only %d reconfigurations across 3 phase changes", ctl.Reconfigurations())
+	}
+	if ctl.Windows() != 6 {
+		t.Fatalf("windows = %d", ctl.Windows())
+	}
+	// Stable windows keep the design.
+	if designs[0] != designs[1] || designs[2] != designs[3] {
+		t.Fatal("design changed within a stable phase")
+	}
+	// The two phases get different designs.
+	if designs[1] == designs[2] {
+		t.Fatal("phase change did not change the design")
+	}
+}
+
+func TestControllerSuppressesMarginalSwitches(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	app := baseApp()
+	ctl := Controller{Chip: cfg, Base: app, Optimize: core.Options{MaxN: 64}, MinGain: 0.5}
+	w := windowFor(t, app, cfg)
+	if _, err := ctl.Step(w); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	// A mildly different phase: detector fires, but the 50% gain bar
+	// blocks the switch.
+	app2 := app
+	app2.L1Miss.Base *= 1.8
+	w2 := windowFor(t, app2, cfg)
+	dec, err := ctl.Step(w2)
+	if err != nil {
+		t.Fatalf("step 2: %v", err)
+	}
+	if dec.Reconfigured {
+		t.Fatal("marginal phase change triggered a reconfiguration despite MinGain")
+	}
+	if ctl.Reconfigurations() != 1 {
+		t.Fatalf("reconfigs = %d", ctl.Reconfigurations())
+	}
+}
+
+func TestControllerRejectsBadWindow(t *testing.T) {
+	ctl := Controller{Chip: chip.DefaultConfig(), Base: baseApp()}
+	if _, err := ctl.Step(WindowStats{}); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestControllerDerivesProfileFromCounters(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	app := baseApp().WithConcurrency(6)
+	ctl := Controller{Chip: cfg, Base: baseApp(), Optimize: core.Options{MaxN: 32}}
+	w := windowFor(t, app, cfg)
+	dec, err := ctl.Step(w)
+	if err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	// The derived profile must carry the measured concurrency and fmem.
+	if dec.App.CH < 5.9 || dec.App.CH > 6.1 {
+		t.Fatalf("derived C_H = %v, want ≈6", dec.App.CH)
+	}
+	wantFmem := float64(w.Accesses) / float64(w.Instructions)
+	if dec.App.Fmem != wantFmem {
+		t.Fatalf("derived fmem = %v, want %v", dec.App.Fmem, wantFmem)
+	}
+	if err := dec.App.Validate(); err != nil {
+		t.Fatalf("derived profile invalid: %v", err)
+	}
+}

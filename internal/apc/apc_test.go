@@ -1,0 +1,140 @@
+package apc
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicMerging(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Add(0, 10)
+	tr.Add(5, 15)  // overlaps → union [0,15)
+	tr.Add(20, 30) // disjoint
+	if got := tr.ActiveCycles(); got != 25 {
+		t.Fatalf("active cycles = %d, want 25", got)
+	}
+	if got := tr.Accesses(); got != 3 {
+		t.Fatalf("accesses = %d, want 3", got)
+	}
+	if got := tr.APC(); math.Abs(got-3.0/25) > 1e-12 {
+		t.Fatalf("APC = %v, want 0.12", got)
+	}
+	if got := tr.CAMAT(); math.Abs(got-25.0/3) > 1e-12 {
+		t.Fatalf("CAMAT = %v", got)
+	}
+}
+
+func TestTouchingIntervalsMerge(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Add(0, 10)
+	tr.Add(10, 20)
+	if got := tr.ActiveCycles(); got != 20 {
+		t.Fatalf("active cycles = %d, want 20", got)
+	}
+	if len(tr.open) != 1 {
+		t.Fatalf("open intervals = %d, want 1 (merged)", len(tr.open))
+	}
+}
+
+func TestContainedInterval(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Add(0, 100)
+	tr.Add(10, 20)
+	if got := tr.ActiveCycles(); got != 100 {
+		t.Fatalf("active cycles = %d, want 100", got)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	tr := NewTracker(0)
+	if tr.APC() != 0 || tr.CAMAT() != 0 {
+		t.Fatal("empty tracker nonzero")
+	}
+	tr.Add(10, 10) // zero length ignored
+	tr.Add(10, 5)  // negative ignored
+	if tr.Accesses() != 0 || tr.ActiveCycles() != 0 {
+		t.Fatalf("degenerate intervals counted: %d, %d", tr.Accesses(), tr.ActiveCycles())
+	}
+}
+
+// bruteUnion computes the union length of intervals directly.
+func bruteUnion(iv [][2]int64) int64 {
+	if len(iv) == 0 {
+		return 0
+	}
+	sorted := append([][2]int64(nil), iv...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	total := int64(0)
+	curS, curE := sorted[0][0], sorted[0][1]
+	for _, x := range sorted[1:] {
+		if x[0] > curE {
+			total += curE - curS
+			curS, curE = x[0], x[1]
+		} else if x[1] > curE {
+			curE = x[1]
+		}
+	}
+	return total + curE - curS
+}
+
+func TestMatchesBruteForceUnion(t *testing.T) {
+	f := func(seed []byte) bool {
+		tr := NewTracker(1 << 30) // no flushing: arbitrary order allowed
+		var ivs [][2]int64
+		for i := 0; i+2 < len(seed); i += 3 {
+			start := int64(seed[i]) * 4
+			dur := int64(seed[i+1]%32) + 1
+			tr.Add(start, start+dur)
+			ivs = append(ivs, [2]int64{start, start + dur})
+		}
+		if len(ivs) == 0 {
+			return true
+		}
+		return tr.ActiveCycles() == bruteUnion(ivs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushingPreservesTotals(t *testing.T) {
+	// Nearly-ordered long stream with small jitter: flushed result equals
+	// brute force.
+	tr := NewTracker(64)
+	var ivs [][2]int64
+	x := uint64(99)
+	for i := 0; i < 50000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		start := int64(i*3) - int64(x%16)
+		if start < 0 {
+			start = 0
+		}
+		end := start + 1 + int64(x%8)
+		tr.Add(start, end)
+		ivs = append(ivs, [2]int64{start, end})
+	}
+	if got, want := tr.ActiveCycles(), bruteUnion(ivs); got != want {
+		t.Fatalf("flushed union = %d, brute = %d", got, want)
+	}
+	if len(tr.open) > 256 {
+		t.Fatalf("tracker retained %d intervals; flushing ineffective", len(tr.open))
+	}
+}
+
+func TestAPCOfSaturatedStream(t *testing.T) {
+	// Back-to-back accesses of 4 cycles each, 2 overlapping at all times:
+	// APC = accesses/activeCycles = 2/4 = 0.5.
+	tr := NewTracker(0)
+	for i := 0; i < 1000; i++ {
+		start := int64(i * 2)
+		tr.Add(start, start+4)
+	}
+	want := 1000.0 / float64(2*999+4)
+	if got := tr.APC(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("APC = %v, want %v", got, want)
+	}
+}

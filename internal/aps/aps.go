@@ -1,0 +1,199 @@
+// Package aps implements the paper's Analysis-Plus-Simulation algorithm
+// (Fig. 6): characterize the application, solve the C²-Bound analytic
+// optimization for the fundamental parameters (A0, A1, A2, N), then
+// simulate only the small remaining slice of the design space (issue
+// width × ROB, optionally a ±radius neighborhood of the analytic point)
+// to fix the microarchitectural parameters. It also hosts the ANN
+// search baseline (Ïpek et al.) the paper compares simulation budgets
+// against.
+package aps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/dse"
+)
+
+// Metric selects the analytic objective used to pick the grid point —
+// it must match what the simulator-side Evaluator measures, because both
+// phases optimize the same quantity.
+type Metric int
+
+const (
+	// MetricTime minimizes execution time of a fixed workload: the metric
+	// of the paper's fluidanimate DSE validation, where the benchmark's
+	// instruction count does not change with the configuration. This is
+	// what dse.SimEvaluator measures.
+	MetricTime Metric = iota
+	// MetricTimePerWork minimizes T/W, i.e. maximizes throughput W/T with
+	// the problem size scaled by g(N) — the paper's case-I objective. Use
+	// it with an Evaluator that divides simulated time by scaled work.
+	MetricTimePerWork
+)
+
+// Options tunes the APS run.
+type Options struct {
+	// Radius widens the simulated neighborhood around the analytic
+	// solution in the A0/A1/A2/N dimensions; 0 reproduces the paper's
+	// flow (only issue width and ROB are swept, 10×10 = 100 simulations).
+	Radius int
+	// Workers bounds sweep parallelism (≤0: GOMAXPROCS).
+	Workers int
+	// Metric is the optimization target shared by the analytic and
+	// simulated phases (default MetricTime).
+	Metric Metric
+	// Optimize forwards bounds to the analytic optimizer.
+	Optimize core.Options
+}
+
+// Result is the APS outcome.
+type Result struct {
+	Analytic  core.Result // the analytic solution before snapping
+	Snapped   []int       // grid coordinates of the snapped analytic point
+	BestIdx   int         // flat index of the best simulated configuration
+	BestPoint []float64
+	BestValue float64
+	// Simulations is the number of simulator invocations APS spent — the
+	// quantity Fig. 12 compares (≈10² vs 613 vs 10⁶).
+	Simulations int
+	// AnalyticPoints counts analytic-model evaluations during the grid
+	// optimization; these are microseconds each, not simulations.
+	AnalyticPoints int
+	SpaceSize      int
+}
+
+// Run executes APS for the model over the given space using eval as the
+// simulator. The space must carry the six paper dimensions (dse.DimA0 …
+// dse.DimROB).
+func Run(m core.Model, space dse.Space, eval dse.Evaluator, opts Options) (Result, error) {
+	dims := make(map[string]int, 6)
+	for _, name := range []string{dse.DimA0, dse.DimA1, dse.DimA2, dse.DimN, dse.DimIssue, dse.DimROB} {
+		d, err := space.DimIndex(name)
+		if err != nil {
+			return Result{}, err
+		}
+		dims[name] = d
+	}
+
+	// Step 1+2: analytic optimization (characterization is assumed done:
+	// the model's App already carries measured parameters). The
+	// unconstrained solve is kept for reporting; the snap onto the grid
+	// re-optimizes the analytic objective over the representable
+	// (A0, A1, A2, N) combinations — still pure analysis, zero
+	// simulations — because the continuous optimum may sit between grid
+	// values (especially its tight area constraint).
+	analytic, err := m.Optimize(opts.Optimize)
+	if err != nil {
+		return Result{}, err
+	}
+	center, analyticPoints, err := gridOptimum(m, space, dims, opts.Metric)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 4: simulate the remaining microarchitectural slice: the full
+	// issue×ROB plane at the analytic point and, when Radius > 0, at each
+	// neighbouring (A0, A1, A2, N) grid point as well.
+	microDims := []int{dims[dse.DimIssue], dims[dse.DimROB]}
+	fullRange := len(space.Params[microDims[0]].Values) + len(space.Params[microDims[1]].Values)
+	areaCenters := [][]int{center}
+	if opts.Radius > 0 {
+		areaDims := []int{dims[dse.DimA0], dims[dse.DimA1], dims[dse.DimA2], dims[dse.DimN]}
+		areaCenters = nil
+		for _, idx := range space.Neighborhood(center, opts.Radius, areaDims) {
+			areaCenters = append(areaCenters, space.Coords(idx))
+		}
+	}
+	seen := map[int]bool{}
+	var indices []int
+	for _, c := range areaCenters {
+		for _, idx := range space.Neighborhood(c, fullRange, microDims) {
+			if !seen[idx] {
+				seen[idx] = true
+				indices = append(indices, idx)
+			}
+		}
+	}
+	values := dse.SweepIndices(eval, space, indices, opts.Workers)
+	bestIdx, bestVal := dse.Best(values)
+	if bestIdx < 0 {
+		return Result{}, fmt.Errorf("aps: no feasible configuration in the simulated slice")
+	}
+	return Result{
+		Analytic:       analytic,
+		Snapped:        center,
+		BestIdx:        bestIdx,
+		BestPoint:      space.Point(bestIdx),
+		BestValue:      bestVal,
+		Simulations:    len(indices),
+		AnalyticPoints: analyticPoints,
+		SpaceSize:      space.Size(),
+	}, nil
+}
+
+// gridOptimum scans the representable (A0, A1, A2, N) grid combinations
+// with the *analytic* objective (no simulation) and returns the best
+// feasible coordinates, with the issue/ROB dimensions left at zero for
+// the subsequent simulated slice.
+func gridOptimum(m core.Model, space dse.Space, dims map[string]int, metric Metric) ([]int, int, error) {
+	dA0, dA1, dA2, dN := dims[dse.DimA0], dims[dse.DimA1], dims[dse.DimA2], dims[dse.DimN]
+	best := make([]int, space.Dims())
+	found := false
+	bestScore := math.Inf(1)
+	coords := make([]int, space.Dims())
+	points := 0
+	for i0 := range space.Params[dA0].Values {
+		for i1 := range space.Params[dA1].Values {
+			for i2 := range space.Params[dA2].Values {
+				for in := range space.Params[dN].Values {
+					coords[dA0], coords[dA1], coords[dA2], coords[dN] = i0, i1, i2, in
+					p := space.PointAt(coords)
+					d := designFromPoint(p, dims)
+					e, err := m.Evaluate(d)
+					if err != nil {
+						continue
+					}
+					points++
+					score := e.Time
+					if metric == MetricTimePerWork {
+						score = e.Time / e.Work
+					}
+					if score < bestScore {
+						bestScore = score
+						copy(best, coords)
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return nil, points, fmt.Errorf("aps: no feasible grid point for the analytic model")
+	}
+	return best, points, nil
+}
+
+func designFromPoint(p []float64, dims map[string]int) chip.Design {
+	return chip.Design{
+		N:        int(p[dims[dse.DimN]] + 0.5),
+		CoreArea: p[dims[dse.DimA0]],
+		L1Area:   p[dims[dse.DimA1]],
+		L2Area:   p[dims[dse.DimA2]],
+	}
+}
+
+// RelativeError compares an APS (or any) best value to the true optimum
+// of a ground-truth sweep: (got − trueBest)/trueBest.
+func RelativeError(got float64, truth []float64) (float64, error) {
+	idx, trueBest := dse.Best(truth)
+	if idx < 0 {
+		return 0, fmt.Errorf("aps: ground truth has no finite entries")
+	}
+	if trueBest == 0 {
+		return 0, fmt.Errorf("aps: degenerate ground-truth optimum 0")
+	}
+	return (got - trueBest) / trueBest, nil
+}

@@ -1,0 +1,134 @@
+// Package baselines implements the prior analytical CMP models the paper
+// positions C²-Bound against (§VI): Hill & Marty's multicore Amdahl
+// variants, Sun & Chen's memory-bounded reevaluation, and Cassidy &
+// Andreou's AMAT-augmented objective. All share the BCE (base core
+// equivalent) cost model: a chip of n BCEs builds cores of r BCEs each
+// with single-core performance perf(r) = √r (Pollack's rule).
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/speedup"
+)
+
+// Perf is Pollack's-rule core performance in the BCE model.
+func Perf(r float64) float64 { return math.Sqrt(r) }
+
+// validate checks the shared argument ranges: fseq in [0,1], 1 ≤ r ≤ n.
+func validate(fseq, n, r float64) error {
+	switch {
+	case fseq < 0 || fseq > 1 || math.IsNaN(fseq):
+		return fmt.Errorf("baselines: fseq=%v outside [0,1]", fseq)
+	case n < 1:
+		return fmt.Errorf("baselines: chip size n=%v below 1 BCE", n)
+	case r < 1 || r > n:
+		return fmt.Errorf("baselines: core size r=%v outside [1,n=%v]", r, n)
+	}
+	return nil
+}
+
+// HillMartySymmetric returns the speedup of a symmetric multicore: n/r
+// cores of r BCEs each. The sequential fraction runs on one core at
+// perf(r); the parallel fraction on all n/r cores.
+func HillMartySymmetric(fseq, n, r float64) (float64, error) {
+	if err := validate(fseq, n, r); err != nil {
+		return 0, err
+	}
+	p := Perf(r)
+	return 1 / (fseq/p + (1-fseq)*r/(p*n)), nil
+}
+
+// HillMartyAsymmetric returns the speedup of an asymmetric multicore: one
+// big core of r BCEs plus n−r base cores. Sequential work runs on the big
+// core; parallel work uses the big core and all base cores together.
+func HillMartyAsymmetric(fseq, n, r float64) (float64, error) {
+	if err := validate(fseq, n, r); err != nil {
+		return 0, err
+	}
+	p := Perf(r)
+	return 1 / (fseq/p + (1-fseq)/(p+n-r)), nil
+}
+
+// HillMartyDynamic returns the speedup of a dynamic multicore that fuses
+// all n BCEs into one core of performance perf(r) for sequential work
+// (r = n in the ideal case) and runs parallel work on n base cores.
+func HillMartyDynamic(fseq, n, r float64) (float64, error) {
+	if err := validate(fseq, n, r); err != nil {
+		return 0, err
+	}
+	return 1 / (fseq/Perf(r) + (1-fseq)/n), nil
+}
+
+// SunChen returns the memory-bounded multicore speedup of Sun & Chen
+// (JPDC 2010): Sun-Ni's law applied to the Hill-Marty cost model. The
+// chip builds m = n/r cores; the problem scales by g(m) with the per-core
+// memory replicated m times. Data-access concurrency is NOT modelled —
+// that is the gap C²-Bound fills.
+func SunChen(fseq, n, r float64, g speedup.ScaleFunc) (float64, error) {
+	if err := validate(fseq, n, r); err != nil {
+		return 0, err
+	}
+	if g == nil {
+		return 0, fmt.Errorf("baselines: nil scale function")
+	}
+	m := n / r
+	gm := g(m)
+	p := Perf(r)
+	return (fseq + (1-fseq)*gm) / (fseq/p + (1-fseq)*gm/(m*p)), nil
+}
+
+// CassidyAndreou returns the execution-time objective of Cassidy &
+// Andreou's AMAT-augmented Amdahl model for N cores: a fixed-size problem
+// whose per-instruction cost is CPI_exe + fmem×AMAT with strictly
+// sequential data access. It is exactly the C²-Bound objective of Eq. 10
+// at C = 1 and g(N) = 1, which is how the paper positions it.
+func CassidyAndreou(cpiExe, fmem, amat, fseq float64, n int) (float64, error) {
+	switch {
+	case cpiExe <= 0 || amat < 0:
+		return 0, fmt.Errorf("baselines: bad CPI_exe=%v or AMAT=%v", cpiExe, amat)
+	case fmem < 0 || fmem > 1:
+		return 0, fmt.Errorf("baselines: fmem=%v outside [0,1]", fmem)
+	case fseq < 0 || fseq > 1:
+		return 0, fmt.Errorf("baselines: fseq=%v outside [0,1]", fseq)
+	case n < 1:
+		return 0, fmt.Errorf("baselines: n=%d below 1", n)
+	}
+	cpi := cpiExe + fmem*amat
+	return cpi * (fseq + (1-fseq)/float64(n)), nil
+}
+
+// OptimalSymmetricR finds the core size r ∈ [1, n] maximizing the
+// Hill-Marty symmetric speedup by golden-section-style scan (the function
+// is unimodal in r).
+func OptimalSymmetricR(fseq, n float64) (float64, float64, error) {
+	if err := validate(fseq, n, 1); err != nil {
+		return 0, 0, err
+	}
+	bestR, bestS := 1.0, 0.0
+	// Scan r geometrically then refine linearly around the best.
+	for r := 1.0; r <= n; r *= 1.05 {
+		s, err := HillMartySymmetric(fseq, n, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		if s > bestS {
+			bestR, bestS = r, s
+		}
+	}
+	if s, err := HillMartySymmetric(fseq, n, n); err == nil && s > bestS {
+		bestR, bestS = n, s
+	}
+	lo := bestR / 1.05
+	hi := bestR * 1.05
+	if hi > n {
+		hi = n
+	}
+	for r := lo; r <= hi; r += (hi - lo) / 64 {
+		if s, err := HillMartySymmetric(fseq, n, r); err == nil && s > bestS {
+			bestR, bestS = r, s
+		}
+	}
+	return bestR, bestS, nil
+}

@@ -1,0 +1,198 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/speedup"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestPerf(t *testing.T) {
+	if Perf(4) != 2 || Perf(1) != 1 {
+		t.Fatal("Pollack perf wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := HillMartySymmetric(-0.1, 64, 4); err == nil {
+		t.Error("bad fseq accepted")
+	}
+	if _, err := HillMartySymmetric(0.1, 0.5, 0.5); err == nil {
+		t.Error("tiny chip accepted")
+	}
+	if _, err := HillMartyAsymmetric(0.1, 64, 128); err == nil {
+		t.Error("r>n accepted")
+	}
+	if _, err := HillMartyDynamic(2, 64, 4); err == nil {
+		t.Error("fseq>1 accepted")
+	}
+	if _, err := SunChen(0.1, 64, 4, nil); err == nil {
+		t.Error("nil g accepted")
+	}
+}
+
+func TestHillMartySingleCore(t *testing.T) {
+	// r = n: one big core; speedup = perf(n) regardless of fseq.
+	for _, fseq := range []float64{0, 0.5, 1} {
+		s, err := HillMartySymmetric(fseq, 64, 64)
+		if err != nil {
+			t.Fatalf("symmetric: %v", err)
+		}
+		if !almostEq(s, 8, 1e-12) {
+			t.Fatalf("fseq=%v: S = %v, want 8", fseq, s)
+		}
+	}
+}
+
+func TestHillMartyBaseCores(t *testing.T) {
+	// r = 1 and fully parallel: speedup = n.
+	s, err := HillMartySymmetric(0, 256, 1)
+	if err != nil {
+		t.Fatalf("symmetric: %v", err)
+	}
+	if !almostEq(s, 256, 1e-12) {
+		t.Fatalf("S = %v, want 256", s)
+	}
+	// Fully sequential: one base core.
+	s, err = HillMartySymmetric(1, 256, 1)
+	if err != nil {
+		t.Fatalf("symmetric: %v", err)
+	}
+	if !almostEq(s, 1, 1e-12) {
+		t.Fatalf("S = %v, want 1", s)
+	}
+}
+
+func TestAsymmetricBeatsSymmetric(t *testing.T) {
+	// Hill & Marty's headline result: with a sequential fraction,
+	// asymmetric chips beat the best symmetric chip.
+	fseq, n := 0.25, 256.0
+	_, bestSym, err := OptimalSymmetricR(fseq, n)
+	if err != nil {
+		t.Fatalf("OptimalSymmetricR: %v", err)
+	}
+	bestAsym := 0.0
+	for r := 1.0; r <= n; r *= 2 {
+		s, err := HillMartyAsymmetric(fseq, n, r)
+		if err != nil {
+			t.Fatalf("asymmetric: %v", err)
+		}
+		if s > bestAsym {
+			bestAsym = s
+		}
+	}
+	if bestAsym <= bestSym {
+		t.Fatalf("asymmetric best %v not above symmetric best %v", bestAsym, bestSym)
+	}
+	// And dynamic beats asymmetric.
+	sDyn, err := HillMartyDynamic(fseq, n, n)
+	if err != nil {
+		t.Fatalf("dynamic: %v", err)
+	}
+	if sDyn <= bestAsym {
+		t.Fatalf("dynamic %v not above asymmetric %v", sDyn, bestAsym)
+	}
+}
+
+func TestSunChenReducesToHillMartyFixedSize(t *testing.T) {
+	// g = 1 (fixed size) makes Sun-Chen collapse to Hill-Marty symmetric.
+	fseq, n, r := 0.3, 64.0, 4.0
+	sc, err := SunChen(fseq, n, r, speedup.FixedSize())
+	if err != nil {
+		t.Fatalf("SunChen: %v", err)
+	}
+	hm, err := HillMartySymmetric(fseq, n, r)
+	if err != nil {
+		t.Fatalf("HillMarty: %v", err)
+	}
+	if !almostEq(sc, hm, 1e-12) {
+		t.Fatalf("SunChen(g=1) = %v, HillMarty = %v", sc, hm)
+	}
+}
+
+func TestSunChenMoreOptimisticThanAmdahl(t *testing.T) {
+	// §VI: Sun & Chen's memory-bounded results are more optimistic than
+	// fixed-size Amdahl for scalable workloads.
+	fseq, n, r := 0.3, 256.0, 4.0
+	fixed, err := SunChen(fseq, n, r, speedup.FixedSize())
+	if err != nil {
+		t.Fatalf("SunChen fixed: %v", err)
+	}
+	scaled, err := SunChen(fseq, n, r, speedup.PowerLaw(1.5))
+	if err != nil {
+		t.Fatalf("SunChen scaled: %v", err)
+	}
+	if scaled <= fixed {
+		t.Fatalf("memory-bounded speedup %v not above fixed-size %v", scaled, fixed)
+	}
+}
+
+func TestCassidyAndreou(t *testing.T) {
+	// Baseline sanity: time shrinks with cores, grows with AMAT.
+	t1, err := CassidyAndreou(0.5, 0.3, 4, 0.1, 1)
+	if err != nil {
+		t.Fatalf("CassidyAndreou: %v", err)
+	}
+	t16, err := CassidyAndreou(0.5, 0.3, 4, 0.1, 16)
+	if err != nil {
+		t.Fatalf("CassidyAndreou: %v", err)
+	}
+	if t16 >= t1 {
+		t.Fatalf("16 cores (%v) not faster than 1 (%v)", t16, t1)
+	}
+	slow, err := CassidyAndreou(0.5, 0.3, 40, 0.1, 16)
+	if err != nil {
+		t.Fatalf("CassidyAndreou: %v", err)
+	}
+	if slow <= t16 {
+		t.Fatalf("10× AMAT did not slow execution: %v vs %v", slow, t16)
+	}
+	// Exact value check: CPI = 0.5 + 0.3×4 = 1.7; factor = 0.1+0.9 = 1.
+	if !almostEq(t1, 1.7, 1e-12) {
+		t.Fatalf("t1 = %v, want 1.7", t1)
+	}
+	for _, bad := range []func() (float64, error){
+		func() (float64, error) { return CassidyAndreou(0, 0.3, 4, 0.1, 4) },
+		func() (float64, error) { return CassidyAndreou(0.5, 1.3, 4, 0.1, 4) },
+		func() (float64, error) { return CassidyAndreou(0.5, 0.3, 4, -1, 4) },
+		func() (float64, error) { return CassidyAndreou(0.5, 0.3, 4, 0.1, 0) },
+	} {
+		if _, err := bad(); err == nil {
+			t.Error("invalid Cassidy-Andreou input accepted")
+		}
+	}
+}
+
+func TestOptimalSymmetricRMatchesKnownShape(t *testing.T) {
+	// With no sequential work, base cores win (r → 1); fully sequential,
+	// one big core wins (r → n).
+	r0, _, err := OptimalSymmetricR(0, 256)
+	if err != nil {
+		t.Fatalf("OptimalSymmetricR: %v", err)
+	}
+	if r0 > 1.2 {
+		t.Fatalf("fseq=0 optimal r = %v, want ≈1", r0)
+	}
+	r1, _, err := OptimalSymmetricR(1, 256)
+	if err != nil {
+		t.Fatalf("OptimalSymmetricR: %v", err)
+	}
+	if r1 < 200 {
+		t.Fatalf("fseq=1 optimal r = %v, want ≈n", r1)
+	}
+	// Intermediate fseq: interior optimum.
+	rm, _, err := OptimalSymmetricR(0.2, 256)
+	if err != nil {
+		t.Fatalf("OptimalSymmetricR: %v", err)
+	}
+	if rm <= 1.2 || rm >= 200 {
+		t.Fatalf("fseq=0.2 optimal r = %v, want interior", rm)
+	}
+	if _, _, err := OptimalSymmetricR(-1, 256); err == nil {
+		t.Error("bad fseq accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Package camat implements the C-AMAT (Concurrent Average Memory Access
+// Time) model of Sun & Wang and its classic AMAT counterpart, together
+// with exact trace-level measurement of every model parameter.
+//
+// C-AMAT (Eq. 2 of the C²-Bound paper) extends AMAT with data-access
+// concurrency:
+//
+//	AMAT   = H + MR × AMP
+//	C-AMAT = H/C_H + pMR × pAMP/C_M
+//
+// where C_H is the average hit concurrency, C_M the average pure-miss
+// concurrency, pMR the pure miss rate (fraction of accesses that contain
+// at least one miss cycle with no concurrent hit activity) and pAMP the
+// average number of pure-miss cycles per pure miss. The ratio
+// C = AMAT/C-AMAT is the data-access concurrency of Eq. 3; C = 1 means the
+// access stream is effectively sequential and C-AMAT degenerates to AMAT.
+package camat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params holds the parameters of both the AMAT and C-AMAT formulations for
+// one cache level. All times are in cycles. The zero value is not useful;
+// populate every field or obtain one from Analyze or a detector.
+type Params struct {
+	// H is the hit time in cycles (identical in AMAT and C-AMAT).
+	H float64
+	// MR is the conventional miss rate: misses / accesses.
+	MR float64
+	// AMP is the conventional average miss penalty: total miss-penalty
+	// cycles summed per access, divided by the number of misses.
+	AMP float64
+	// CH is the average hit concurrency: total hit-cycle activity
+	// (sum over wall-clock hit cycles of the number of concurrently
+	// hit-active accesses) divided by the number of wall-clock hit cycles.
+	CH float64
+	// CM is the average pure-miss concurrency: total pure-miss activity
+	// divided by the number of wall-clock pure-miss cycles.
+	CM float64
+	// PMR is the pure miss rate: pure misses / accesses. A pure miss is a
+	// miss access at least one of whose miss cycles has no concurrent hit
+	// activity anywhere in the memory system.
+	PMR float64
+	// PAMP is the average number of per-access pure-miss cycles per pure
+	// miss.
+	PAMP float64
+}
+
+// AMAT returns the conventional average memory access time H + MR×AMP.
+func (p Params) AMAT() float64 { return p.H + p.MR*p.AMP }
+
+// CAMAT returns the concurrent average memory access time
+// H/C_H + pMR×pAMP/C_M. It panics if CH or CM is zero while the
+// corresponding term is needed; use Validate to check a Params first.
+func (p Params) CAMAT() float64 {
+	hit := 0.0
+	if p.H != 0 {
+		hit = p.H / p.CH
+	}
+	miss := 0.0
+	if p.PMR != 0 && p.PAMP != 0 {
+		miss = p.PMR * p.PAMP / p.CM
+	}
+	return hit + miss
+}
+
+// Concurrency returns C = AMAT / C-AMAT (Eq. 3), the overall data-access
+// concurrency. It is ≥ 1 for any physically realizable access stream and
+// equals 1 exactly when accesses are serialized.
+func (p Params) Concurrency() float64 {
+	c := p.CAMAT()
+	if c == 0 {
+		return 1
+	}
+	return p.AMAT() / c
+}
+
+// APC returns the Access-Per-memory-active-Cycle metric, the reciprocal of
+// C-AMAT (Wang & Sun, IEEE ToC 2014; §V of the C²-Bound paper).
+func (p Params) APC() float64 {
+	c := p.CAMAT()
+	if c == 0 {
+		return 0
+	}
+	return 1 / c
+}
+
+// Validate reports whether the parameter set is internally consistent:
+// non-negative fields, rates within [0,1], concurrency values ≥ 1 when the
+// corresponding activity exists, and pure-miss quantities bounded by their
+// conventional counterparts.
+func (p Params) Validate() error {
+	switch {
+	case p.H < 0 || math.IsNaN(p.H):
+		return fmt.Errorf("camat: hit time H=%v out of range", p.H)
+	case p.MR < 0 || p.MR > 1 || math.IsNaN(p.MR):
+		return fmt.Errorf("camat: miss rate MR=%v outside [0,1]", p.MR)
+	case p.PMR < 0 || p.PMR > 1 || math.IsNaN(p.PMR):
+		return fmt.Errorf("camat: pure miss rate pMR=%v outside [0,1]", p.PMR)
+	case p.PMR > p.MR+1e-12:
+		return fmt.Errorf("camat: pMR=%v exceeds MR=%v", p.PMR, p.MR)
+	case p.AMP < 0 || math.IsNaN(p.AMP):
+		return fmt.Errorf("camat: AMP=%v negative", p.AMP)
+	case p.PAMP < 0 || math.IsNaN(p.PAMP):
+		return fmt.Errorf("camat: pAMP=%v negative", p.PAMP)
+	case p.H > 0 && p.CH < 1:
+		return fmt.Errorf("camat: hit concurrency C_H=%v below 1", p.CH)
+	case p.PMR > 0 && p.CM < 1:
+		return fmt.Errorf("camat: pure-miss concurrency C_M=%v below 1", p.CM)
+	}
+	return nil
+}
+
+// String renders the parameters in a compact single-line form.
+func (p Params) String() string {
+	return fmt.Sprintf("H=%.3g MR=%.4g AMP=%.4g C_H=%.4g C_M=%.4g pMR=%.4g pAMP=%.4g (AMAT=%.4g C-AMAT=%.4g C=%.4g)",
+		p.H, p.MR, p.AMP, p.CH, p.CM, p.PMR, p.PAMP, p.AMAT(), p.CAMAT(), p.Concurrency())
+}
+
+// Sequential returns the parameter set describing the same locality
+// behaviour with all concurrency removed: C_H = C_M = 1, pMR = MR and
+// pAMP = AMP. Under Sequential, CAMAT() equals AMAT() exactly (the paper's
+// "AMAT is a special case of C-AMAT").
+func (p Params) Sequential() Params {
+	return Params{H: p.H, MR: p.MR, AMP: p.AMP, CH: 1, CM: 1, PMR: p.MR, PAMP: p.AMP}
+}
+
+// WithConcurrency returns a copy of p rescaled so that the overall
+// data-access concurrency AMAT/C-AMAT equals c, keeping the locality
+// parameters (H, MR, AMP) and the hit/miss split fixed. It is the
+// modelling device used throughout §IV of the paper, where designs are
+// compared at C ∈ {1, 4, 8}: both the hit and the pure-miss terms are
+// scaled uniformly by c.
+func (p Params) WithConcurrency(c float64) (Params, error) {
+	if c < 1 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return Params{}, fmt.Errorf("camat: target concurrency %v must be ≥ 1", c)
+	}
+	q := p.Sequential()
+	q.CH = c
+	q.CM = c
+	return q, nil
+}
+
+// ErrNoAccesses is returned by Analyze when the trace contains no accesses.
+var ErrNoAccesses = errors.New("camat: trace contains no accesses")

@@ -1,0 +1,447 @@
+package camat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestParamsAMAT(t *testing.T) {
+	p := Params{H: 3, MR: 0.4, AMP: 2}
+	if got := p.AMAT(); got != 3.8 {
+		t.Fatalf("AMAT = %v, want 3.8", got)
+	}
+}
+
+func TestParamsCAMATWorkedExample(t *testing.T) {
+	// §II-A worked numbers: C-AMAT = 3/(5/2) + (1/5)×(2/1) = 1.6.
+	p := Params{H: 3, MR: 0.4, AMP: 2, CH: 2.5, CM: 1, PMR: 0.2, PAMP: 2}
+	if got := p.CAMAT(); !almostEq(got, 1.6, 1e-12) {
+		t.Fatalf("C-AMAT = %v, want 1.6", got)
+	}
+	if got := p.Concurrency(); !almostEq(got, 3.8/1.6, 1e-12) {
+		t.Fatalf("C = %v, want %v", got, 3.8/1.6)
+	}
+	if got := p.APC(); !almostEq(got, 1/1.6, 1e-12) {
+		t.Fatalf("APC = %v, want %v", got, 1/1.6)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSequentialCollapsesToAMAT(t *testing.T) {
+	p := Params{H: 2, MR: 0.3, AMP: 10, CH: 3, CM: 2, PMR: 0.1, PAMP: 4}
+	s := p.Sequential()
+	if !almostEq(s.CAMAT(), s.AMAT(), 1e-12) {
+		t.Fatalf("sequential C-AMAT %v != AMAT %v", s.CAMAT(), s.AMAT())
+	}
+	if got := s.Concurrency(); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("sequential concurrency = %v, want 1", got)
+	}
+}
+
+func TestWithConcurrency(t *testing.T) {
+	p := Params{H: 2, MR: 0.3, AMP: 10, CH: 1, CM: 1, PMR: 0.3, PAMP: 10}
+	for _, c := range []float64{1, 2, 4, 8, 16.5} {
+		q, err := p.WithConcurrency(c)
+		if err != nil {
+			t.Fatalf("WithConcurrency(%v): %v", c, err)
+		}
+		if got := q.Concurrency(); !almostEq(got, c, 1e-12) {
+			t.Fatalf("WithConcurrency(%v) yields C = %v", c, got)
+		}
+		if !almostEq(q.AMAT(), p.AMAT(), 1e-12) {
+			t.Fatalf("WithConcurrency(%v) changed AMAT: %v != %v", c, q.AMAT(), p.AMAT())
+		}
+	}
+	if _, err := p.WithConcurrency(0.5); err == nil {
+		t.Fatal("WithConcurrency(0.5) should fail")
+	}
+	if _, err := p.WithConcurrency(math.NaN()); err == nil {
+		t.Fatal("WithConcurrency(NaN) should fail")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	good := Params{H: 3, MR: 0.4, AMP: 2, CH: 2.5, CM: 1, PMR: 0.2, PAMP: 2}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative H", func(p *Params) { p.H = -1 }},
+		{"MR above 1", func(p *Params) { p.MR = 1.5 }},
+		{"negative MR", func(p *Params) { p.MR = -0.1 }},
+		{"pMR above MR", func(p *Params) { p.PMR = 0.9 }},
+		{"negative AMP", func(p *Params) { p.AMP = -2 }},
+		{"negative pAMP", func(p *Params) { p.PAMP = -2 }},
+		{"CH below 1", func(p *Params) { p.CH = 0.4 }},
+		{"CM below 1", func(p *Params) { p.CM = 0 }},
+		{"NaN H", func(p *Params) { p.H = math.NaN() }},
+	}
+	for _, tc := range cases {
+		p := good
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, p)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+}
+
+func TestFig1Trace(t *testing.T) {
+	an, err := Analyze(Fig1Trace())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	p := an.Params()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"AMAT", p.AMAT(), 3.8},
+		{"C-AMAT", p.CAMAT(), 1.6},
+		{"H", p.H, 3},
+		{"MR", p.MR, 0.4},
+		{"AMP", p.AMP, 2},
+		{"C_H", p.CH, 2.5},
+		{"C_M", p.CM, 1},
+		{"pMR", p.PMR, 0.2},
+		{"pAMP", p.PAMP, 2},
+		{"direct C-AMAT", an.CAMATDirect(), 1.6},
+		{"concurrency", p.Concurrency(), 3.8 / 1.6},
+	}
+	for _, c := range checks {
+		if !almostEq(c.got, c.want, 1e-12) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if an.ActiveCycles != 8 {
+		t.Errorf("ActiveCycles = %d, want 8", an.ActiveCycles)
+	}
+	if an.PureMisses != 1 {
+		t.Errorf("PureMisses = %d, want 1", an.PureMisses)
+	}
+}
+
+func TestFig1Phases(t *testing.T) {
+	an, err := Analyze(Fig1Trace())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// Paper: 4 hit phases with concurrency 2,4,3,1 lasting 2,1,2,1 cycles.
+	wantHit := []Phase{
+		{Start: 1, Cycles: 2, Activity: 2},
+		{Start: 3, Cycles: 1, Activity: 4},
+		{Start: 4, Cycles: 2, Activity: 3},
+		{Start: 6, Cycles: 1, Activity: 1},
+	}
+	if len(an.HitPhases) != len(wantHit) {
+		t.Fatalf("hit phases = %+v, want %+v", an.HitPhases, wantHit)
+	}
+	for i, w := range wantHit {
+		g := an.HitPhases[i]
+		if g.Start != w.Start || g.Cycles != w.Cycles || g.Activity != w.Activity {
+			t.Errorf("hit phase %d = %+v, want %+v", i+1, g, w)
+		}
+	}
+	// One pure-miss phase: concurrency 1, 2 cycles.
+	if len(an.PureMissPhases) != 1 {
+		t.Fatalf("pure miss phases = %+v, want one", an.PureMissPhases)
+	}
+	pm := an.PureMissPhases[0]
+	if pm.Cycles != 2 || pm.Activity != 1 {
+		t.Errorf("pure miss phase = %+v, want 2 cycles at concurrency 1", pm)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil); err != ErrNoAccesses {
+		t.Errorf("empty trace: err = %v, want ErrNoAccesses", err)
+	}
+	if _, err := Analyze([]Access{{Start: 0, HitCycles: 0}}); err == nil {
+		t.Error("zero hit cycles accepted")
+	}
+	if _, err := Analyze([]Access{{Start: 0, HitCycles: 1, MissPenalty: -1}}); err == nil {
+		t.Error("negative penalty accepted")
+	}
+}
+
+func TestAnalyzeSingleHit(t *testing.T) {
+	an, err := Analyze([]Access{{Start: 100, HitCycles: 2}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	p := an.Params()
+	if p.MR != 0 || p.PMR != 0 || p.CH != 1 {
+		t.Fatalf("single hit params: %v", p)
+	}
+	if got := p.CAMAT(); got != 2 {
+		t.Fatalf("C-AMAT = %v, want 2", got)
+	}
+}
+
+func TestAnalyzeSingleMissIsPure(t *testing.T) {
+	an, err := Analyze([]Access{{Start: 0, HitCycles: 1, MissPenalty: 9}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if an.PureMisses != 1 || an.PerAccessPureMissCycles != 9 {
+		t.Fatalf("lone miss not fully pure: %+v", an)
+	}
+	p := an.Params()
+	if !almostEq(p.CAMAT(), p.AMAT(), 1e-12) {
+		t.Fatalf("lone access C-AMAT %v != AMAT %v", p.CAMAT(), p.AMAT())
+	}
+}
+
+func TestFullyHiddenMiss(t *testing.T) {
+	// A miss whose penalty is entirely covered by another access's hits is
+	// not a pure miss: C-AMAT sees only hit time.
+	trace := []Access{
+		{Start: 0, HitCycles: 2, MissPenalty: 3}, // miss cycles 2-4
+		{Start: 0, HitCycles: 8},                 // hits cover 0-7
+	}
+	an, err := Analyze(trace)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if an.PureMisses != 0 {
+		t.Fatalf("hidden miss counted as pure: %+v", an)
+	}
+	p := an.Params()
+	if p.MR != 0.5 || p.PMR != 0 {
+		t.Fatalf("params = %v", p)
+	}
+	if got := an.CAMATDirect(); got != 4 { // 8 active cycles / 2 accesses
+		t.Fatalf("C-AMAT = %v, want 4", got)
+	}
+}
+
+// randomTrace builds an arbitrary well-formed trace from fuzz bytes.
+func randomTrace(seed []byte) []Access {
+	if len(seed) == 0 {
+		return nil
+	}
+	trace := make([]Access, 0, len(seed)/3+1)
+	var start int64
+	for i := 0; i+2 < len(seed); i += 3 {
+		start += int64(seed[i] % 7)
+		hit := 1 + int(seed[i+1]%4)
+		pen := int(seed[i+2] % 12)
+		trace = append(trace, Access{Start: start, HitCycles: hit, MissPenalty: pen})
+	}
+	return trace
+}
+
+// TestDecompositionIdentity checks the exact identity
+// C-AMAT = ActiveCycles/Accesses = H/C_H + pMR×pAMP/C_M on random traces.
+func TestDecompositionIdentity(t *testing.T) {
+	f := func(seed []byte) bool {
+		trace := randomTrace(seed)
+		if len(trace) == 0 {
+			return true
+		}
+		an, err := Analyze(trace)
+		if err != nil {
+			return false
+		}
+		p := an.Params()
+		direct := an.CAMATDirect()
+		if !almostEq(p.CAMAT(), direct, 1e-9) {
+			t.Logf("decomposition %v != direct %v for %d accesses", p.CAMAT(), direct, len(trace))
+			return false
+		}
+		// AMAT identity and C ≥ 1.
+		wantAMAT := an.HitTime + p.MR*p.AMP
+		if !almostEq(p.AMAT(), wantAMAT, 1e-9) {
+			return false
+		}
+		return p.Concurrency() >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerializeRemovesConcurrency: a serialized trace always yields C = 1
+// and the degenerate parameter equalities of the paper.
+func TestSerializeRemovesConcurrency(t *testing.T) {
+	f := func(seed []byte) bool {
+		trace := randomTrace(seed)
+		if len(trace) == 0 {
+			return true
+		}
+		// Uniform hit time so C_H of a serialized trace is exactly 1.
+		for i := range trace {
+			trace[i].HitCycles = 3
+		}
+		an, err := Analyze(Serialize(trace))
+		if err != nil {
+			return false
+		}
+		p := an.Params()
+		return almostEq(p.Concurrency(), 1, 1e-9) &&
+			almostEq(p.PMR, p.MR, 1e-12) &&
+			almostEq(p.PAMP, p.AMP, 1e-12) &&
+			almostEq(p.CH, 1, 1e-12) &&
+			(an.PureMissCycles == 0 || almostEq(p.CM, 1, 1e-12))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrencySpeedsUp: overlapping the same accesses can only reduce
+// wall-clock C-AMAT relative to the serialized schedule.
+func TestConcurrencySpeedsUp(t *testing.T) {
+	f := func(seed []byte) bool {
+		trace := randomTrace(seed)
+		if len(trace) == 0 {
+			return true
+		}
+		anC, err := Analyze(trace)
+		if err != nil {
+			return false
+		}
+		anS, err := Analyze(Serialize(trace))
+		if err != nil {
+			return false
+		}
+		return anC.CAMATDirect() <= anS.CAMATDirect()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPureMissBounds: pure-miss accounting never exceeds conventional miss
+// accounting.
+func TestPureMissBounds(t *testing.T) {
+	f := func(seed []byte) bool {
+		trace := randomTrace(seed)
+		if len(trace) == 0 {
+			return true
+		}
+		an, err := Analyze(trace)
+		if err != nil {
+			return false
+		}
+		return an.PureMisses <= an.Misses &&
+			an.PerAccessPureMissCycles <= an.PerAccessMissCycles &&
+			an.PureMissCycles <= an.MissActiveCycles &&
+			an.ActiveCycles == an.HitActiveCycles+an.PureMissCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhasesCoverActiveCycles(t *testing.T) {
+	f := func(seed []byte) bool {
+		trace := randomTrace(seed)
+		if len(trace) == 0 {
+			return true
+		}
+		an, err := Analyze(trace)
+		if err != nil {
+			return false
+		}
+		var hitCycles, pureCycles int64
+		var hitActivity, pureActivity float64
+		for _, ph := range an.HitPhases {
+			hitCycles += ph.Cycles
+			hitActivity += ph.Activity * float64(ph.Cycles)
+		}
+		for _, ph := range an.PureMissPhases {
+			pureCycles += ph.Cycles
+			pureActivity += ph.Activity * float64(ph.Cycles)
+		}
+		return hitCycles == an.HitActiveCycles &&
+			pureCycles == an.PureMissCycles &&
+			almostEq(hitActivity, float64(an.HitActivity), 1e-9) &&
+			almostEq(pureActivity, float64(an.PureMissActivity), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{H: 3, MR: 0.4, AMP: 2, CH: 2.5, CM: 1, PMR: 0.2, PAMP: 2}
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestMergeAnalyses(t *testing.T) {
+	an1, err := Analyze(Fig1Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an2, err := Analyze(Serialize(Fig1Trace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := Merge(an1, an2)
+	if merged.Accesses != an1.Accesses+an2.Accesses {
+		t.Fatalf("merged accesses = %d", merged.Accesses)
+	}
+	if merged.ActiveCycles != an1.ActiveCycles+an2.ActiveCycles {
+		t.Fatalf("merged active cycles = %d", merged.ActiveCycles)
+	}
+	// Access-weighted hit time: both traces have H=3.
+	if merged.HitTime != 3 {
+		t.Fatalf("merged hit time = %v", merged.HitTime)
+	}
+	// Aggregate C-AMAT between the two parts' values.
+	c1, c2 := an1.CAMATDirect(), an2.CAMATDirect()
+	lo, hi := math.Min(c1, c2), math.Max(c1, c2)
+	if got := merged.CAMATDirect(); got < lo || got > hi {
+		t.Fatalf("merged C-AMAT %v outside [%v, %v]", got, lo, hi)
+	}
+	// Identity survives merging.
+	p := merged.Params()
+	if math.Abs(p.CAMAT()-merged.CAMATDirect()) > 1e-9 {
+		t.Fatalf("merged decomposition broken: %v vs %v", p.CAMAT(), merged.CAMATDirect())
+	}
+	// Merging nothing yields a zero analysis.
+	if z := Merge(); z.Accesses != 0 || z.HitTime != 0 {
+		t.Fatalf("empty merge = %+v", z)
+	}
+}
+
+func TestAnalysisParamsEmptyAndEdge(t *testing.T) {
+	var an Analysis
+	p := an.Params()
+	if p.CH != 1 || p.CM != 1 || p.MR != 0 {
+		t.Fatalf("empty params = %+v", p)
+	}
+	if an.CAMATDirect() != 0 {
+		t.Fatal("empty direct C-AMAT")
+	}
+}
+
+func TestAccessHelpers(t *testing.T) {
+	a := Access{Start: 10, HitCycles: 3, MissPenalty: 5}
+	if a.End() != 18 {
+		t.Fatalf("End = %d", a.End())
+	}
+	if !a.IsMiss() {
+		t.Fatal("miss not detected")
+	}
+	h := Access{Start: 0, HitCycles: 2}
+	if h.IsMiss() || h.End() != 2 {
+		t.Fatalf("hit helpers wrong: %+v", h)
+	}
+}

@@ -1,0 +1,82 @@
+package camat
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeTrace builds a well-formed trace from arbitrary fuzz bytes.
+func decodeTrace(data []byte) []Access {
+	var tr []Access
+	var start int64
+	for i := 0; i+3 < len(data); i += 4 {
+		start += int64(data[i] % 9)
+		tr = append(tr, Access{
+			Start:       start - int64(data[i+1]%5), // bounded out-of-order
+			HitCycles:   1 + int(data[i+2]%6),
+			MissPenalty: int(data[i+3] % 20),
+		})
+	}
+	return tr
+}
+
+// FuzzAnalyze drives the exact sweep with arbitrary traces and checks its
+// core invariants: the decomposition identity, pure ≤ conventional
+// accounting, and C ≥ 1.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{1, 0, 3, 0, 2, 0, 3, 3, 0, 1, 3, 1})
+	f.Add([]byte{0, 0, 1, 19, 7, 4, 5, 0})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := decodeTrace(data)
+		if len(tr) == 0 {
+			return
+		}
+		an, err := Analyze(tr)
+		if err != nil {
+			t.Fatalf("Analyze rejected well-formed trace: %v", err)
+		}
+		p := an.Params()
+		direct := an.CAMATDirect()
+		if math.Abs(p.CAMAT()-direct) > 1e-9*(1+direct) {
+			t.Fatalf("decomposition %v != direct %v", p.CAMAT(), direct)
+		}
+		if an.PureMisses > an.Misses || an.PerAccessPureMissCycles > an.PerAccessMissCycles {
+			t.Fatalf("pure accounting exceeds conventional: %+v", an)
+		}
+		if an.ActiveCycles != an.HitActiveCycles+an.PureMissCycles {
+			t.Fatalf("cycle classes do not partition active cycles: %+v", an)
+		}
+		if c := p.Concurrency(); c < 1-1e-9 || math.IsNaN(c) {
+			t.Fatalf("concurrency %v below 1", c)
+		}
+	})
+}
+
+// FuzzSerializeIdempotent checks that serializing twice equals serializing
+// once and that serialization always yields C = 1 traces.
+func FuzzSerializeIdempotent(f *testing.F) {
+	f.Add([]byte{3, 0, 2, 7, 9, 0, 4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := decodeTrace(data)
+		if len(tr) == 0 {
+			return
+		}
+		once := Serialize(tr)
+		twice := Serialize(once)
+		for i := range once {
+			if once[i] != twice[i] {
+				t.Fatal("Serialize not idempotent")
+			}
+		}
+		an, err := Analyze(once)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		// No two accesses overlap in a serialized trace.
+		if an.HitActivity != an.HitActiveCycles {
+			t.Fatalf("serialized trace still concurrent: activity %d over %d cycles",
+				an.HitActivity, an.HitActiveCycles)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package camat
+
+import "fmt"
+
+// LevelParams describes one cache level of a multi-level C-AMAT
+// evaluation (the recursive formulation of Liu & Sun, JCST'15, which the
+// C²-Bound paper builds on via reference [20]): the level's hit time and
+// concurrencies, its pure miss rate, and the overlap factor κ linking its
+// miss penalty to the next level's C-AMAT.
+type LevelParams struct {
+	H   float64 // hit time at this level (cycles)
+	CH  float64 // hit concurrency
+	CM  float64 // pure-miss concurrency
+	PMR float64 // pure miss rate of accesses arriving at this level
+	// Kappa scales the next level's C-AMAT into this level's pure average
+	// miss penalty: pAMP_i = κ_i × C-AMAT_{i+1} × AccessAmplification.
+	// κ < 1 models penalty cycles hidden behind this level's hits;
+	// κ = 1 is the conservative no-extra-overlap case.
+	Kappa float64
+	// Amplification is the number of next-level accesses one miss at this
+	// level generates (≥ 1; >1 models victim writebacks or split
+	// transactions).
+	Amplification float64
+}
+
+// Hierarchy is a full memory hierarchy for recursive C-AMAT evaluation.
+// The final level's misses go to main memory with a flat (already
+// concurrency-adjusted) latency.
+type Hierarchy struct {
+	Levels     []LevelParams
+	MemLatency float64 // effective DRAM C-AMAT seen below the last level
+}
+
+// Validate checks all levels.
+func (h Hierarchy) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("camat: hierarchy needs at least one level")
+	}
+	if h.MemLatency < 0 {
+		return fmt.Errorf("camat: negative memory latency %v", h.MemLatency)
+	}
+	for i, l := range h.Levels {
+		switch {
+		case l.H < 0:
+			return fmt.Errorf("camat: level %d hit time %v negative", i+1, l.H)
+		case l.CH < 1 || l.CM < 1:
+			return fmt.Errorf("camat: level %d concurrencies C_H=%v C_M=%v below 1", i+1, l.CH, l.CM)
+		case l.PMR < 0 || l.PMR > 1:
+			return fmt.Errorf("camat: level %d pure miss rate %v outside [0,1]", i+1, l.PMR)
+		case l.Kappa < 0 || l.Kappa > 1:
+			return fmt.Errorf("camat: level %d kappa %v outside [0,1]", i+1, l.Kappa)
+		case l.Amplification < 1:
+			return fmt.Errorf("camat: level %d amplification %v below 1", i+1, l.Amplification)
+		}
+	}
+	return nil
+}
+
+// CAMAT evaluates the recursive multi-level C-AMAT:
+//
+//	C-AMAT_{L+1} = MemLatency
+//	C-AMAT_i     = H_i/C_{H,i} + pMR_i · (κ_i · a_i · C-AMAT_{i+1}) / C_{M,i}
+//
+// and returns the top-level (processor-visible) value.
+func (h Hierarchy) CAMAT() (float64, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	camat := h.MemLatency
+	for i := len(h.Levels) - 1; i >= 0; i-- {
+		l := h.Levels[i]
+		camat = l.H/l.CH + l.PMR*(l.Kappa*l.Amplification*camat)/l.CM
+	}
+	return camat, nil
+}
+
+// PerLevel returns the C-AMAT value seen at each level, top first (the
+// layered view of Fig. 13: APC_i = 1/C-AMAT_i).
+func (h Hierarchy) PerLevel() ([]float64, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(h.Levels))
+	camat := h.MemLatency
+	for i := len(h.Levels) - 1; i >= 0; i-- {
+		l := h.Levels[i]
+		camat = l.H/l.CH + l.PMR*(l.Kappa*l.Amplification*camat)/l.CM
+		out[i] = camat
+	}
+	return out, nil
+}
+
+// FlatEquivalent collapses a single-level hierarchy into Params for
+// cross-checking against the trace analyzer: valid only when the
+// hierarchy has exactly one level.
+func (h Hierarchy) FlatEquivalent() (Params, error) {
+	if len(h.Levels) != 1 {
+		return Params{}, fmt.Errorf("camat: FlatEquivalent needs exactly one level, have %d", len(h.Levels))
+	}
+	if err := h.Validate(); err != nil {
+		return Params{}, err
+	}
+	l := h.Levels[0]
+	return Params{
+		H:    l.H,
+		CH:   l.CH,
+		CM:   l.CM,
+		PMR:  l.PMR,
+		PAMP: l.Kappa * l.Amplification * h.MemLatency,
+		MR:   l.PMR, // flat view: conventional = pure for the cross-check
+		AMP:  l.Kappa * l.Amplification * h.MemLatency,
+	}, nil
+}

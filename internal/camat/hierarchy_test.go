@@ -1,0 +1,178 @@
+package camat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func level(h, ch, cm, pmr, kappa float64) LevelParams {
+	return LevelParams{H: h, CH: ch, CM: cm, PMR: pmr, Kappa: kappa, Amplification: 1}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	good := Hierarchy{Levels: []LevelParams{level(3, 2, 1.5, 0.1, 1)}, MemLatency: 200}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good hierarchy rejected: %v", err)
+	}
+	bad := []Hierarchy{
+		{Levels: nil, MemLatency: 100},
+		{Levels: []LevelParams{level(-1, 2, 2, 0.1, 1)}, MemLatency: 100},
+		{Levels: []LevelParams{level(3, 0.5, 2, 0.1, 1)}, MemLatency: 100},
+		{Levels: []LevelParams{level(3, 2, 2, 1.5, 1)}, MemLatency: 100},
+		{Levels: []LevelParams{level(3, 2, 2, 0.1, 2)}, MemLatency: 100},
+		{Levels: []LevelParams{{H: 3, CH: 2, CM: 2, PMR: 0.1, Kappa: 1, Amplification: 0.5}}, MemLatency: 100},
+		{Levels: []LevelParams{level(3, 2, 2, 0.1, 1)}, MemLatency: -1},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("bad hierarchy %d accepted", i)
+		}
+		if _, err := h.CAMAT(); err == nil {
+			t.Errorf("CAMAT accepted bad hierarchy %d", i)
+		}
+		if _, err := h.PerLevel(); err == nil {
+			t.Errorf("PerLevel accepted bad hierarchy %d", i)
+		}
+	}
+}
+
+func TestSingleLevelMatchesFlatFormula(t *testing.T) {
+	h := Hierarchy{Levels: []LevelParams{level(3, 2.5, 1, 0.2, 1)}, MemLatency: 10}
+	got, err := h.CAMAT()
+	if err != nil {
+		t.Fatalf("CAMAT: %v", err)
+	}
+	// H/C_H + pMR×pAMP/C_M with pAMP = MemLatency.
+	want := 3/2.5 + 0.2*10/1.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("C-AMAT = %v, want %v", got, want)
+	}
+	flat, err := h.FlatEquivalent()
+	if err != nil {
+		t.Fatalf("FlatEquivalent: %v", err)
+	}
+	if math.Abs(flat.CAMAT()-want) > 1e-12 {
+		t.Fatalf("flat equivalent = %v, want %v", flat.CAMAT(), want)
+	}
+}
+
+func TestTwoLevelRecursion(t *testing.T) {
+	h := Hierarchy{
+		Levels: []LevelParams{
+			level(3, 2, 2, 0.1, 0.8),  // L1
+			level(12, 1.5, 3, 0.3, 1), // L2
+		},
+		MemLatency: 200,
+	}
+	got, err := h.CAMAT()
+	if err != nil {
+		t.Fatalf("CAMAT: %v", err)
+	}
+	l2 := 12/1.5 + 0.3*200/3
+	want := 3.0/2 + 0.1*(0.8*l2)/2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("two-level C-AMAT = %v, want %v", got, want)
+	}
+	per, err := h.PerLevel()
+	if err != nil {
+		t.Fatalf("PerLevel: %v", err)
+	}
+	if len(per) != 2 || math.Abs(per[0]-want) > 1e-12 || math.Abs(per[1]-l2) > 1e-12 {
+		t.Fatalf("PerLevel = %v, want [%v %v]", per, want, l2)
+	}
+}
+
+func TestPerLevelDecreasesUpward(t *testing.T) {
+	// Fig. 13's layered picture: C-AMAT shrinks toward the processor
+	// (APC grows) whenever miss rates are fractional.
+	h := Hierarchy{
+		Levels: []LevelParams{
+			level(3, 2, 4, 0.05, 1),
+			level(12, 1.5, 4, 0.3, 1),
+			level(30, 1.2, 2, 0.5, 1),
+		},
+		MemLatency: 300,
+	}
+	per, err := h.PerLevel()
+	if err != nil {
+		t.Fatalf("PerLevel: %v", err)
+	}
+	for i := 1; i < len(per); i++ {
+		if per[i-1] >= per[i] {
+			t.Fatalf("C-AMAT not decreasing toward the processor: %v", per)
+		}
+	}
+}
+
+func TestHierarchyMonotoneInParameters(t *testing.T) {
+	base := Hierarchy{
+		Levels:     []LevelParams{level(3, 2, 2, 0.2, 0.9), level(12, 1.5, 3, 0.4, 1)},
+		MemLatency: 200,
+	}
+	baseVal, err := base.CAMAT()
+	if err != nil {
+		t.Fatalf("CAMAT: %v", err)
+	}
+	// Raising any concurrency lowers C-AMAT; raising any pMR, κ,
+	// amplification or latency raises it.
+	up := base
+	up.Levels = append([]LevelParams(nil), base.Levels...)
+	up.Levels[0].CH *= 2
+	if v, _ := up.CAMAT(); v >= baseVal {
+		t.Fatalf("doubling C_H did not lower C-AMAT: %v vs %v", v, baseVal)
+	}
+	up.Levels = append([]LevelParams(nil), base.Levels...)
+	up.Levels[1].CM *= 2
+	if v, _ := up.CAMAT(); v >= baseVal {
+		t.Fatalf("doubling L2 C_M did not lower C-AMAT: %v vs %v", v, baseVal)
+	}
+	up.Levels = append([]LevelParams(nil), base.Levels...)
+	up.Levels[0].PMR = 0.4
+	if v, _ := up.CAMAT(); v <= baseVal {
+		t.Fatalf("doubling pMR did not raise C-AMAT: %v vs %v", v, baseVal)
+	}
+	up.Levels = append([]LevelParams(nil), base.Levels...)
+	up.Levels[0].Amplification = 2
+	if v, _ := up.CAMAT(); v <= baseVal {
+		t.Fatalf("amplification did not raise C-AMAT: %v vs %v", v, baseVal)
+	}
+	up.Levels = append([]LevelParams(nil), base.Levels...)
+	up.MemLatency = 400
+	if v, _ := up.CAMAT(); v <= baseVal {
+		t.Fatalf("memory latency did not raise C-AMAT: %v vs %v", v, baseVal)
+	}
+}
+
+func TestHierarchyPropertyNonNegative(t *testing.T) {
+	f := func(raw [8]uint8) bool {
+		h := Hierarchy{
+			Levels: []LevelParams{
+				{
+					H:             float64(raw[0] % 16),
+					CH:            1 + float64(raw[1]%8),
+					CM:            1 + float64(raw[2]%8),
+					PMR:           float64(raw[3]%101) / 100,
+					Kappa:         float64(raw[4]%101) / 100,
+					Amplification: 1 + float64(raw[5]%3),
+				},
+			},
+			MemLatency: float64(raw[6]) + float64(raw[7])/256,
+		}
+		v, err := h.CAMAT()
+		return err == nil && v >= 0 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatEquivalentRequiresSingleLevel(t *testing.T) {
+	h := Hierarchy{
+		Levels:     []LevelParams{level(3, 2, 2, 0.1, 1), level(12, 2, 2, 0.1, 1)},
+		MemLatency: 100,
+	}
+	if _, err := h.FlatEquivalent(); err == nil {
+		t.Fatal("two-level flat equivalent accepted")
+	}
+}

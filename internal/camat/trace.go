@@ -1,0 +1,316 @@
+package camat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Access is one memory access in a timing trace. The access performs hit
+// processing during cycles [Start, Start+HitCycles) and, when MissPenalty
+// is nonzero, miss processing during the immediately following cycles
+// [Start+HitCycles, Start+HitCycles+MissPenalty). Cycle numbering is
+// arbitrary (any int64 origin); only relative overlap matters.
+type Access struct {
+	Start       int64 // first cycle of hit processing
+	HitCycles   int   // duration of the hit phase (the cache hit time)
+	MissPenalty int   // extra miss cycles; 0 for a hit access
+}
+
+// End returns the first cycle after the access completes.
+func (a Access) End() int64 { return a.Start + int64(a.HitCycles) + int64(a.MissPenalty) }
+
+// IsMiss reports whether the access missed (carries a miss penalty).
+func (a Access) IsMiss() bool { return a.MissPenalty > 0 }
+
+// Phase is a maximal wall-clock interval with homogeneous activity, used
+// by Analysis to report hit phases and pure-miss phases as in Fig. 1 of
+// the paper.
+type Phase struct {
+	Start    int64   // first cycle of the phase
+	Cycles   int64   // duration
+	Activity float64 // average concurrent accesses during the phase
+}
+
+// Analysis is the exact cycle-level accounting of a trace. It carries both
+// the wall-clock view (cycles during which the memory system is active)
+// and the per-access view (per-access hit and miss cycle totals), from
+// which every AMAT and C-AMAT parameter is derived.
+type Analysis struct {
+	Accesses   int // total accesses
+	Misses     int // accesses with MissPenalty > 0
+	PureMisses int // misses owning ≥1 pure-miss cycle
+
+	HitTime float64 // per-access hit cycles (uniform H), averaged if mixed
+
+	// Wall-clock cycle classes. A cycle is hit-active when ≥1 access is in
+	// its hit window; miss-active when ≥1 access is in its miss window;
+	// pure-miss when miss-active and not hit-active. ActiveCycles is the
+	// count of cycles that are hit-active or miss-active.
+	HitActiveCycles  int64
+	MissActiveCycles int64
+	PureMissCycles   int64
+	ActiveCycles     int64
+
+	// Activity integrals: Σ over cycles of the number of concurrently
+	// active accesses of each kind.
+	HitActivity      int64 // equals Σ_a HitCycles(a)
+	PureMissActivity int64 // pure-miss access-cycles, counted per access
+
+	// PerAccessMissCycles is Σ_a MissPenalty(a); PerAccessPureMissCycles
+	// is Σ_a |miss window of a ∩ pure-miss cycles|.
+	PerAccessMissCycles     int64
+	PerAccessPureMissCycles int64
+
+	HitPhases      []Phase // maximal hit-active intervals
+	PureMissPhases []Phase // maximal pure-miss intervals
+}
+
+// Params converts the accounting into the AMAT/C-AMAT parameter set.
+// All definitions follow §II-A of the paper exactly:
+//
+//	MR   = Misses/Accesses
+//	AMP  = Σ per-access miss cycles / Misses
+//	pMR  = PureMisses/Accesses
+//	pAMP = Σ per-access pure-miss cycles / PureMisses
+//	C_H  = HitActivity / HitActiveCycles
+//	C_M  = PureMissActivity / PureMissCycles
+func (an Analysis) Params() Params {
+	p := Params{H: an.HitTime, CH: 1, CM: 1}
+	if an.Accesses == 0 {
+		return p
+	}
+	n := float64(an.Accesses)
+	p.MR = float64(an.Misses) / n
+	p.PMR = float64(an.PureMisses) / n
+	if an.Misses > 0 {
+		p.AMP = float64(an.PerAccessMissCycles) / float64(an.Misses)
+	}
+	if an.PureMisses > 0 {
+		p.PAMP = float64(an.PerAccessPureMissCycles) / float64(an.PureMisses)
+	}
+	if an.HitActiveCycles > 0 {
+		p.CH = float64(an.HitActivity) / float64(an.HitActiveCycles)
+	}
+	if an.PureMissCycles > 0 {
+		p.CM = float64(an.PureMissActivity) / float64(an.PureMissCycles)
+	}
+	return p
+}
+
+// CAMATDirect returns the wall-clock C-AMAT, ActiveCycles/Accesses. The
+// decomposition identity guarantees Params().CAMAT() equals this value
+// exactly (up to floating-point rounding); tests rely on it.
+func (an Analysis) CAMATDirect() float64 {
+	if an.Accesses == 0 {
+		return 0
+	}
+	return float64(an.ActiveCycles) / float64(an.Accesses)
+}
+
+// event marks a change in the number of hit-active or miss-active accesses
+// at a cycle boundary.
+type event struct {
+	cycle int64
+	dHit  int
+	dMiss int
+}
+
+// Analyze performs an exact cycle-accurate sweep over the trace and
+// returns the full accounting. The sweep is O(n log n) in the number of
+// accesses and independent of the cycle span, so sparse traces are cheap.
+// Analyze returns ErrNoAccesses for an empty trace and an error for any
+// access with non-positive hit cycles or negative penalty.
+func Analyze(trace []Access) (Analysis, error) {
+	if len(trace) == 0 {
+		return Analysis{}, ErrNoAccesses
+	}
+	events := make([]event, 0, 4*len(trace))
+	var an Analysis
+	an.Accesses = len(trace)
+	var hitCycleSum int64
+	for i, a := range trace {
+		if a.HitCycles <= 0 {
+			return Analysis{}, fmt.Errorf("camat: access %d has non-positive hit cycles %d", i, a.HitCycles)
+		}
+		if a.MissPenalty < 0 {
+			return Analysis{}, fmt.Errorf("camat: access %d has negative miss penalty %d", i, a.MissPenalty)
+		}
+		hitCycleSum += int64(a.HitCycles)
+		hitEnd := a.Start + int64(a.HitCycles)
+		events = append(events,
+			event{cycle: a.Start, dHit: 1},
+			event{cycle: hitEnd, dHit: -1})
+		if a.IsMiss() {
+			an.Misses++
+			an.PerAccessMissCycles += int64(a.MissPenalty)
+			events = append(events,
+				event{cycle: hitEnd, dMiss: 1},
+				event{cycle: hitEnd + int64(a.MissPenalty), dMiss: -1})
+		}
+	}
+	an.HitTime = float64(hitCycleSum) / float64(an.Accesses)
+	an.HitActivity = hitCycleSum
+
+	sort.Slice(events, func(i, j int) bool { return events[i].cycle < events[j].cycle })
+
+	// Sweep maximal intervals of constant (hitCount, missCount) state and
+	// accumulate wall-clock cycle classes, activity integrals and phases.
+	// pureZero collects the maximal intervals with zero hit activity, used
+	// afterwards to attribute pure-miss cycles to individual accesses.
+	type span struct{ start, end int64 }
+	var pureZero []span
+
+	// A phase in the paper's sense (Fig. 1) is a maximal interval of
+	// constant concurrency, so a new phase begins whenever the concurrent
+	// access count changes, not only when activity resumes after a gap.
+	var hitCount, missCount int
+	prevHit, prevPure := -1, -1 // concurrency of the phase being extended
+	i := 0
+	for i < len(events) {
+		cycle := events[i].cycle
+		for i < len(events) && events[i].cycle == cycle {
+			hitCount += events[i].dHit
+			missCount += events[i].dMiss
+			i++
+		}
+		if i == len(events) {
+			break
+		}
+		dur := events[i].cycle - cycle
+		if dur == 0 {
+			continue
+		}
+		hitActive := hitCount > 0
+		missActive := missCount > 0
+		if hitActive || missActive {
+			an.ActiveCycles += dur
+		}
+		if hitActive {
+			an.HitActiveCycles += dur
+			if hitCount != prevHit {
+				an.HitPhases = append(an.HitPhases, Phase{Start: cycle, Activity: float64(hitCount)})
+			}
+			an.HitPhases[len(an.HitPhases)-1].Cycles += dur
+			prevHit = hitCount
+		} else {
+			prevHit = -1
+		}
+		if missActive {
+			an.MissActiveCycles += dur
+		}
+		if missActive && !hitActive {
+			an.PureMissCycles += dur
+			an.PureMissActivity += dur * int64(missCount)
+			if missCount != prevPure {
+				an.PureMissPhases = append(an.PureMissPhases, Phase{Start: cycle, Activity: float64(missCount)})
+			}
+			an.PureMissPhases[len(an.PureMissPhases)-1].Cycles += dur
+			prevPure = missCount
+		} else {
+			prevPure = -1
+		}
+		if !hitActive {
+			// Extend or start a zero-hit span (regardless of miss state;
+			// intersection with miss windows happens per access below).
+			if n := len(pureZero); n > 0 && pureZero[n-1].end == cycle {
+				pureZero[n-1].end = events[i].cycle
+			} else {
+				pureZero = append(pureZero, span{start: cycle, end: events[i].cycle})
+			}
+		}
+	}
+
+	// Attribute pure-miss cycles to accesses: for each miss window,
+	// its overlap with the zero-hit spans.
+	starts := make([]int64, len(pureZero))
+	for k, s := range pureZero {
+		starts[k] = s.start
+	}
+	for _, a := range trace {
+		if !a.IsMiss() {
+			continue
+		}
+		mStart := a.Start + int64(a.HitCycles)
+		mEnd := mStart + int64(a.MissPenalty)
+		var overlap int64
+		// First span that could intersect: the last with start < mEnd.
+		k := sort.Search(len(pureZero), func(j int) bool { return starts[j] >= mEnd })
+		for k--; k >= 0 && pureZero[k].end > mStart; k-- {
+			lo, hi := pureZero[k].start, pureZero[k].end
+			if lo < mStart {
+				lo = mStart
+			}
+			if hi > mEnd {
+				hi = mEnd
+			}
+			if hi > lo {
+				overlap += hi - lo
+			}
+		}
+		if overlap > 0 {
+			an.PureMisses++
+			an.PerAccessPureMissCycles += overlap
+		}
+	}
+	return an, nil
+}
+
+// Merge combines per-core analyses into an aggregate view: accesses,
+// misses and cycle classes add, and the hit time becomes the
+// access-weighted mean. Phases are not merged (cores have independent
+// timelines) and are left empty.
+func Merge(parts ...Analysis) Analysis {
+	var out Analysis
+	var hitWeighted float64
+	for _, a := range parts {
+		out.Accesses += a.Accesses
+		out.Misses += a.Misses
+		out.PureMisses += a.PureMisses
+		out.HitActiveCycles += a.HitActiveCycles
+		out.MissActiveCycles += a.MissActiveCycles
+		out.PureMissCycles += a.PureMissCycles
+		out.ActiveCycles += a.ActiveCycles
+		out.HitActivity += a.HitActivity
+		out.PureMissActivity += a.PureMissActivity
+		out.PerAccessMissCycles += a.PerAccessMissCycles
+		out.PerAccessPureMissCycles += a.PerAccessPureMissCycles
+		hitWeighted += a.HitTime * float64(a.Accesses)
+	}
+	if out.Accesses > 0 {
+		out.HitTime = hitWeighted / float64(out.Accesses)
+	}
+	return out
+}
+
+// Serialize rewrites the trace so that every access begins only after the
+// previous one fully completes, preserving per-access hit cycles and miss
+// penalties. The result has no concurrency: analyzing it yields C = 1,
+// pMR = MR, pAMP = AMP and C_H = C_M = 1 (when all accesses share a
+// uniform hit time). It is the constructive form of the paper's claim
+// that AMAT is the sequential special case of C-AMAT.
+func Serialize(trace []Access) []Access {
+	out := make([]Access, len(trace))
+	var clock int64
+	for i, a := range trace {
+		a.Start = clock
+		clock = a.End()
+		out[i] = a
+	}
+	return out
+}
+
+// Fig1Trace returns the five-access demonstration trace of Fig. 1 in the
+// paper: hit time 3 for every access; accesses 3 and 4 miss with penalties
+// of 3 and 1 cycles; access 4's single miss cycle is hidden by access 5's
+// hits, so only access 3 is a pure miss (2 pure-miss cycles). Analyzing it
+// reproduces the worked numbers of §II-A: AMAT = 3.8, C-AMAT = 1.6,
+// C_H = 5/2, C_M = 1, pMR = 1/5, pAMP = 2.
+func Fig1Trace() []Access {
+	return []Access{
+		{Start: 1, HitCycles: 3},                 // access 1: hit, cycles 1-3
+		{Start: 1, HitCycles: 3},                 // access 2: hit, cycles 1-3
+		{Start: 3, HitCycles: 3, MissPenalty: 3}, // access 3: miss, penalty 6-8
+		{Start: 3, HitCycles: 3, MissPenalty: 1}, // access 4: miss, penalty 6
+		{Start: 4, HitCycles: 3},                 // access 5: hit, cycles 4-6
+	}
+}

@@ -1,0 +1,189 @@
+// Package chip models the physical side of the C²-Bound design space:
+// Pollack's rule for core performance versus core area (Eq. 11), the
+// silicon area constraint of Eq. 12, the conversion from cache area to
+// cache capacity, the classic power-law dependence of miss rate on cache
+// capacity (the "√2 rule"), and a load-dependent off-chip latency model
+// that captures memory-bandwidth contention as the core count grows.
+package chip
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pollack models core performance by Pollack's rule: performance grows
+// with the square root of core complexity (area), so the execution CPI is
+//
+//	CPI_exe(A0) = K0·A0^(−1/2) + Phi0    (Eq. 11)
+//
+// Phi0 is the asymptotic CPI floor of an arbitrarily large core.
+type Pollack struct {
+	K0   float64 // CPI×√area scale constant
+	Phi0 float64 // CPI floor
+}
+
+// CPIExe evaluates Eq. 11 at core area a0 (must be positive).
+func (p Pollack) CPIExe(a0 float64) float64 {
+	return p.K0/math.Sqrt(a0) + p.Phi0
+}
+
+// Design is one point of the fundamental C²-Bound design space: the core
+// count and the per-core silicon split of Eq. 12. Areas are in mm².
+type Design struct {
+	N        int     // number of cores
+	CoreArea float64 // A0: core logic, excluding caches
+	L1Area   float64 // A1: private L1 per core
+	L2Area   float64 // A2: L2 slice per core
+}
+
+// PerCore returns A0+A1+A2.
+func (d Design) PerCore() float64 { return d.CoreArea + d.L1Area + d.L2Area }
+
+// String renders the design compactly.
+func (d Design) String() string {
+	return fmt.Sprintf("N=%d A0=%.3g A1=%.3g A2=%.3g", d.N, d.CoreArea, d.L1Area, d.L2Area)
+}
+
+// Config describes a chip family: total silicon budget, geometry and the
+// uncontended latencies of the memory hierarchy.
+type Config struct {
+	TotalArea float64 // A: full die budget (mm²)
+	FixedArea float64 // Ac: shared functions (NoC, MCs, test/debug)
+
+	Pollack Pollack
+
+	L1DensityKB float64 // cache capacity per mm² of L1 area
+	L2DensityKB float64 // cache capacity per mm² of L2 area
+
+	L1HitCycles  float64 // H1: L1 hit time
+	L2HitCycles  float64 // H2: L2 hit time (on a L1 miss)
+	MemLatency   float64 // unloaded DRAM access latency in cycles
+	MemBandwidth float64 // chip-wide DRAM throughput, accesses per cycle
+
+	// QueueSensitivity scales the contention term of the loaded memory
+	// latency: lat = MemLatency × (1 + QueueSensitivity·ρ/(1−ρ)). Zero
+	// disables contention.
+	QueueSensitivity float64
+}
+
+// DefaultConfig returns a configuration resembling the paper's simulated
+// testbed (Intel Core-i7-like two-level hierarchy, Eq. 11 constants
+// calibrated so a 4-wide OoO core of area ~4 mm² has CPI_exe ≈ 0.55).
+func DefaultConfig() Config {
+	return Config{
+		TotalArea:        400,
+		FixedArea:        40,
+		Pollack:          Pollack{K0: 0.9, Phi0: 0.1},
+		L1DensityKB:      64,  // 64 KB per mm²
+		L2DensityKB:      512, // denser SRAM arrays for L2
+		L1HitCycles:      3,
+		L2HitCycles:      12,
+		MemLatency:       200,
+		MemBandwidth:     4,
+		QueueSensitivity: 2,
+	}
+}
+
+// AreaUsed returns N(A0+A1+A2)+Ac, the left side of Eq. 12.
+func (c Config) AreaUsed(d Design) float64 {
+	return float64(d.N)*d.PerCore() + c.FixedArea
+}
+
+// CheckFeasible verifies the design fits the area budget of Eq. 12 and has
+// strictly positive components.
+func (c Config) CheckFeasible(d Design) error {
+	switch {
+	case d.N < 1:
+		return fmt.Errorf("chip: core count %d below 1", d.N)
+	case d.CoreArea <= 0 || d.L1Area <= 0 || d.L2Area < 0:
+		return fmt.Errorf("chip: non-positive area split %v", d)
+	}
+	if used := c.AreaUsed(d); used > c.TotalArea*(1+1e-9) {
+		return fmt.Errorf("chip: design %v uses %.4g mm², budget %.4g", d, used, c.TotalArea)
+	}
+	return nil
+}
+
+// L1SizeKB and L2SizeKB convert the per-core cache areas to capacities.
+func (c Config) L1SizeKB(d Design) float64 { return c.L1DensityKB * d.L1Area }
+
+// L2SizeKB returns the per-core L2 slice capacity in KB.
+func (c Config) L2SizeKB(d Design) float64 { return c.L2DensityKB * d.L2Area }
+
+// OnChipCapacityKB returns the total on-chip cache capacity — the quantity
+// that bounds the problem size in §V of the paper.
+func (c Config) OnChipCapacityKB(d Design) float64 {
+	return float64(d.N) * (c.L1SizeKB(d) + c.L2SizeKB(d))
+}
+
+// CPIExe returns the Pollack-rule execution CPI of the design's core.
+func (c Config) CPIExe(d Design) float64 { return c.Pollack.CPIExe(d.CoreArea) }
+
+// LoadedMemLatency returns the effective DRAM latency when the chip issues
+// `demand` memory accesses per cycle in aggregate, using the linear
+// load-latency model standard in analytical DSE work:
+//
+//	lat(ρ) = MemLatency × (1 + QueueSensitivity·ρ),  ρ = demand/MemBandwidth
+//
+// Linear growth (rather than an M/M/1 pole) matches the gentle
+// flattening the paper's throughput curves exhibit past the bandwidth
+// knee and keeps the objective smooth for the optimizer; the trace-driven
+// simulator models queueing exactly.
+func (c Config) LoadedMemLatency(demand float64) float64 {
+	if c.MemBandwidth <= 0 || c.QueueSensitivity == 0 || demand <= 0 {
+		return c.MemLatency
+	}
+	rho := demand / c.MemBandwidth
+	return c.MemLatency * (1 + c.QueueSensitivity*rho)
+}
+
+// MissRateCurve is the power-law capacity model of cache miss rate: at
+// capacity S (KB) the miss rate is Base·(S/RefKB)^(−Alpha), clamped to
+// [Floor, Cap]. Alpha = 0.5 is the classical √2 rule. It is the standard
+// closed-form used by analytical CMP models (Cassidy & Andreou; Hill &
+// Marty follow-ons) and calibrates well against the simulator in this
+// repository.
+type MissRateCurve struct {
+	Base  float64 // miss rate at RefKB
+	RefKB float64 // reference capacity
+	Alpha float64 // locality exponent
+	Floor float64 // compulsory/coherence floor
+	Cap   float64 // maximum (defaults to 1)
+}
+
+// At evaluates the curve at capacity sizeKB.
+func (m MissRateCurve) At(sizeKB float64) float64 {
+	capRate := m.Cap
+	if capRate <= 0 || capRate > 1 {
+		capRate = 1
+	}
+	if sizeKB <= 0 {
+		return capRate
+	}
+	r := m.Base
+	if m.RefKB > 0 && m.Alpha != 0 {
+		r = m.Base * math.Pow(sizeKB/m.RefKB, -m.Alpha)
+	}
+	if r < m.Floor {
+		r = m.Floor
+	}
+	if r > capRate {
+		r = capRate
+	}
+	return r
+}
+
+// FitMissRate calibrates a power-law curve from two measured
+// (capacityKB, missRate) points, holding Floor and Cap at their defaults.
+// It returns an error when the points cannot determine a nonincreasing
+// power law.
+func FitMissRate(size1, mr1, size2, mr2 float64) (MissRateCurve, error) {
+	if size1 <= 0 || size2 <= 0 || size1 == size2 || mr1 <= 0 || mr2 <= 0 {
+		return MissRateCurve{}, fmt.Errorf("chip: cannot fit miss-rate curve from (%v,%v),(%v,%v)", size1, mr1, size2, mr2)
+	}
+	alpha := -math.Log(mr2/mr1) / math.Log(size2/size1)
+	if alpha < 0 {
+		return MissRateCurve{}, fmt.Errorf("chip: miss rate increases with capacity ((%v,%v),(%v,%v))", size1, mr1, size2, mr2)
+	}
+	return MissRateCurve{Base: mr1, RefKB: size1, Alpha: alpha}, nil
+}

@@ -1,0 +1,185 @@
+package chip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPollackRule(t *testing.T) {
+	p := Pollack{K0: 2, Phi0: 0.5}
+	if got := p.CPIExe(4); got != 1.5 {
+		t.Fatalf("CPIExe(4) = %v, want 1.5", got)
+	}
+	// Quadrupling the area halves the Pollack term.
+	small, large := p.CPIExe(1)-p.Phi0, p.CPIExe(4)-p.Phi0
+	if math.Abs(small-2*large) > 1e-12 {
+		t.Fatalf("Pollack scaling broken: %v vs %v", small, large)
+	}
+	// Monotone decreasing in area.
+	if p.CPIExe(2) <= p.CPIExe(8) {
+		t.Fatal("CPI_exe not decreasing in area")
+	}
+}
+
+func TestAreaConstraint(t *testing.T) {
+	c := DefaultConfig()
+	d := Design{N: 16, CoreArea: 10, L1Area: 5, L2Area: 7}
+	want := 16.0*22 + c.FixedArea
+	if got := c.AreaUsed(d); got != want {
+		t.Fatalf("AreaUsed = %v, want %v", got, want)
+	}
+	if d.PerCore() != 22 {
+		t.Fatalf("PerCore = %v", d.PerCore())
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	c := DefaultConfig() // 400 mm² total, 40 fixed
+	ok := Design{N: 10, CoreArea: 20, L1Area: 8, L2Area: 8}
+	if err := c.CheckFeasible(ok); err != nil {
+		t.Fatalf("feasible design rejected: %v", err)
+	}
+	cases := []Design{
+		{N: 0, CoreArea: 1, L1Area: 1, L2Area: 1},       // no cores
+		{N: 4, CoreArea: -1, L1Area: 1, L2Area: 1},      // negative area
+		{N: 4, CoreArea: 1, L1Area: 0, L2Area: 1},       // zero L1
+		{N: 100, CoreArea: 20, L1Area: 8, L2Area: 8},    // over budget
+		{N: 1, CoreArea: 500, L1Area: 10, L2Area: 10},   // single huge core
+		{N: 1000, CoreArea: 1, L1Area: 0.5, L2Area: 10}, // over budget many-core
+	}
+	for _, d := range cases {
+		if err := c.CheckFeasible(d); err == nil {
+			t.Errorf("infeasible design accepted: %v (used %v)", d, c.AreaUsed(d))
+		}
+	}
+}
+
+func TestCapacityConversion(t *testing.T) {
+	c := DefaultConfig()
+	d := Design{N: 8, CoreArea: 4, L1Area: 1, L2Area: 2}
+	if got := c.L1SizeKB(d); got != c.L1DensityKB {
+		t.Fatalf("L1SizeKB = %v", got)
+	}
+	if got := c.L2SizeKB(d); got != 2*c.L2DensityKB {
+		t.Fatalf("L2SizeKB = %v", got)
+	}
+	want := 8 * (c.L1DensityKB + 2*c.L2DensityKB)
+	if got := c.OnChipCapacityKB(d); got != want {
+		t.Fatalf("OnChipCapacityKB = %v, want %v", got, want)
+	}
+}
+
+func TestLoadedMemLatency(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.LoadedMemLatency(0); got != c.MemLatency {
+		t.Fatalf("unloaded latency = %v, want %v", got, c.MemLatency)
+	}
+	// Monotone nondecreasing in demand, even across the saturation knee.
+	prev := 0.0
+	for demand := 0.0; demand < 3*c.MemBandwidth; demand += 0.05 {
+		lat := c.LoadedMemLatency(demand)
+		if lat < prev-1e-9 {
+			t.Fatalf("latency decreased at demand %v: %v < %v", demand, lat, prev)
+		}
+		prev = lat
+	}
+	// Contention disabled when QueueSensitivity is zero.
+	c2 := c
+	c2.QueueSensitivity = 0
+	if got := c2.LoadedMemLatency(3.9); got != c2.MemLatency {
+		t.Fatalf("contention-free latency = %v", got)
+	}
+	// Heavily loaded latency is well above unloaded latency: with
+	// ρ = 2 the linear model gives 1 + 2·QueueSensitivity.
+	if got, want := c.LoadedMemLatency(2*c.MemBandwidth), (1+2*c.QueueSensitivity)*c.MemLatency; math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("loaded latency = %v, want %v", got, want)
+	}
+}
+
+func TestMissRateCurve(t *testing.T) {
+	m := MissRateCurve{Base: 0.1, RefKB: 32, Alpha: 0.5, Floor: 0.005}
+	if got := m.At(32); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("At(ref) = %v, want 0.1", got)
+	}
+	// √2 rule: 4× capacity halves the miss rate.
+	if got := m.At(128); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("At(4×ref) = %v, want 0.05", got)
+	}
+	// Floor clamps.
+	if got := m.At(1e9); got != 0.005 {
+		t.Fatalf("At(huge) = %v, want floor", got)
+	}
+	// Cap clamps (default 1).
+	if got := m.At(1e-9); got != 1 {
+		t.Fatalf("At(tiny) = %v, want 1", got)
+	}
+	// Zero capacity yields the cap.
+	if got := m.At(0); got != 1 {
+		t.Fatalf("At(0) = %v, want 1", got)
+	}
+	// Explicit cap.
+	m.Cap = 0.6
+	if got := m.At(1e-9); got != 0.6 {
+		t.Fatalf("At with cap = %v, want 0.6", got)
+	}
+}
+
+func TestMissRateMonotone(t *testing.T) {
+	m := MissRateCurve{Base: 0.2, RefKB: 64, Alpha: 0.7, Floor: 0.001}
+	f := func(aRaw, bRaw uint16) bool {
+		a := 1 + float64(aRaw)
+		b := 1 + float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return m.At(a) >= m.At(b)-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitMissRate(t *testing.T) {
+	m, err := FitMissRate(32, 0.1, 128, 0.05)
+	if err != nil {
+		t.Fatalf("FitMissRate: %v", err)
+	}
+	if math.Abs(m.Alpha-0.5) > 1e-12 {
+		t.Fatalf("fitted alpha = %v, want 0.5", m.Alpha)
+	}
+	if got := m.At(512); math.Abs(got-0.025) > 1e-9 {
+		t.Fatalf("extrapolated At(512) = %v, want 0.025", got)
+	}
+	if _, err := FitMissRate(32, 0.1, 32, 0.05); err == nil {
+		t.Error("degenerate sizes accepted")
+	}
+	if _, err := FitMissRate(32, 0.05, 128, 0.1); err == nil {
+		t.Error("increasing miss rate accepted")
+	}
+	if _, err := FitMissRate(-1, 0.1, 128, 0.05); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	c := DefaultConfig()
+	if c.TotalArea <= c.FixedArea {
+		t.Fatal("no usable area")
+	}
+	// A mid-size design must be feasible and produce a plausible CPI.
+	d := Design{N: 16, CoreArea: 4, L1Area: 1, L2Area: 4}
+	if err := c.CheckFeasible(d); err != nil {
+		t.Fatalf("default mid design infeasible: %v", err)
+	}
+	cpi := c.CPIExe(d)
+	if cpi < 0.1 || cpi > 5 {
+		t.Fatalf("CPI_exe = %v out of plausible range", cpi)
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	if s := (Design{N: 4, CoreArea: 1, L1Area: 2, L2Area: 3}).String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/solve"
+)
+
+// AsymDesign is an asymmetric chip-multiprocessor design point (§VII: the
+// extension of C²-Bound to asymmetric CMP DSE): one large core of area
+// BigArea executes the sequential portion, and N small cores of area
+// SmallArea each execute the parallel portion (the big core joins the
+// parallel phase as well, following Hill & Marty's asymmetric topology).
+// Cache areas are per-core as in the symmetric model; the big core gets
+// the same L1/L2 slice as a small core scaled by its area ratio.
+type AsymDesign struct {
+	N         int     // number of small cores
+	BigArea   float64 // big-core logic area
+	SmallArea float64 // small-core logic area
+	L1Area    float64 // per-small-core private L1
+	L2Area    float64 // per-small-core L2 slice
+}
+
+// cacheScale is the factor by which the big core's cache slices exceed a
+// small core's (proportional to the square root of the core-area ratio,
+// mirroring how commercial big.LITTLE designs provision caches).
+func (d AsymDesign) cacheScale() float64 {
+	if d.SmallArea <= 0 {
+		return 1
+	}
+	return math.Sqrt(d.BigArea / d.SmallArea)
+}
+
+// AreaUsed returns the design's total silicon, including the shared area.
+func (c AsymModel) AreaUsed(d AsymDesign) float64 {
+	bigCaches := (d.L1Area + d.L2Area) * d.cacheScale()
+	return d.BigArea + bigCaches + float64(d.N)*(d.SmallArea+d.L1Area+d.L2Area) + c.Chip.FixedArea
+}
+
+// CheckFeasible verifies the asymmetric design fits the budget.
+func (c AsymModel) CheckFeasible(d AsymDesign) error {
+	switch {
+	case d.N < 0:
+		return fmt.Errorf("core: negative small-core count %d", d.N)
+	case d.BigArea <= 0 || d.SmallArea < 0 || d.L1Area <= 0 || d.L2Area < 0:
+		return fmt.Errorf("core: non-positive asymmetric areas %+v", d)
+	case d.N > 0 && d.SmallArea <= 0:
+		return fmt.Errorf("core: small cores need positive area")
+	}
+	if used := c.AreaUsed(d); used > c.Chip.TotalArea*(1+1e-9) {
+		return fmt.Errorf("core: asymmetric design uses %.4g mm², budget %.4g", used, c.Chip.TotalArea)
+	}
+	return nil
+}
+
+// AsymModel couples a chip and application for asymmetric DSE.
+type AsymModel struct {
+	Chip chip.Config
+	App  App
+}
+
+// AsymEval is an evaluated asymmetric design.
+type AsymEval struct {
+	Design AsymDesign
+
+	SeqCPI     float64 // big core's CPI on the sequential portion
+	ParCPI     float64 // small cores' CPI on the parallel portion
+	SeqTime    float64
+	ParTime    float64
+	Time       float64 // J_D
+	Work       float64
+	Throughput float64
+	G          float64
+}
+
+// Evaluate computes the asymmetric C²-Bound objective. The sequential
+// portion runs on the big core alone; the parallel portion runs on the
+// N small cores plus the big core, which contributes capacity
+// perf(big)/perf(small) small-core equivalents (Pollack's rule).
+func (m AsymModel) Evaluate(d AsymDesign) (AsymEval, error) {
+	if err := m.App.Validate(); err != nil {
+		return AsymEval{}, err
+	}
+	if err := m.CheckFeasible(d); err != nil {
+		return AsymEval{}, err
+	}
+	e := AsymEval{Design: d}
+
+	scale := d.cacheScale()
+	seq, err := m.phaseCPI(d.BigArea, d.L1Area*scale, d.L2Area*scale, 1)
+	if err != nil {
+		return AsymEval{}, err
+	}
+	e.SeqCPI = seq
+
+	// Parallel phase: demand comes from all participating cores.
+	totalPar := float64(d.N)
+	var par float64
+	if d.N > 0 {
+		par, err = m.phaseCPI(d.SmallArea, d.L1Area, d.L2Area, d.N)
+		if err != nil {
+			return AsymEval{}, err
+		}
+		// Big-core contribution in small-core equivalents.
+		totalPar += math.Sqrt(d.BigArea / d.SmallArea)
+	} else {
+		// Degenerate: single big core does everything.
+		par = seq
+		totalPar = 1
+	}
+	e.ParCPI = par
+
+	nEff := totalPar
+	e.G = m.App.G(math.Max(1, float64(d.N+1)))
+	fseq := m.App.Fseq
+	e.SeqTime = m.App.IC0 * seq * fseq
+	e.ParTime = m.App.IC0 * par * e.G * (1 - fseq) / nEff
+	e.Time = e.SeqTime + e.ParTime
+	e.Work = m.App.IC0 * (fseq + (1-fseq)*e.G)
+	if e.Time > 0 {
+		e.Throughput = e.Work / e.Time
+	}
+	return e, nil
+}
+
+// phaseCPI evaluates the per-instruction cost of a phase on cores of the
+// given logic/cache areas, with n cores sharing the memory system.
+func (m AsymModel) phaseCPI(coreArea, l1Area, l2Area float64, n int) (float64, error) {
+	if coreArea <= 0 || l1Area <= 0 {
+		return 0, fmt.Errorf("core: non-positive phase areas")
+	}
+	cpiExe := m.Chip.Pollack.CPIExe(coreArea)
+	l1KB := m.Chip.L1DensityKB * l1Area
+	l2KB := m.Chip.L2DensityKB * l2Area
+	mr1 := m.App.L1Miss.At(l1KB)
+	mr2 := m.App.L2Miss.At(l2KB)
+	demand := float64(n) * m.App.Fmem * mr1 * mr2 / math.Max(cpiExe, 1e-9)
+	memLat := m.Chip.LoadedMemLatency(demand)
+	amp := m.Chip.L2HitCycles + mr2*memLat
+	camat := m.Chip.L1HitCycles/m.App.CH + m.App.PMRRatio*mr1*(m.App.PAMPRatio*amp)/m.App.CM
+	return cpiExe + m.App.Fmem*camat*(1-m.App.Overlap), nil
+}
+
+// OptimizeAsym searches the asymmetric space: for each small-core count
+// it optimizes the area split (big core, small core, caches) by simplex
+// in the constrained subspace, then selects across N by the §III-C
+// regime rule. It returns the best design and its evaluation.
+func (m AsymModel) OptimizeAsym(opts Options) (AsymDesign, AsymEval, error) {
+	if err := m.App.Validate(); err != nil {
+		return AsymDesign{}, AsymEval{}, err
+	}
+	opts.fill(m.Chip)
+	regime := Model{Chip: m.Chip, App: m.App}.ClassifyRegime()
+
+	budget := m.Chip.TotalArea - m.Chip.FixedArea
+	better := func(a, b AsymEval) bool {
+		if regime == MinimizeTime {
+			return a.Time < b.Time
+		}
+		return a.Throughput > b.Throughput
+	}
+	var bestD AsymDesign
+	var bestE AsymEval
+	found := false
+
+	tryN := func(n int) {
+		// Four weights through softmax: big core, small core (per core),
+		// L1 (per core), L2 (per core). The constraint is kept tight by
+		// construction.
+		design := func(u []float64) AsymDesign {
+			e := make([]float64, 4)
+			sum := 0.0
+			for i := range e {
+				if i < len(u) {
+					e[i] = math.Exp(u[i])
+				} else {
+					e[i] = 1
+				}
+				sum += e[i]
+			}
+			// Budget split: big core takes fraction e0; the remaining is
+			// divided per small core. The cache-scale coupling makes the
+			// constraint nonlinear, so solve the per-core share once the
+			// proportions are fixed.
+			w := make([]float64, 4)
+			for i := range w {
+				w[i] = e[i] / sum
+			}
+			d := AsymDesign{N: n}
+			d.BigArea = math.Max(opts.MinArea, w[0]*budget)
+			if n == 0 {
+				// All non-big budget goes to the big core's caches.
+				rem := budget - d.BigArea
+				d.SmallArea = d.BigArea // scale 1
+				d.L1Area = math.Max(opts.MinArea, rem*w[2]/(w[2]+w[3]))
+				d.L2Area = math.Max(0, rem-d.L1Area)
+				return d
+			}
+			rem := budget - d.BigArea
+			if rem < float64(n)*3*opts.MinArea {
+				rem = float64(n) * 3 * opts.MinArea
+			}
+			perCore := rem / float64(n)
+			tot := w[1] + w[2] + w[3]
+			d.SmallArea = math.Max(opts.MinArea, perCore*w[1]/tot)
+			d.L1Area = math.Max(opts.MinArea, perCore*w[2]/tot)
+			d.L2Area = math.Max(opts.MinArea, perCore*w[3]/tot)
+			// The big core's scaled caches eat extra area; shrink the
+			// per-core allocation until feasible.
+			for i := 0; i < 60 && m.AreaUsed(d) > m.Chip.TotalArea; i++ {
+				d.SmallArea *= 0.97
+				d.L1Area *= 0.97
+				d.L2Area *= 0.97
+				d.BigArea *= 0.99
+			}
+			return d
+		}
+		obj := func(u []float64) float64 {
+			e, err := m.Evaluate(design(u))
+			if err != nil {
+				return math.Inf(1)
+			}
+			if regime == MinimizeTime {
+				return e.Time
+			}
+			return -e.Throughput
+		}
+		u, _ := solve.NelderMead(obj, []float64{1, 0, -1, -0.5}, solve.NelderMeadOpts{MaxIter: 300, Tol: 1e-10})
+		d := design(u)
+		e, err := m.Evaluate(d)
+		if err != nil {
+			return
+		}
+		if !found || better(e, bestE) {
+			bestD, bestE, found = d, e, true
+		}
+	}
+
+	tryN(0)
+	seen := map[int]bool{0: true}
+	for n := 1; n <= 16 && n <= opts.MaxN; n++ {
+		tryN(n)
+		seen[n] = true
+	}
+	for f := 20.0; f <= float64(opts.MaxN); f *= 1.3 {
+		if n := int(f); !seen[n] {
+			tryN(n)
+			seen[n] = true
+		}
+	}
+	if !seen[opts.MaxN] {
+		tryN(opts.MaxN)
+	}
+	if !found {
+		return AsymDesign{}, AsymEval{}, fmt.Errorf("core: no feasible asymmetric design")
+	}
+	return bestD, bestE, nil
+}
+
+// DynamicEval evaluates the dynamic-CMP variant: during the sequential
+// phase the whole active silicon fuses into one Pollack-rule core of the
+// full core-area budget (Hill & Marty's dynamic topology); the parallel
+// phase behaves as the symmetric design. It reuses the symmetric design
+// point d and returns the resulting time.
+func (m AsymModel) DynamicEval(d chip.Design) (float64, error) {
+	sym := Model{Chip: m.Chip, App: m.App}
+	e, err := sym.Evaluate(d)
+	if err != nil {
+		return 0, err
+	}
+	// Sequential phase on the fused core: all core logic combined.
+	fusedArea := float64(d.N) * d.CoreArea
+	seqCPI, err := m.phaseCPI(fusedArea, d.L1Area*math.Sqrt(float64(d.N)), d.L2Area*math.Sqrt(float64(d.N)), 1)
+	if err != nil {
+		return 0, err
+	}
+	fseq := m.App.Fseq
+	seqTime := m.App.IC0 * seqCPI * fseq
+	parTime := m.App.IC0 * e.CPI * e.G * (1 - fseq) / float64(d.N)
+	return seqTime + parTime, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/speedup"
+)
+
+func asymModel(app App) AsymModel {
+	m := testModel(app)
+	return AsymModel{Chip: m.Chip, App: m.App}
+}
+
+func validAsym() AsymDesign {
+	return AsymDesign{N: 8, BigArea: 30, SmallArea: 4, L1Area: 1, L2Area: 3}
+}
+
+func TestAsymFeasibility(t *testing.T) {
+	m := asymModel(FluidanimateApp())
+	if err := m.CheckFeasible(validAsym()); err != nil {
+		t.Fatalf("valid asymmetric design rejected: %v", err)
+	}
+	cases := []AsymDesign{
+		{N: -1, BigArea: 10, SmallArea: 2, L1Area: 1, L2Area: 1},
+		{N: 4, BigArea: 0, SmallArea: 2, L1Area: 1, L2Area: 1},
+		{N: 4, BigArea: 10, SmallArea: 2, L1Area: 0, L2Area: 1},
+		{N: 64, BigArea: 50, SmallArea: 8, L1Area: 2, L2Area: 4}, // over budget
+	}
+	for _, d := range cases {
+		if err := m.CheckFeasible(d); err == nil {
+			t.Errorf("infeasible asymmetric design accepted: %+v", d)
+		}
+	}
+}
+
+func TestAsymAreaAccounting(t *testing.T) {
+	m := asymModel(FluidanimateApp())
+	d := validAsym()
+	used := m.AreaUsed(d)
+	scale := math.Sqrt(d.BigArea / d.SmallArea)
+	want := d.BigArea + (d.L1Area+d.L2Area)*scale + 8*(4+1+3) + m.Chip.FixedArea
+	if math.Abs(used-want) > 1e-9 {
+		t.Fatalf("AreaUsed = %v, want %v", used, want)
+	}
+}
+
+func TestAsymEvaluateBasics(t *testing.T) {
+	m := asymModel(FluidanimateApp())
+	e, err := m.Evaluate(validAsym())
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if e.SeqCPI <= 0 || e.ParCPI <= 0 || e.Time <= 0 || e.Throughput <= 0 {
+		t.Fatalf("degenerate eval %+v", e)
+	}
+	// The big core is faster per instruction than the small cores.
+	if e.SeqCPI >= e.ParCPI {
+		t.Fatalf("big-core CPI %v not below small-core CPI %v", e.SeqCPI, e.ParCPI)
+	}
+	if e.Time != e.SeqTime+e.ParTime {
+		t.Fatalf("time decomposition broken: %v != %v + %v", e.Time, e.SeqTime, e.ParTime)
+	}
+}
+
+func TestAsymDegenerateSingleCore(t *testing.T) {
+	m := asymModel(FluidanimateApp())
+	d := AsymDesign{N: 0, BigArea: 50, SmallArea: 50, L1Area: 4, L2Area: 8}
+	e, err := m.Evaluate(d)
+	if err != nil {
+		t.Fatalf("Evaluate N=0: %v", err)
+	}
+	if e.SeqCPI != e.ParCPI {
+		t.Fatalf("single-core phases differ: %v vs %v", e.SeqCPI, e.ParCPI)
+	}
+}
+
+func TestAsymBeatsSymmetricWithSequentialWork(t *testing.T) {
+	// Hill & Marty's insight carried into C²-Bound: with a real
+	// sequential fraction, the best asymmetric design beats the best
+	// symmetric one.
+	app := FluidanimateApp()
+	app.Fseq = 0.25
+	app.G = speedup.FixedSize()
+	app.GOrder = 0
+	sym := testModel(app)
+	symRes, err := sym.Optimize(Options{MaxN: 64})
+	if err != nil {
+		t.Fatalf("symmetric optimize: %v", err)
+	}
+	asym := asymModel(app)
+	_, asymEval, err := asym.OptimizeAsym(Options{MaxN: 64})
+	if err != nil {
+		t.Fatalf("asymmetric optimize: %v", err)
+	}
+	if asymEval.Time >= symRes.Eval.Time {
+		t.Fatalf("asymmetric best %v not below symmetric best %v", asymEval.Time, symRes.Eval.Time)
+	}
+}
+
+func TestAsymOptimizeFeasibleAndStable(t *testing.T) {
+	m := asymModel(StencilApp())
+	d, e, err := m.OptimizeAsym(Options{MaxN: 32})
+	if err != nil {
+		t.Fatalf("OptimizeAsym: %v", err)
+	}
+	if err := m.CheckFeasible(d); err != nil {
+		t.Fatalf("optimizer returned infeasible design: %v", err)
+	}
+	if e.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Deterministic.
+	d2, e2, err := m.OptimizeAsym(Options{MaxN: 32})
+	if err != nil {
+		t.Fatalf("OptimizeAsym again: %v", err)
+	}
+	if d2 != d || e2.Time != e.Time {
+		t.Fatalf("nondeterministic optimizer: %+v vs %+v", d2, d)
+	}
+}
+
+func TestAsymInvalidApp(t *testing.T) {
+	m := asymModel(FluidanimateApp())
+	m.App.Fseq = 2
+	if _, err := m.Evaluate(validAsym()); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+	if _, _, err := m.OptimizeAsym(Options{MaxN: 16}); err == nil {
+		t.Fatal("OptimizeAsym accepted invalid app")
+	}
+}
+
+func TestDynamicBeatsSymmetricSequentialHeavy(t *testing.T) {
+	// A dynamic CMP runs the sequential phase on the fused big core, so
+	// for sequential-heavy workloads its time is below the symmetric
+	// design's at the same design point.
+	app := FluidanimateApp()
+	app.Fseq = 0.3
+	m := asymModel(app)
+	d := midDesign(16)
+	sym, err := testModel(app).Evaluate(d)
+	if err != nil {
+		t.Fatalf("symmetric eval: %v", err)
+	}
+	dyn, err := m.DynamicEval(d)
+	if err != nil {
+		t.Fatalf("DynamicEval: %v", err)
+	}
+	if dyn >= sym.Time {
+		t.Fatalf("dynamic time %v not below symmetric %v", dyn, sym.Time)
+	}
+}
+
+func TestDynamicEvalInfeasible(t *testing.T) {
+	m := asymModel(FluidanimateApp())
+	if _, err := m.DynamicEval(midDesign(10000)); err == nil {
+		t.Fatal("infeasible dynamic design accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/speedup"
+)
+
+func fixedSizeApp() App {
+	app := FluidanimateApp()
+	app.G = speedup.FixedSize()
+	app.GOrder = 0
+	return app
+}
+
+func TestPowerModelValidate(t *testing.T) {
+	if err := DefaultPowerModel().Validate(); err != nil {
+		t.Fatalf("default power model invalid: %v", err)
+	}
+	bad := DefaultPowerModel()
+	bad.DynamicPerMM2 = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative dynamic power accepted")
+	}
+	bad = DefaultPowerModel()
+	bad.CacheActivity = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("cache activity > 1 accepted")
+	}
+}
+
+func TestEvaluateEnergyBasics(t *testing.T) {
+	m := testModel(fixedSizeApp())
+	pm := DefaultPowerModel()
+	e, err := m.EvaluateEnergy(midDesign(16), pm)
+	if err != nil {
+		t.Fatalf("EvaluateEnergy: %v", err)
+	}
+	if e.Energy <= 0 || e.EDP <= 0 || e.ED2P <= 0 {
+		t.Fatalf("degenerate energy eval %+v", e)
+	}
+	// Parallel phase powers 16 cores; it must exceed the sequential
+	// phase's power (1 active core + 15 leaking).
+	if e.ParPower <= e.SeqPower {
+		t.Fatalf("parallel power %v not above sequential %v", e.ParPower, e.SeqPower)
+	}
+	// EDP and ED²P consistency.
+	if math.Abs(e.EDP-e.Energy*e.Time) > 1e-9*e.EDP {
+		t.Fatalf("EDP inconsistent")
+	}
+	if math.Abs(e.ED2P-e.EDP*e.Time) > 1e-9*e.ED2P {
+		t.Fatalf("ED2P inconsistent")
+	}
+	// Invalid power model rejected.
+	bad := pm
+	bad.StaticPerMM2 = -1
+	if _, err := m.EvaluateEnergy(midDesign(16), bad); err == nil {
+		t.Fatal("invalid power model accepted")
+	}
+	if _, err := m.EvaluateEnergy(midDesign(100000), pm); err == nil {
+		t.Fatal("infeasible design accepted")
+	}
+}
+
+func TestLeakageGrowsWithIdleCores(t *testing.T) {
+	pm := DefaultPowerModel()
+	d8 := midDesign(8)
+	d32 := midDesign(32)
+	// Sequential-phase power (one active core) grows with N through
+	// leakage alone.
+	if pm.phasePower(d32, 1) <= pm.phasePower(d8, 1) {
+		t.Fatal("leakage does not grow with idle cores")
+	}
+}
+
+func TestEnergyObjectiveOrdering(t *testing.T) {
+	// The three optima must dominate each other on their own objectives:
+	// the energy-optimal design uses no more energy than the time-optimal
+	// one, the time-optimal design is no slower than the energy-optimal
+	// one, and the EDP optimum is best on EDP.
+	app := fixedSizeApp()
+	app.Fseq = 0.15
+	m := testModel(app)
+	pm := DefaultPowerModel()
+
+	timeRes, err := m.Optimize(Options{MaxN: 64})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	timeE, err := m.EvaluateEnergy(timeRes.Design, pm)
+	if err != nil {
+		t.Fatalf("EvaluateEnergy(time design): %v", err)
+	}
+	dE, eE, err := m.OptimizeEnergy(pm, MinEnergy, Options{MaxN: 64})
+	if err != nil {
+		t.Fatalf("OptimizeEnergy: %v", err)
+	}
+	_, eEDP, err := m.OptimizeEnergy(pm, MinEDP, Options{MaxN: 64})
+	if err != nil {
+		t.Fatalf("OptimizeEnergy EDP: %v", err)
+	}
+	if eE.Energy > timeE.Energy*(1+1e-9) {
+		t.Fatalf("energy optimum %v uses more energy than time optimum %v", eE.Energy, timeE.Energy)
+	}
+	if eE.Time < timeRes.Eval.Time*(1-1e-9) {
+		t.Fatalf("energy optimum %v faster than time optimum %v", eE.Time, timeRes.Eval.Time)
+	}
+	if eEDP.EDP > eE.EDP*(1+1e-9) || eEDP.EDP > timeE.EDP*(1+1e-9) {
+		t.Fatalf("EDP optimum %v beaten by energy (%v) or time (%v) designs", eEDP.EDP, eE.EDP, timeE.EDP)
+	}
+	// Dark silicon: the pure-energy optimum should not fill the die.
+	if used := m.Chip.AreaUsed(dE); used > 0.98*m.Chip.TotalArea {
+		t.Logf("note: energy optimum fills the die (%.3g of %.3g)", used, m.Chip.TotalArea)
+	}
+}
+
+func TestOptimizeEnergyObjectivesConsistent(t *testing.T) {
+	m := testModel(fixedSizeApp())
+	pm := DefaultPowerModel()
+	for _, obj := range []EnergyObjective{MinEnergy, MinEDP, MinED2P} {
+		d, e, err := m.OptimizeEnergy(pm, obj, Options{MaxN: 32})
+		if err != nil {
+			t.Fatalf("OptimizeEnergy(%v): %v", obj, err)
+		}
+		if err := m.Chip.CheckFeasible(d); err != nil {
+			t.Fatalf("%v: infeasible design: %v", obj, err)
+		}
+		// The optimizer's choice must beat a naive mid design on its own
+		// objective.
+		naive, err := m.EvaluateEnergy(midDesign(16), pm)
+		if err != nil {
+			t.Fatalf("naive eval: %v", err)
+		}
+		if obj.score(e) > obj.score(naive)*(1+1e-9) {
+			t.Fatalf("%v: optimizer (%v) worse than naive (%v)", obj, obj.score(e), obj.score(naive))
+		}
+		if obj.String() == "unknown" {
+			t.Fatalf("missing objective name")
+		}
+	}
+	bad := m
+	bad.App.Fseq = 2
+	if _, _, err := bad.OptimizeEnergy(pm, MinEDP, Options{MaxN: 8}); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+	badPM := pm
+	badPM.UncorePower = -1
+	if _, _, err := m.OptimizeEnergy(badPM, MinEDP, Options{MaxN: 8}); err == nil {
+		t.Fatal("invalid power model accepted")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	m := testModel(fixedSizeApp())
+	pm := DefaultPowerModel()
+	frontier, err := m.ParetoFrontier(pm, Options{MaxN: 64})
+	if err != nil {
+		t.Fatalf("ParetoFrontier: %v", err)
+	}
+	if len(frontier) < 2 {
+		t.Fatalf("frontier has %d points; expect a real trade-off", len(frontier))
+	}
+	// Sorted by time, strictly improving energy: non-dominated.
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].Time <= frontier[i-1].Time {
+			t.Fatalf("frontier not sorted by time at %d", i)
+		}
+		if frontier[i].Energy >= frontier[i-1].Energy {
+			t.Fatalf("dominated point on frontier at %d", i)
+		}
+	}
+	// Every frontier design is feasible.
+	for _, p := range frontier {
+		if err := m.Chip.CheckFeasible(p.Design); err != nil {
+			t.Fatalf("frontier design infeasible: %v", err)
+		}
+	}
+	bad := m
+	bad.App.IC0 = 0
+	if _, err := bad.ParetoFrontier(pm, Options{}); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+}
+
+func TestEnergyObjectiveString(t *testing.T) {
+	if MinEnergy.String() != "min-energy" || MinEDP.String() != "min-EDP" ||
+		MinED2P.String() != "min-ED2P" || EnergyObjective(99).String() != "unknown" {
+		t.Fatal("objective names wrong")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+)
+
+// DOPPhase is one entry of a workload's degree-of-parallelism profile:
+// Fraction of the base instruction count executes at parallel degree
+// Degree. The paper's two-phase form (f_seq at degree 1, the rest at
+// degree N) is the special case with two entries.
+type DOPPhase struct {
+	Degree   int
+	Fraction float64
+}
+
+// ValidateProfile checks a degree-of-parallelism profile: positive
+// degrees, non-negative fractions summing to 1.
+func ValidateProfile(profile []DOPPhase) error {
+	if len(profile) == 0 {
+		return fmt.Errorf("core: empty parallelism profile")
+	}
+	sum := 0.0
+	for i, ph := range profile {
+		if ph.Degree < 1 {
+			return fmt.Errorf("core: phase %d has degree %d", i, ph.Degree)
+		}
+		if ph.Fraction < 0 {
+			return fmt.Errorf("core: phase %d has negative fraction %v", i, ph.Fraction)
+		}
+		sum += ph.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("core: profile fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// TwoPhaseProfile builds the classic (f_seq, N) profile used by Eq. 8.
+func TwoPhaseProfile(fseq float64, n int) []DOPPhase {
+	return []DOPPhase{
+		{Degree: 1, Fraction: fseq},
+		{Degree: n, Fraction: 1 - fseq},
+	}
+}
+
+// TimeGeneralized evaluates the generalized objective of §III-A,
+//
+//	J_D = Σ_i g(i)·T_i / i
+//
+// where phase i of the profile holds fraction_i of the base workload at
+// parallel degree min(degree_i, N): each phase's work scales with the
+// memory available to the cores it can occupy, and runs on that many
+// cores. With the two-phase profile it reduces exactly to Eq. 10.
+func (m Model) TimeGeneralized(d chip.Design, profile []DOPPhase) (float64, error) {
+	if err := ValidateProfile(profile); err != nil {
+		return 0, err
+	}
+	e, err := m.Evaluate(d)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, ph := range profile {
+		deg := ph.Degree
+		if deg > d.N {
+			deg = d.N
+		}
+		if ph.Fraction == 0 {
+			continue
+		}
+		g := 1.0
+		if deg > 1 {
+			g = m.App.G(float64(deg))
+		}
+		total += m.App.IC0 * e.CPI * ph.Fraction * g / float64(deg)
+	}
+	return total, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateProfile(t *testing.T) {
+	if err := ValidateProfile(TwoPhaseProfile(0.2, 16)); err != nil {
+		t.Fatalf("two-phase profile invalid: %v", err)
+	}
+	bad := [][]DOPPhase{
+		nil,
+		{{Degree: 0, Fraction: 1}},
+		{{Degree: 2, Fraction: -0.5}, {Degree: 4, Fraction: 1.5}},
+		{{Degree: 2, Fraction: 0.4}}, // sums to 0.4
+	}
+	for i, p := range bad {
+		if err := ValidateProfile(p); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestGeneralizedReducesToEq10(t *testing.T) {
+	app := FluidanimateApp()
+	m := testModel(app)
+	d := midDesign(16)
+	e, err := m.Evaluate(d)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	got, err := m.TimeGeneralized(d, TwoPhaseProfile(app.Fseq, d.N))
+	if err != nil {
+		t.Fatalf("TimeGeneralized: %v", err)
+	}
+	if math.Abs(got-e.Time) > 1e-9*e.Time {
+		t.Fatalf("generalized %v != Eq. 10 %v", got, e.Time)
+	}
+}
+
+func TestGeneralizedCapsDegreeAtN(t *testing.T) {
+	m := testModel(FluidanimateApp())
+	d := midDesign(8)
+	// Degree 64 on an 8-core chip behaves as degree 8.
+	t64, err := m.TimeGeneralized(d, []DOPPhase{{Degree: 64, Fraction: 1}})
+	if err != nil {
+		t.Fatalf("TimeGeneralized: %v", err)
+	}
+	t8, err := m.TimeGeneralized(d, []DOPPhase{{Degree: 8, Fraction: 1}})
+	if err != nil {
+		t.Fatalf("TimeGeneralized: %v", err)
+	}
+	if math.Abs(t64-t8) > 1e-9*t8 {
+		t.Fatalf("degree cap broken: %v vs %v", t64, t8)
+	}
+}
+
+func TestGeneralizedMoreParallelismFaster(t *testing.T) {
+	// For a fixed-size workload, shifting work to higher degrees can only
+	// reduce the generalized time.
+	app := FluidanimateApp()
+	app.G = func(float64) float64 { return 1 }
+	app.GOrder = 0
+	m := testModel(app)
+	d := midDesign(16)
+	serialish, err := m.TimeGeneralized(d, []DOPPhase{
+		{Degree: 1, Fraction: 0.5}, {Degree: 16, Fraction: 0.5},
+	})
+	if err != nil {
+		t.Fatalf("TimeGeneralized: %v", err)
+	}
+	parallelish, err := m.TimeGeneralized(d, []DOPPhase{
+		{Degree: 1, Fraction: 0.1}, {Degree: 16, Fraction: 0.9},
+	})
+	if err != nil {
+		t.Fatalf("TimeGeneralized: %v", err)
+	}
+	if parallelish >= serialish {
+		t.Fatalf("more parallel profile slower: %v vs %v", parallelish, serialish)
+	}
+}
+
+func TestGeneralizedMultiPhase(t *testing.T) {
+	// A staircase DOP profile (typical of real applications): every phase
+	// contributes g(i)/i of its fraction.
+	app := FluidanimateApp()
+	m := testModel(app)
+	d := midDesign(32)
+	profile := []DOPPhase{
+		{Degree: 1, Fraction: 0.1},
+		{Degree: 4, Fraction: 0.2},
+		{Degree: 16, Fraction: 0.3},
+		{Degree: 32, Fraction: 0.4},
+	}
+	got, err := m.TimeGeneralized(d, profile)
+	if err != nil {
+		t.Fatalf("TimeGeneralized: %v", err)
+	}
+	e, err := m.Evaluate(d)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want := 0.0
+	for _, ph := range profile {
+		want += app.IC0 * e.CPI * ph.Fraction * app.G(float64(ph.Degree)) / float64(ph.Degree)
+	}
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("multi-phase time %v, want %v", got, want)
+	}
+	// Errors propagate.
+	if _, err := m.TimeGeneralized(d, nil); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := m.TimeGeneralized(midDesign(100000), profile); err == nil {
+		t.Fatal("infeasible design accepted")
+	}
+}
+
+func TestGeneralizedZeroFractionSkipped(t *testing.T) {
+	m := testModel(FluidanimateApp())
+	d := midDesign(8)
+	a, err := m.TimeGeneralized(d, []DOPPhase{
+		{Degree: 1, Fraction: 0}, {Degree: 8, Fraction: 1},
+	})
+	if err != nil {
+		t.Fatalf("TimeGeneralized: %v", err)
+	}
+	b, err := m.TimeGeneralized(d, []DOPPhase{{Degree: 8, Fraction: 1}})
+	if err != nil {
+		t.Fatalf("TimeGeneralized: %v", err)
+	}
+	if a != b {
+		t.Fatalf("zero fraction changed the result: %v vs %v", a, b)
+	}
+}

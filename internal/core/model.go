@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/camat"
+	"repro/internal/chip"
+)
+
+// Model couples a chip configuration with an application profile; it is
+// the full C²-Bound model of §III.
+type Model struct {
+	Chip chip.Config
+	App  App
+}
+
+// Eval is one evaluated design point: every intermediate quantity of
+// Eq. 7–10 at the given design.
+type Eval struct {
+	Design chip.Design
+
+	CPIExe float64 // Eq. 11
+	L1MR   float64 // conventional L1 miss rate at the design's L1 capacity
+	L2MR   float64 // local L2 miss rate at the design's L2 slice
+	MemLat float64 // loaded DRAM latency (contention included)
+	Rho    float64 // DRAM load factor demand/bandwidth
+
+	AMP   float64 // average L1 miss penalty
+	AMAT  float64 // sequential-view latency (Eq. 1)
+	CAMAT float64 // concurrent-view latency (Eq. 2)
+	C     float64 // data-access concurrency AMAT/C-AMAT (Eq. 3)
+
+	CPI        float64 // CPI_exe + fmem·C-AMAT·(1−overlap), Eq. 7 per instruction
+	Time       float64 // J_D of Eq. 10 (cycle time normalized to 1)
+	Work       float64 // scaled problem size IC0·(fseq + (1−fseq)·g(N))
+	Throughput float64 // Work/Time
+	G          float64 // g(N)
+}
+
+// CamatParams packages an evaluated point's latency parameters in the
+// camat.Params form, for cross-checking against detector measurements.
+func (m Model) CamatParams(e Eval) camat.Params {
+	return camat.Params{
+		H:    m.Chip.L1HitCycles,
+		MR:   e.L1MR,
+		AMP:  e.AMP,
+		CH:   m.App.CH,
+		CM:   m.App.CM,
+		PMR:  m.App.PMRRatio * e.L1MR,
+		PAMP: m.App.PAMPRatio * e.AMP,
+	}
+}
+
+// Evaluate computes the C²-Bound objective and all intermediates at
+// design d. The loaded memory latency depends on the chip-wide miss
+// traffic, which itself depends on the resulting CPI, so Evaluate runs a
+// damped fixed-point iteration; it converges in a handful of rounds for
+// all physical parameter ranges and returns an error only for infeasible
+// designs or invalid profiles.
+func (m Model) Evaluate(d chip.Design) (Eval, error) {
+	if err := m.App.Validate(); err != nil {
+		return Eval{}, err
+	}
+	if err := m.Chip.CheckFeasible(d); err != nil {
+		return Eval{}, err
+	}
+	e := Eval{Design: d}
+	e.CPIExe = m.Chip.CPIExe(d)
+	e.L1MR = m.App.L1Miss.At(m.Chip.L1SizeKB(d))
+	e.L2MR = m.App.L2Miss.At(m.Chip.L2SizeKB(d))
+
+	h1 := m.Chip.L1HitCycles
+	pmr := m.App.PMRRatio * e.L1MR
+
+	// Memory contention. The analytic model estimates the chip-wide DRAM
+	// demand open-loop, from the cores' nominal (compute-limited) issue
+	// rate: demand = N·fmem·MR1·MR2/CPI_exe. This is the standard
+	// first-order treatment in analytical DSE models — memory stalls do
+	// throttle real traffic, but a design is provisioned against the
+	// traffic its cores can generate, and the open-loop form keeps the
+	// objective a closed-form function of the design (no fixed point).
+	// The trace-driven simulator models the closed loop exactly; the gap
+	// between the two is part of the APS error budget (§IV).
+	nominal := e.CPIExe
+	if nominal < 1e-9 {
+		nominal = 1e-9
+	}
+	demand := float64(d.N) * m.App.Fmem * e.L1MR * e.L2MR / nominal
+	memLat := m.Chip.LoadedMemLatency(demand)
+	rho := 0.0
+	if m.Chip.MemBandwidth > 0 {
+		rho = demand / m.Chip.MemBandwidth
+	}
+	amp := m.Chip.L2HitCycles + e.L2MR*memLat
+	camatVal := h1/m.App.CH + pmr*(m.App.PAMPRatio*amp)/m.App.CM
+	cpi := e.CPIExe + m.App.Fmem*camatVal*(1-m.App.Overlap)
+	if math.IsNaN(cpi) || math.IsInf(cpi, 0) {
+		return Eval{}, fmt.Errorf("core: degenerate CPI at %v", d)
+	}
+	e.AMP = amp
+	e.MemLat = memLat
+	e.Rho = rho
+	e.CAMAT = camatVal
+	e.AMAT = h1 + e.L1MR*amp
+	if e.CAMAT > 0 {
+		e.C = e.AMAT / e.CAMAT
+	} else {
+		e.C = 1
+	}
+	e.CPI = cpi
+
+	n := float64(d.N)
+	e.G = m.App.G(n)
+	fseq := m.App.Fseq
+	e.Time = m.App.IC0 * cpi * (fseq + e.G*(1-fseq)/n) // Eq. 10
+	e.Work = m.App.IC0 * (fseq + (1-fseq)*e.G)
+	if e.Time > 0 {
+		e.Throughput = e.Work / e.Time
+	}
+	return e, nil
+}
+
+// TimeAt is a convenience wrapper returning only J_D; it returns +Inf for
+// infeasible designs so optimizers can treat feasibility as a penalty.
+func (m Model) TimeAt(d chip.Design) float64 {
+	e, err := m.Evaluate(d)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return e.Time
+}
+
+// ThroughputAt returns W/T, or 0 for infeasible designs.
+func (m Model) ThroughputAt(d chip.Design) float64 {
+	e, err := m.Evaluate(d)
+	if err != nil {
+		return 0
+	}
+	return e.Throughput
+}
+
+// SpeedupAt returns the memory-bounded (Sun-Ni) speedup of the design:
+// the time a single core of the same per-core split would need for the
+// *scaled* problem, divided by the design's parallel time. With g = 1 it
+// reduces to the Amdahl speedup; with g = N to the Gustafson speedup
+// (modulo the CPI shift caused by shared-memory contention).
+func (m Model) SpeedupAt(d chip.Design) (float64, error) {
+	e, err := m.Evaluate(d)
+	if err != nil {
+		return 0, err
+	}
+	base := d
+	base.N = 1
+	e1, err := m.Evaluate(base)
+	if err != nil {
+		return 0, err
+	}
+	fseq := m.App.Fseq
+	serialScaled := m.App.IC0 * e1.CPI * (fseq + (1-fseq)*e.G)
+	return serialScaled / e.Time, nil
+}

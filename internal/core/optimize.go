@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/solve"
+)
+
+// Regime is the §III-C case split of the optimization problem.
+type Regime int
+
+const (
+	// MinimizeTime is case II: g(N) < O(N), a finite core count minimizes
+	// execution time T.
+	MinimizeTime Regime = iota
+	// MaximizeThroughput is case I: g(N) ≥ O(N), ∂L/∂N never vanishes so
+	// the model maximizes W/T instead.
+	MaximizeThroughput
+)
+
+func (r Regime) String() string {
+	if r == MinimizeTime {
+		return "minimize-T"
+	}
+	return "maximize-W/T"
+}
+
+// ClassifyRegime applies the paper's rule: throughput optimization when
+// the problem size scales at least linearly with memory capacity.
+func (m Model) ClassifyRegime() Regime {
+	if m.App.growthOrder() >= 1-1e-9 {
+		return MaximizeThroughput
+	}
+	return MinimizeTime
+}
+
+// Result is the solved design point.
+type Result struct {
+	Design chip.Design
+	Eval   Eval
+	Regime Regime
+	// Method records which solver produced the area split at the optimal
+	// N: "kkt-newton" when the paper's Lagrange/Newton system converged,
+	// "nelder-mead" when the derivative-free fallback won.
+	Method string
+	// Evaluations counts objective evaluations spent in the whole solve;
+	// it is the analytic-cost figure APS compares against simulation
+	// counts.
+	Evaluations int
+}
+
+// Options bound the optimization search.
+type Options struct {
+	MaxN       int     // largest core count considered (default: area-derived)
+	MinPerCore float64 // smallest per-core area; sets the N upper bound (default 0.5 mm²)
+	MinArea    float64 // lower bound for each area component (default 0.05 mm²)
+}
+
+func (o *Options) fill(c chip.Config) {
+	if o.MinPerCore <= 0 {
+		o.MinPerCore = 0.5
+	}
+	if o.MinArea <= 0 {
+		o.MinArea = 0.05
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = int((c.TotalArea - c.FixedArea) / o.MinPerCore)
+		if o.MaxN < 1 {
+			o.MaxN = 1
+		}
+	}
+}
+
+// evalCounter wraps the model's time objective and counts evaluations.
+type evalCounter struct {
+	m     Model
+	count int
+}
+
+func (ec *evalCounter) time(d chip.Design) float64 {
+	ec.count++
+	return ec.m.TimeAt(d)
+}
+
+// OptimizeAreas finds the area split (A0, A1, A2) minimizing J_D for a
+// fixed core count n, holding the area constraint of Eq. 12 tight. For
+// fixed N minimizing T and maximizing W/T coincide (W depends only on N),
+// so one routine serves both regimes. It first attempts the paper's
+// Lagrange/KKT system with Newton's method and falls back to a simplex
+// search in the constrained subspace; the better of the two is returned
+// together with the solver label.
+func (m Model) OptimizeAreas(n int, opts Options) (chip.Design, string, int, error) {
+	opts.fill(m.Chip)
+	budget := (m.Chip.TotalArea - m.Chip.FixedArea) / float64(n)
+	if budget < 3*opts.MinArea {
+		return chip.Design{}, "", 0, fmt.Errorf("core: %d cores leave only %.3g mm² per core", n, budget)
+	}
+	ec := &evalCounter{m: m}
+
+	// Simplex parameterization of the constrained subspace: two free
+	// variables (u0, u1) map through softmax weights onto the fixed
+	// per-core budget, guaranteeing positivity and a tight constraint.
+	design := func(u []float64) chip.Design {
+		e0 := math.Exp(u[0])
+		e1 := math.Exp(u[1])
+		sum := e0 + e1 + 1
+		usable := budget - 3*opts.MinArea
+		return chip.Design{
+			N:        n,
+			CoreArea: opts.MinArea + usable*e0/sum,
+			L1Area:   opts.MinArea + usable*e1/sum,
+			L2Area:   opts.MinArea + usable*1/sum,
+		}
+	}
+	objU := func(u []float64) float64 { return ec.time(design(u)) }
+
+	bestU, bestT := solve.NelderMead(objU, []float64{1, 0}, solve.NelderMeadOpts{MaxIter: 400, Tol: 1e-12})
+	// A second start favouring caches guards against local minima.
+	u2, t2 := solve.NelderMead(objU, []float64{-1, 1}, solve.NelderMeadOpts{MaxIter: 400, Tol: 1e-12})
+	if t2 < bestT {
+		bestU, bestT = u2, t2
+	}
+	bestD := design(bestU)
+	method := "nelder-mead"
+
+	// The paper's route: solve the KKT system of Eq. 13 for (A0, A1, A2, λ)
+	// with Newton's method, seeded at the simplex solution.
+	if kktD, ok := m.solveKKT(n, bestD, opts, ec); ok {
+		if t := ec.time(kktD); t <= bestT*(1+1e-9) {
+			bestD, bestT, method = kktD, t, "kkt-newton"
+		}
+	}
+	if math.IsInf(bestT, 1) {
+		return chip.Design{}, "", ec.count, fmt.Errorf("core: no feasible split for N=%d", n)
+	}
+	return bestD, method, ec.count, nil
+}
+
+// solveKKT assembles and solves the first-order conditions of the
+// Lagrangian L = J_D + λ·(N(A0+A1+A2)+Ac−A) (Eq. 13) for fixed N. It
+// reports ok=false when Newton fails or drifts outside the feasible box.
+func (m Model) solveKKT(n int, seed chip.Design, opts Options, ec *evalCounter) (chip.Design, bool) {
+	nf := float64(n)
+	timeOf := func(a0, a1, a2 float64) float64 {
+		return ec.time(chip.Design{N: n, CoreArea: a0, L1Area: a1, L2Area: a2})
+	}
+	grad := func(a0, a1, a2 float64) (g0, g1, g2 float64) {
+		h0 := 1e-6 * (1 + a0)
+		h1 := 1e-6 * (1 + a1)
+		h2 := 1e-6 * (1 + a2)
+		g0 = (timeOf(a0+h0, a1, a2) - timeOf(a0-h0, a1, a2)) / (2 * h0)
+		g1 = (timeOf(a0, a1+h1, a2) - timeOf(a0, a1-h1, a2)) / (2 * h1)
+		g2 = (timeOf(a0, a1, a2+h2) - timeOf(a0, a1, a2-h2)) / (2 * h2)
+		return
+	}
+	system := func(x []float64) []float64 {
+		a0, a1, a2, lambda := x[0], x[1], x[2], x[3]
+		g0, g1, g2 := grad(a0, a1, a2)
+		return []float64{
+			g0 + lambda*nf,
+			g1 + lambda*nf,
+			g2 + lambda*nf,
+			nf*(a0+a1+a2) + m.Chip.FixedArea - m.Chip.TotalArea,
+		}
+	}
+	g0, _, _ := grad(seed.CoreArea, seed.L1Area, seed.L2Area)
+	x0 := []float64{seed.CoreArea, seed.L1Area, seed.L2Area, -g0 / nf}
+	x, _, err := solve.NewtonSystem(system, x0, 1e-9, 60)
+	if err != nil {
+		return chip.Design{}, false
+	}
+	d := chip.Design{N: n, CoreArea: x[0], L1Area: x[1], L2Area: x[2]}
+	if x[0] < opts.MinArea || x[1] < opts.MinArea || x[2] < opts.MinArea {
+		return chip.Design{}, false
+	}
+	if err := m.Chip.CheckFeasible(d); err != nil {
+		return chip.Design{}, false
+	}
+	return d, true
+}
+
+// Optimize solves the full C²-Bound problem: scan the core count (coarse
+// geometric sweep followed by local integer refinement), optimize the area
+// split at each N, and select by the regime rule of §III-C — minimum T
+// when g(N) < O(N), maximum W/T when g(N) ≥ O(N).
+func (m Model) Optimize(opts Options) (Result, error) {
+	if err := m.App.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts.fill(m.Chip)
+	regime := m.ClassifyRegime()
+
+	type cand struct {
+		d      chip.Design
+		e      Eval
+		method string
+	}
+	better := func(a, b cand) bool { // is a better than b?
+		if regime == MinimizeTime {
+			return a.e.Time < b.e.Time
+		}
+		return a.e.Throughput > b.e.Throughput
+	}
+	var best *cand
+	evals := 0
+	tryN := func(n int) {
+		if n < 1 || n > opts.MaxN {
+			return
+		}
+		d, method, cnt, err := m.OptimizeAreas(n, opts)
+		evals += cnt
+		if err != nil {
+			return
+		}
+		e, err := m.Evaluate(d)
+		if err != nil {
+			return
+		}
+		c := cand{d: d, e: e, method: method}
+		if best == nil || better(c, *best) {
+			best = &c
+		}
+	}
+
+	// Coarse sweep: all small N, then geometric spacing.
+	seen := map[int]bool{}
+	sweep := []int{}
+	for n := 1; n <= 16 && n <= opts.MaxN; n++ {
+		sweep = append(sweep, n)
+		seen[n] = true
+	}
+	for f := 20.0; f <= float64(opts.MaxN); f *= 1.25 {
+		n := int(f)
+		if !seen[n] {
+			sweep = append(sweep, n)
+			seen[n] = true
+		}
+	}
+	if !seen[opts.MaxN] {
+		sweep = append(sweep, opts.MaxN)
+	}
+	for _, n := range sweep {
+		tryN(n)
+	}
+	if best == nil {
+		return Result{}, fmt.Errorf("core: no feasible design up to N=%d", opts.MaxN)
+	}
+	// Local integer refinement around the best coarse N.
+	for radius := best.d.N / 4; radius >= 1; radius = radius / 2 {
+		n0 := best.d.N
+		for _, n := range []int{n0 - radius, n0 + radius} {
+			if !seen[n] {
+				seen[n] = true
+				tryN(n)
+			}
+		}
+		if radius == 1 {
+			break
+		}
+	}
+	return Result{
+		Design:      best.d,
+		Eval:        best.e,
+		Regime:      regime,
+		Method:      best.method,
+		Evaluations: evals,
+	}, nil
+}

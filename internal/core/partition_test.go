@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func TestPartitionCacheValidation(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	apps := []App{StencilApp(), TMMApp()}
+	if _, err := PartitionCache(cfg, nil, 2048, 128); err == nil {
+		t.Error("no apps accepted")
+	}
+	if _, err := PartitionCache(cfg, apps, 0, 128); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := PartitionCache(cfg, apps, 2048, 4096); err == nil {
+		t.Error("granule above capacity accepted")
+	}
+	if _, err := PartitionCache(cfg, apps, 128, 128); err == nil {
+		t.Error("fewer granules than apps accepted")
+	}
+	bad := StencilApp()
+	bad.Fseq = 2
+	if _, err := PartitionCache(cfg, []App{bad, TMMApp()}, 2048, 128); err == nil {
+		t.Error("invalid app accepted")
+	}
+}
+
+func TestPartitionConservesCapacity(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	apps := []App{StencilApp(), TMMApp(), FluidanimateApp()}
+	parts, err := PartitionCache(cfg, apps, 4096, 256)
+	if err != nil {
+		t.Fatalf("PartitionCache: %v", err)
+	}
+	var total float64
+	for _, p := range parts {
+		if p.CapacityKB < 256 {
+			t.Fatalf("app %q starved: %v KB", p.App.Name, p.CapacityKB)
+		}
+		total += p.CapacityKB
+	}
+	if total > 4096+1e-9 {
+		t.Fatalf("allocated %v of 4096 KB", total)
+	}
+}
+
+func TestPartitionFavoursCacheSensitiveApp(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	// App A: steep miss curve (capacity helps a lot).
+	sensitive := StencilApp()
+	sensitive.Name = "sensitive"
+	sensitive.L2Miss = chip.MissRateCurve{Base: 0.8, RefKB: 256, Alpha: 1.2, Floor: 0.01}
+	// App B: flat curve (streaming; capacity is useless).
+	insensitive := StencilApp()
+	insensitive.Name = "insensitive"
+	insensitive.L2Miss = chip.MissRateCurve{Base: 0.8, RefKB: 256, Alpha: 0.02, Floor: 0.7}
+	parts, err := PartitionCache(cfg, []App{sensitive, insensitive}, 4096, 128)
+	if err != nil {
+		t.Fatalf("PartitionCache: %v", err)
+	}
+	if parts[0].CapacityKB <= 2*parts[1].CapacityKB {
+		t.Fatalf("cache-sensitive app got %v KB vs %v KB", parts[0].CapacityKB, parts[1].CapacityKB)
+	}
+}
+
+func TestPartitionConcurrencyDiscountsMisses(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	// Identical locality, but one app hides its misses behind high C_M:
+	// the C-AMAT-weighted partitioner gives it less capacity.
+	hidden := StencilApp().WithConcurrency(8)
+	hidden.Name = "concurrent"
+	exposed := StencilApp().WithConcurrency(1)
+	exposed.Name = "serial"
+	parts, err := PartitionCache(cfg, []App{hidden, exposed}, 4096, 128)
+	if err != nil {
+		t.Fatalf("PartitionCache: %v", err)
+	}
+	if parts[0].CapacityKB >= parts[1].CapacityKB {
+		t.Fatalf("concurrency-hidden app got %v KB, serial app %v KB — want less for hidden",
+			parts[0].CapacityKB, parts[1].CapacityKB)
+	}
+}
+
+func TestPartitionStallDecreasesWithCapacity(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	app := FluidanimateApp()
+	small, err := PartitionCache(cfg, []App{app, app}, 1024, 128)
+	if err != nil {
+		t.Fatalf("PartitionCache: %v", err)
+	}
+	large, err := PartitionCache(cfg, []App{app, app}, 8192, 128)
+	if err != nil {
+		t.Fatalf("PartitionCache: %v", err)
+	}
+	if large[0].StallCPI > small[0].StallCPI {
+		t.Fatalf("more cache raised stall CPI: %v vs %v", large[0].StallCPI, small[0].StallCPI)
+	}
+}

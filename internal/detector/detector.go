@@ -1,0 +1,267 @@
+// Package detector implements the C-AMAT analyzer of Fig. 4 in the paper:
+// a Hit Concurrency Detector (HCD) that counts wall-clock hit cycles and
+// per-cycle hit activity, and a Miss Concurrency Detector (MCD) that, fed
+// with the MSHR-derived miss windows and the HCD's per-cycle hit
+// indicator, counts pure-miss cycles and attributes them to individual
+// miss accesses. The detector is online: it processes cycle events
+// incrementally as accesses are observed, holding only the sliding window
+// of cycles that future accesses could still affect.
+//
+// Its output is bit-identical to the offline camat.Analyze sweep — a
+// property the tests verify — so measured parameters plug directly into
+// the C²-Bound model.
+package detector
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/camat"
+	"repro/internal/sim/cache"
+)
+
+// missWindow tracks one outstanding miss's penalty interval and the
+// pure-miss cycles observed inside it.
+type missWindow struct {
+	pure int64
+}
+
+// cycleEvents is everything that changes at one cycle boundary.
+type cycleEvents struct {
+	dHit      int
+	missStart []*missWindow
+	missEnd   []*missWindow
+}
+
+// cycleHeap orders pending event cycles.
+type cycleHeap []int64
+
+func (h cycleHeap) Len() int            { return len(h) }
+func (h cycleHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h cycleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cycleHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *cycleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Detector is the online C-AMAT analyzer for one cache level. It is not
+// safe for concurrent use; attach one per core (or per monitored cache).
+type Detector struct {
+	// Lateness bounds how far behind the newest observed start an
+	// access's start cycle may lag; events older than the watermark are
+	// folded eagerly. The resource-reservation discipline of the cache
+	// model bounds reordering by the longest miss round trip, so the
+	// default of 1<<22 cycles is far beyond safe.
+	lateness int64
+
+	events  map[int64]*cycleEvents
+	pending cycleHeap
+	active  []*missWindow
+
+	cursor    int64 // sweep has consumed cycles < cursor
+	hitCount  int
+	missCount int
+	started   bool
+	maxStart  int64
+
+	// accumulators, matching camat.Analysis
+	accesses    int
+	misses      int
+	pureMisses  int
+	hitSum      int64
+	hitCycles   int64
+	missCycles  int64
+	pureCycles  int64
+	activeCyc   int64
+	pureAct     int64
+	perMissCyc  int64
+	perPureCyc  int64
+	lateRecords uint64
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithLateness overrides the out-of-order tolerance window (cycles).
+func WithLateness(cycles int64) Option {
+	return func(d *Detector) { d.lateness = cycles }
+}
+
+// New builds a detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{
+		lateness: 1 << 22,
+		events:   make(map[int64]*cycleEvents),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// LateRecords reports how many accesses violated the lateness bound and
+// were clamped; nonzero values indicate the bound needs enlarging.
+func (d *Detector) LateRecords() uint64 { return d.lateRecords }
+
+// Observe implements the cpu.AccessObserver interface: it converts a cache
+// access result into a (start, hit-cycles, miss-penalty) record.
+func (d *Detector) Observe(res cache.Result, hitLatency int) {
+	penalty := res.Done - res.Start - int64(hitLatency)
+	if penalty < 0 {
+		penalty = 0
+	}
+	d.Record(res.Start, hitLatency, penalty)
+}
+
+// Record registers one access: hit processing during
+// [start, start+hitCycles) and, when missPenalty > 0, miss processing
+// during the following missPenalty cycles.
+func (d *Detector) Record(start int64, hitCycles int, missPenalty int64) {
+	if hitCycles <= 0 || missPenalty < 0 {
+		panic(fmt.Sprintf("detector: malformed record start=%d hit=%d penalty=%d", start, hitCycles, missPenalty))
+	}
+	if !d.started {
+		// Leave the full lateness window open behind the first record so
+		// early out-of-order arrivals are not clamped.
+		d.cursor = start - d.lateness
+		d.started = true
+		d.maxStart = start
+	}
+	if start > d.maxStart {
+		d.maxStart = start
+	}
+	if start < d.cursor {
+		// The record begins before the already-swept frontier; clamp it.
+		d.lateRecords++
+		missPenalty += start - d.cursor // keep the end cycle
+		start = d.cursor
+		if missPenalty < 0 {
+			missPenalty = 0
+		}
+	}
+	d.accesses++
+	d.hitSum += int64(hitCycles)
+
+	hitEnd := start + int64(hitCycles)
+	d.addEvent(start).dHit++
+	d.addEvent(hitEnd).dHit--
+	if missPenalty > 0 {
+		d.misses++
+		d.perMissCyc += missPenalty
+		w := &missWindow{}
+		s := d.addEvent(hitEnd)
+		s.missStart = append(s.missStart, w)
+		e := d.addEvent(hitEnd + missPenalty)
+		e.missEnd = append(e.missEnd, w)
+	}
+	// Sweep everything that can no longer be affected by future records:
+	// cycles below maxStart − lateness.
+	d.sweep(d.maxStart - d.lateness)
+}
+
+func (d *Detector) addEvent(cycle int64) *cycleEvents {
+	ev, ok := d.events[cycle]
+	if !ok {
+		ev = &cycleEvents{}
+		d.events[cycle] = ev
+		heap.Push(&d.pending, cycle)
+	}
+	return ev
+}
+
+// sweep consumes events with cycle < limit, accumulating interval
+// statistics between consecutive event cycles.
+func (d *Detector) sweep(limit int64) {
+	for len(d.pending) > 0 && d.pending[0] < limit {
+		cycle := d.pending[0]
+		// Account the interval [cursor, cycle) under the current state.
+		d.accumulate(cycle - d.cursor)
+		d.cursor = cycle
+
+		heap.Pop(&d.pending)
+		ev := d.events[cycle]
+		delete(d.events, cycle)
+		d.hitCount += ev.dHit
+		for _, w := range ev.missStart {
+			d.active = append(d.active, w)
+			d.missCount++
+		}
+		for _, w := range ev.missEnd {
+			d.missCount--
+			d.finishWindow(w)
+		}
+	}
+}
+
+// accumulate charges dur cycles of the current (hitCount, missCount)
+// state.
+func (d *Detector) accumulate(dur int64) {
+	if dur <= 0 {
+		return
+	}
+	hitActive := d.hitCount > 0
+	missActive := d.missCount > 0
+	if hitActive || missActive {
+		d.activeCyc += dur
+	}
+	if hitActive {
+		d.hitCycles += dur
+	}
+	if missActive {
+		d.missCycles += dur
+	}
+	if missActive && !hitActive {
+		d.pureCycles += dur
+		d.pureAct += dur * int64(d.missCount)
+		for _, w := range d.active {
+			w.pure += dur
+		}
+	}
+}
+
+// finishWindow retires a miss window from the active set and finalizes its
+// pure-miss attribution.
+func (d *Detector) finishWindow(w *missWindow) {
+	for i, a := range d.active {
+		if a == w {
+			d.active[i] = d.active[len(d.active)-1]
+			d.active = d.active[:len(d.active)-1]
+			break
+		}
+	}
+	if w.pure > 0 {
+		d.pureMisses++
+		d.perPureCyc += w.pure
+	}
+}
+
+// Finalize flushes all pending events and returns the complete analysis.
+// The detector may continue to receive records afterwards only if no new
+// record starts before the flushed frontier.
+func (d *Detector) Finalize() camat.Analysis {
+	d.sweep(1<<62 - 1)
+	an := camat.Analysis{
+		Accesses:                d.accesses,
+		Misses:                  d.misses,
+		PureMisses:              d.pureMisses,
+		HitActiveCycles:         d.hitCycles,
+		MissActiveCycles:        d.missCycles,
+		PureMissCycles:          d.pureCycles,
+		ActiveCycles:            d.activeCyc,
+		HitActivity:             d.hitSum,
+		PureMissActivity:        d.pureAct,
+		PerAccessMissCycles:     d.perMissCyc,
+		PerAccessPureMissCycles: d.perPureCyc,
+	}
+	if d.accesses > 0 {
+		an.HitTime = float64(d.hitSum) / float64(d.accesses)
+	}
+	return an
+}
+
+// Params is shorthand for Finalize().Params().
+func (d *Detector) Params() camat.Params { return d.Finalize().Params() }

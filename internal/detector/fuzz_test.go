@@ -1,0 +1,54 @@
+package detector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/camat"
+)
+
+// FuzzDetectorMatchesBatch feeds arbitrary (bounded-jitter) traces to the
+// online detector and cross-checks the full analysis against the offline
+// sweep — the detector's core correctness contract.
+func FuzzDetectorMatchesBatch(f *testing.F) {
+	f.Add([]byte{1, 3, 0, 2, 1, 3, 5, 2, 0, 1, 9})
+	f.Add([]byte{0, 1, 0, 0, 2, 19, 7, 1, 4})
+	f.Add(make([]byte, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr []camat.Access
+		var start int64
+		for i := 0; i+2 < len(data); i += 3 {
+			start += int64(data[i] % 7)
+			jitter := int64(data[i+1] % 4)
+			tr = append(tr, camat.Access{
+				Start:       start - jitter,
+				HitCycles:   1 + int(data[i+1]%5),
+				MissPenalty: int(data[i+2] % 16),
+			})
+		}
+		if len(tr) == 0 {
+			return
+		}
+		want, err := camat.Analyze(tr)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		d := New(WithLateness(1024))
+		for _, a := range tr {
+			d.Record(a.Start, a.HitCycles, int64(a.MissPenalty))
+		}
+		got := d.Finalize()
+		if d.LateRecords() != 0 {
+			t.Fatalf("late records within lateness bound: %d", d.LateRecords())
+		}
+		if got.Accesses != want.Accesses ||
+			got.Misses != want.Misses ||
+			got.PureMisses != want.PureMisses ||
+			got.ActiveCycles != want.ActiveCycles ||
+			got.PureMissCycles != want.PureMissCycles ||
+			got.PerAccessPureMissCycles != want.PerAccessPureMissCycles ||
+			math.Abs(got.HitTime-want.HitTime) > 1e-9 {
+			t.Fatalf("detector mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sim/cache"
+	"repro/internal/trace"
+)
+
+// Dimension names of the paper's six-parameter space, in point order.
+const (
+	DimA0    = "A0"
+	DimA1    = "A1"
+	DimA2    = "A2"
+	DimN     = "N"
+	DimIssue = "Issue"
+	DimROB   = "ROB"
+)
+
+// PaperSpace returns the §IV design space: six parameters, ten values
+// each (10⁶ configurations), chosen so every combination fits the chip
+// budget of cfg (so the ground-truth sweep has no infeasible holes, as in
+// the paper's full-space simulation).
+func PaperSpace(cfg chip.Config) (Space, error) {
+	ns := []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	maxPerCore := (cfg.TotalArea - cfg.FixedArea) / ns[len(ns)-1]
+	// Split the per-core budget so A0+A1+A2 maxima sum below maxPerCore.
+	a0Max := 0.42 * maxPerCore
+	a1Max := 0.18 * maxPerCore
+	a2Max := 0.38 * maxPerCore
+	steps := func(max float64) []float64 {
+		vals := make([]float64, 10)
+		for i := range vals {
+			vals[i] = max * float64(i+1) / 10
+		}
+		return vals
+	}
+	return NewSpace(
+		Param{Name: DimA0, Values: steps(a0Max)},
+		Param{Name: DimA1, Values: steps(a1Max)},
+		Param{Name: DimA2, Values: steps(a2Max)},
+		Param{Name: DimN, Values: ns},
+		Param{Name: DimIssue, Values: []float64{1, 2, 3, 4, 5, 6, 7, 8, 12, 16}},
+		Param{Name: DimROB, Values: []float64{16, 32, 48, 64, 96, 128, 160, 192, 224, 256}},
+	)
+}
+
+// ReducedSpace returns a smaller space with the same six dimensions and
+// `per` values per dimension (per ≤ 10), for tests and benches where the
+// full 10⁶-point sweep would be too slow. Values subsample PaperSpace's.
+func ReducedSpace(cfg chip.Config, per int) (Space, error) {
+	if per < 1 || per > 10 {
+		return Space{}, fmt.Errorf("dse: reduced space needs 1..10 values per dim, got %d", per)
+	}
+	full, err := PaperSpace(cfg)
+	if err != nil {
+		return Space{}, err
+	}
+	params := make([]Param, len(full.Params))
+	for i, p := range full.Params {
+		vals := make([]float64, per)
+		for j := 0; j < per; j++ {
+			// Spread selections across the full range, always including
+			// the largest value.
+			k := (j + 1) * len(p.Values) / per
+			vals[j] = p.Values[k-1]
+		}
+		params[i] = Param{Name: p.Name, Values: vals}
+	}
+	return NewSpace(params...)
+}
+
+// SimEvaluator scores configurations with the many-core simulator: a
+// fixed-size workload (TotalRefs references) is split evenly across the
+// N cores and the makespan in cycles is the score. The evaluator is
+// stateless per call and therefore safe for concurrent sweeps.
+type SimEvaluator struct {
+	Chip      chip.Config // area budget, densities, Pollack constants
+	Workload  string
+	WSBytes   uint64
+	MeanGap   float64
+	TotalRefs int
+	Seed      uint64
+
+	// Template hardware for parts not in the design space.
+	L1Template cache.Config
+	L2Template cache.Config
+	Base       sim.Config // DRAM and NoC taken from here
+}
+
+// NewSimEvaluator builds an evaluator with default templates.
+func NewSimEvaluator(chipCfg chip.Config, workload string, wsBytes uint64, meanGap float64, totalRefs int, seed uint64) (*SimEvaluator, error) {
+	if totalRefs < 1 {
+		return nil, fmt.Errorf("dse: totalRefs %d below 1", totalRefs)
+	}
+	if _, err := trace.ByName(workload, wsBytes, meanGap, seed); err != nil {
+		return nil, err
+	}
+	return &SimEvaluator{
+		Chip:       chipCfg,
+		Workload:   workload,
+		WSBytes:    wsBytes,
+		MeanGap:    meanGap,
+		TotalRefs:  totalRefs,
+		Seed:       seed,
+		L1Template: cache.DefaultL1(),
+		L2Template: cache.DefaultL2(),
+		Base:       sim.DefaultConfig(1),
+	}, nil
+}
+
+// Config translates a design point into a simulator configuration,
+// returning an error for infeasible points.
+func (e *SimEvaluator) Config(point []float64) (sim.Config, error) {
+	if len(point) != 6 {
+		return sim.Config{}, fmt.Errorf("dse: point has %d dims, want 6", len(point))
+	}
+	a0, a1, a2 := point[0], point[1], point[2]
+	n := int(point[3] + 0.5)
+	issue := int(point[4] + 0.5)
+	rob := int(point[5] + 0.5)
+	d := chip.Design{N: n, CoreArea: a0, L1Area: a1, L2Area: a2}
+	if err := e.Chip.CheckFeasible(d); err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.DefaultConfig(n)
+	cfg.DRAM = e.Base.DRAM
+	cfg.NoC = e.Base.NoC
+	cfg.NoC.Nodes = n
+	cfg.L1 = e.L1Template
+	cfg.L1.SizeKB = clampKB(e.Chip.L1SizeKB(d))
+	cfg.L2 = e.L2Template
+	cfg.L2.SizeKB = clampKB(e.Chip.L2SizeKB(d) * float64(n)) // shared L2 = N slices
+	cfg.Core = e.Base.Core
+	cfg.Core.IssueWidth = issue
+	cfg.Core.ROB = rob
+	cfg.Core.ComputeCPI = e.Chip.Pollack.CPIExe(a0)
+	return cfg, nil
+}
+
+func clampKB(kb float64) int {
+	v := int(kb + 0.5)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Evaluate implements Evaluator: the simulated makespan in cycles, or
+// +Inf for infeasible configurations.
+func (e *SimEvaluator) Evaluate(point []float64) float64 {
+	cfg, err := e.Config(point)
+	if err != nil {
+		return math.Inf(1)
+	}
+	refsPerCore := e.TotalRefs / cfg.Cores
+	if refsPerCore < 1 {
+		refsPerCore = 1
+	}
+	res, err := sim.RunWorkload(cfg, e.Workload, e.WSBytes, e.MeanGap, refsPerCore, e.Seed)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return float64(res.Cycles)
+}
+
+// ModelEvaluator scores configurations with the analytic C²-Bound model
+// plus simple first-order corrections for the two microarchitectural
+// dimensions the analytic model does not carry (issue width and ROB).
+// It exists to exercise DSE/APS logic quickly in tests.
+type ModelEvaluator struct {
+	Model core.Model
+}
+
+// Evaluate implements Evaluator.
+func (e *ModelEvaluator) Evaluate(point []float64) float64 {
+	if len(point) != 6 {
+		return math.Inf(1)
+	}
+	d := chip.Design{
+		N:        int(point[3] + 0.5),
+		CoreArea: point[0],
+		L1Area:   point[1],
+		L2Area:   point[2],
+	}
+	t := e.Model.TimeAt(d)
+	if math.IsInf(t, 1) {
+		return t
+	}
+	issue, rob := point[4], point[5]
+	// Narrow issue serializes instruction delivery; a small ROB caps the
+	// memory overlap the C-AMAT concurrency assumed.
+	return t * (1 + 0.6/issue) * (1 + 24/rob)
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/speedup"
+	"repro/internal/tablefmt"
+)
+
+// RegimePoint is one row of the regime-split ablation: the g(N) growth
+// exponent, the regime the model selects, and the resulting optimal core
+// count.
+type RegimePoint struct {
+	Exponent float64
+	Regime   core.Regime
+	OptimalN int
+	Value    float64 // minimized T or maximized W/T
+}
+
+// AblationRegimeSplit sweeps the g(N) = N^b exponent across the §III-C
+// boundary (b = 1) and records how the optimization regime and the
+// optimal core count respond. Below the boundary a finite time-optimal N
+// exists; at and above it the model switches to throughput maximization
+// and prefers many more cores.
+func AblationRegimeSplit(exponents []float64) (*tablefmt.Table, []RegimePoint, error) {
+	if len(exponents) == 0 {
+		exponents = []float64{0, 0.25, 0.5, 0.75, 0.9, 1, 1.25, 1.5, 2}
+	}
+	base := core.FluidanimateApp()
+	var out []RegimePoint
+	tb := tablefmt.New("Ablation: regime split at g(N) = O(N)", "b (g=N^b)", "regime", "optimal N", "objective")
+	for _, b := range exponents {
+		app := base
+		app.G = speedup.PowerLaw(b)
+		app.GOrder = b
+		m := core.Model{Chip: chip.DefaultConfig(), App: app}
+		res, err := m.Optimize(core.Options{MaxN: 128})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: regime ablation b=%v: %w", b, err)
+		}
+		val := res.Eval.Time
+		if res.Regime == core.MaximizeThroughput {
+			val = res.Eval.Throughput
+		}
+		pt := RegimePoint{Exponent: b, Regime: res.Regime, OptimalN: res.Design.N, Value: val}
+		out = append(out, pt)
+		tb.AddRow(tablefmt.Float(b), res.Regime.String(), tablefmt.Int(pt.OptimalN), tablefmt.Float(val))
+	}
+	return tb, out, nil
+}
+
+// BaselineComparison contrasts the optimal design each analytical model
+// recommends for the same application and chip: C²-Bound (concurrency +
+// capacity), Sun-Chen (capacity only), Hill-Marty (neither; BCE model)
+// and Cassidy-Andreou (AMAT, fixed size) — the §VI positioning.
+type BaselineComparison struct {
+	Model    string
+	OptimalN int
+	Speedup  float64
+}
+
+// AblationBaselines computes the §VI comparison for an application with
+// scalable workload and real memory concurrency.
+func AblationBaselines() (*tablefmt.Table, []BaselineComparison, error) {
+	cfg := chip.DefaultConfig()
+	app := core.StencilApp().WithConcurrency(4)
+	app.G = speedup.PowerLaw(1.2)
+	app.GOrder = 1.2
+	app.Fseq = 0.05
+	m := core.Model{Chip: cfg, App: app}
+
+	var rows []BaselineComparison
+
+	// C²-Bound: full model.
+	res, err := m.Optimize(core.Options{MaxN: 128})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := m.SpeedupAt(res.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, BaselineComparison{Model: "C2-Bound", OptimalN: res.Design.N, Speedup: s})
+
+	// Sun-Chen: capacity-aware, concurrency-blind — the same model with
+	// C pinned to 1.
+	mSC := m
+	mSC.App = app.WithConcurrency(1)
+	resSC, err := mSC.Optimize(core.Options{MaxN: 128})
+	if err != nil {
+		return nil, nil, err
+	}
+	sSC, err := mSC.SpeedupAt(resSC.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, BaselineComparison{Model: "Sun-Chen (C=1)", OptimalN: resSC.Design.N, Speedup: sSC})
+
+	// Cassidy-Andreou: AMAT and fixed problem size (C=1, g=1).
+	mCA := m
+	appCA := app.WithConcurrency(1)
+	appCA.G = speedup.FixedSize()
+	appCA.GOrder = 0
+	mCA.App = appCA
+	resCA, err := mCA.Optimize(core.Options{MaxN: 128})
+	if err != nil {
+		return nil, nil, err
+	}
+	sCA, err := mCA.SpeedupAt(resCA.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, BaselineComparison{Model: "Cassidy-Andreou (C=1, g=1)", OptimalN: resCA.Design.N, Speedup: sCA})
+
+	// Hill-Marty: pure BCE model (no memory system at all). The chip's
+	// usable area in BCEs, best symmetric core size.
+	budget := cfg.TotalArea - cfg.FixedArea
+	rBest, sHM, err := baselines.OptimalSymmetricR(app.Fseq, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, BaselineComparison{Model: "Hill-Marty (BCE)", OptimalN: int(budget/rBest + 0.5), Speedup: sHM})
+
+	tb := tablefmt.New("Ablation: C²-Bound vs prior analytical models", "model", "optimal N", "speedup")
+	for _, r := range rows {
+		tb.AddRow(r.Model, tablefmt.Int(r.OptimalN), tablefmt.Float(r.Speedup))
+	}
+	return tb, rows, nil
+}
+
+// AblationConcurrencySensitivity quantifies the value of modelling
+// concurrency: the execution time C²-Bound predicts at the
+// concurrency-blind model's chosen design versus its own, for a range of
+// true concurrency levels.
+func AblationConcurrencySensitivity(concurrencies []float64) (*tablefmt.Table, error) {
+	if len(concurrencies) == 0 {
+		concurrencies = []float64{2, 4, 8}
+	}
+	cfg := chip.DefaultConfig()
+	tb := tablefmt.New("Ablation: cost of ignoring concurrency",
+		"true C", "N (C2-Bound)", "N (blind)", "T(C2-Bound design)", "T(blind design)", "penalty")
+	for _, c := range concurrencies {
+		app := core.StencilApp().WithConcurrency(c)
+		app.G = speedup.PowerLaw(0.5) // sub-linear: a finite optimum exists
+		app.GOrder = 0.5
+		m := core.Model{Chip: cfg, App: app}
+		res, err := m.Optimize(core.Options{MaxN: 128})
+		if err != nil {
+			return nil, err
+		}
+		blind := m
+		blind.App = app.WithConcurrency(1)
+		resBlind, err := blind.Optimize(core.Options{MaxN: 128})
+		if err != nil {
+			return nil, err
+		}
+		// Evaluate the blind design under the TRUE concurrency.
+		tTrue := m.TimeAt(res.Design)
+		tBlind := m.TimeAt(resBlind.Design)
+		tb.AddRow(tablefmt.Float(c), tablefmt.Int(res.Design.N), tablefmt.Int(resBlind.Design.N),
+			tablefmt.Float(tTrue), tablefmt.Float(tBlind), tablefmt.Float(tBlind/tTrue))
+	}
+	return tb, nil
+}

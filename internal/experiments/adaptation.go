@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adapt"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/speedup"
+	"repro/internal/tablefmt"
+)
+
+// AdaptationResult summarizes the phase-adaptation experiment.
+type AdaptationResult struct {
+	Windows      int
+	PhaseChanges int
+	Reconfigs    int
+	// StaticTime and AdaptiveTime are the summed per-window predicted
+	// execution times of the locked-in first-phase design versus the
+	// controller's per-phase designs.
+	StaticTime   float64
+	AdaptiveTime float64
+	Gain         float64 // StaticTime / AdaptiveTime
+}
+
+// PhaseAdaptation reproduces the paper's online-adaptation story: a
+// workload alternating between a cache-friendly phase (tiled matrix
+// multiply) and a cache-hostile one (random access over a large working
+// set) is measured window by window with the HCD/MCD counters on the
+// simulator; the controller refits the phase profile, re-solves the
+// C²-Bound optimization and reconfigures. The adaptive schedule is
+// compared against locking in the first phase's design.
+func PhaseAdaptation(sc Scale) (*tablefmt.Table, AdaptationResult, error) {
+	sc.fill()
+	cfg := chip.DefaultConfig()
+	base := core.FluidanimateApp()
+	base.G = speedup.PowerLaw(0.5)
+	base.GOrder = 0.5
+
+	probe := sim.DefaultConfig(4)
+
+	// Window sequence: A A B B A A (two stable phases, two transitions
+	// and a return).
+	type phase struct {
+		workload string
+		ws       uint64
+	}
+	phaseA := phase{"tiledmm", 2 << 20}
+	phaseB := phase{"random", 64 << 20}
+	sequence := []phase{phaseA, phaseA, phaseB, phaseB, phaseA, phaseA}
+
+	measure := func(p phase, window int) (adapt.WindowStats, error) {
+		res, err := sim.RunWorkload(probe, p.workload, p.ws, 2, sc.TotalRefs, sc.Seed+uint64(window))
+		if err != nil {
+			return adapt.WindowStats{}, err
+		}
+		return adapt.WindowStats{
+			Instructions: res.Instructions,
+			Accesses:     res.MemAccesses,
+			Params:       res.L1Params,
+			L1MR:         res.L1Params.MR,
+			L2MR:         res.L2Stats.MissRate(),
+			L1CapKB:      float64(probe.L1.SizeKB),
+			L2CapKB:      float64(probe.L2.SizeKB),
+		}, nil
+	}
+
+	ctl := adapt.Controller{Chip: cfg, Base: base, Optimize: core.Options{MaxN: 64}}
+	tb := tablefmt.New("Online adaptation: phase-by-phase reconfiguration",
+		"window", "phase", "phase change", "reconfig", "design")
+	var res AdaptationResult
+	var staticDesign chip.Design
+	var perWindowApps []core.App
+	var perWindowDesign []chip.Design
+	for i, p := range sequence {
+		w, err := measure(p, i)
+		if err != nil {
+			return nil, res, fmt.Errorf("experiments: window %d: %w", i, err)
+		}
+		dec, err := ctl.Step(w)
+		if err != nil {
+			return nil, res, err
+		}
+		if i == 0 {
+			staticDesign = dec.Design
+		}
+		if dec.PhaseChange {
+			res.PhaseChanges++
+		}
+		perWindowApps = append(perWindowApps, dec.App)
+		perWindowDesign = append(perWindowDesign, dec.Design)
+		tb.AddRow(tablefmt.Int(i+1), p.workload,
+			fmt.Sprintf("%v", dec.PhaseChange), fmt.Sprintf("%v", dec.Reconfigured),
+			dec.Design.String())
+	}
+	res.Windows = ctl.Windows()
+	res.Reconfigs = ctl.Reconfigurations()
+
+	// Score both schedules under each window's own measured profile.
+	for i, app := range perWindowApps {
+		m := core.Model{Chip: cfg, App: app}
+		res.StaticTime += m.TimeAt(staticDesign)
+		res.AdaptiveTime += m.TimeAt(perWindowDesign[i])
+	}
+	if res.AdaptiveTime > 0 {
+		res.Gain = res.StaticTime / res.AdaptiveTime
+	}
+	tb.AddRow("", "", "", "static/adaptive", tablefmt.Float(res.Gain))
+	return tb, res, nil
+}

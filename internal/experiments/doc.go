@@ -1,0 +1,5 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation as data series and text tables. It is the single source both
+// cmd/figures and the root benchmark suite render from; EXPERIMENTS.md
+// records its output against the paper's numbers.
+package experiments

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/speedup"
+	"repro/internal/tablefmt"
+)
+
+// AsymmetricComparison runs the §VII asymmetric-CMP extension: for a
+// range of sequential fractions, the best symmetric and best asymmetric
+// C²-Bound designs and the asymmetric advantage.
+func AsymmetricComparison(fseqs []float64) (*tablefmt.Table, error) {
+	if len(fseqs) == 0 {
+		fseqs = []float64{0.05, 0.15, 0.3, 0.5}
+	}
+	cfg := chip.DefaultConfig()
+	tb := tablefmt.New("Extension: symmetric vs asymmetric CMP (fixed-size workload)",
+		"f_seq", "sym N", "sym T", "asym small-N", "big-core mm²", "asym T", "asym gain")
+	for _, fseq := range fseqs {
+		app := core.FluidanimateApp()
+		app.Fseq = fseq
+		app.G = speedup.FixedSize()
+		app.GOrder = 0
+		sym := core.Model{Chip: cfg, App: app}
+		symRes, err := sym.Optimize(core.Options{MaxN: 64})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: symmetric fseq=%v: %w", fseq, err)
+		}
+		asym := core.AsymModel{Chip: cfg, App: app}
+		asymD, asymE, err := asym.OptimizeAsym(core.Options{MaxN: 64})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: asymmetric fseq=%v: %w", fseq, err)
+		}
+		tb.AddRow(
+			tablefmt.Float(fseq),
+			tablefmt.Int(symRes.Design.N),
+			tablefmt.Float(symRes.Eval.Time),
+			tablefmt.Int(asymD.N),
+			tablefmt.Float(asymD.BigArea),
+			tablefmt.Float(asymE.Time),
+			tablefmt.Float(symRes.Eval.Time/asymE.Time),
+		)
+	}
+	return tb, nil
+}
+
+// EnergyPareto runs the §VII energy extension: the time/energy Pareto
+// frontier plus the three single-objective optima.
+func EnergyPareto() (*tablefmt.Table, []core.ParetoPoint, error) {
+	app := core.FluidanimateApp()
+	app.G = speedup.FixedSize()
+	app.GOrder = 0
+	app.Fseq = 0.1
+	m := core.Model{Chip: chip.DefaultConfig(), App: app}
+	pm := core.DefaultPowerModel()
+
+	frontier, err := m.ParetoFrontier(pm, core.Options{MaxN: 64})
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := tablefmt.New("Extension: time/energy Pareto frontier", "N", "A0", "A1", "A2", "time", "energy")
+	for _, p := range frontier {
+		tb.AddRow(tablefmt.Int(p.Design.N), tablefmt.Float(p.Design.CoreArea),
+			tablefmt.Float(p.Design.L1Area), tablefmt.Float(p.Design.L2Area),
+			tablefmt.Float(p.Time), tablefmt.Float(p.Energy))
+	}
+	for _, obj := range []core.EnergyObjective{core.MinEnergy, core.MinEDP, core.MinED2P} {
+		d, e, err := m.OptimizeEnergy(pm, obj, core.Options{MaxN: 64})
+		if err != nil {
+			return nil, nil, err
+		}
+		tb.AddRow(tablefmt.Int(d.N), tablefmt.Float(d.CoreArea), tablefmt.Float(d.L1Area),
+			tablefmt.Float(d.L2Area), tablefmt.Float(e.Time), tablefmt.Float(e.Energy)+" ← "+obj.String())
+	}
+	return tb, frontier, nil
+}
+
+// PrefetchAblation measures the simulator's next-line prefetcher on a
+// streaming and a random workload: demand-visible speedup and measured
+// C-AMAT change. Prefetching is one of the concurrency mechanisms the
+// paper lists as raising C_H/C_M.
+func PrefetchAblation(sc Scale) (*tablefmt.Table, map[string][2]float64, error) {
+	sc.fill()
+	run := func(workload string, prefetch bool) (*sim.Result, error) {
+		cfg := sim.DefaultConfig(2)
+		cfg.L1.NextLinePrefetch = prefetch
+		return sim.RunWorkload(cfg, workload, 16<<20, 2, sc.TotalRefs, sc.Seed)
+	}
+	out := map[string][2]float64{}
+	tb := tablefmt.New("Ablation: next-line prefetching",
+		"workload", "CPI (off)", "CPI (on)", "speedup", "C-AMAT off", "C-AMAT on")
+	for _, w := range []string{"stream", "random"} {
+		off, err := run(w, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		on, err := run(w, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		speed := off.CPI / on.CPI
+		out[w] = [2]float64{speed, off.L1Params.CAMAT() / on.L1Params.CAMAT()}
+		tb.AddRow(w, tablefmt.Float(off.CPI), tablefmt.Float(on.CPI), tablefmt.Float(speed),
+			tablefmt.Float(off.L1Params.CAMAT()), tablefmt.Float(on.L1Params.CAMAT()))
+	}
+	return tb, out, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/camat"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/speedup"
+	"repro/internal/tablefmt"
+)
+
+// Fig1Demo reproduces the §II-A worked example: the five-access trace of
+// Fig. 1 with every derived parameter.
+func Fig1Demo() (*tablefmt.Table, camat.Params, error) {
+	an, err := camat.Analyze(camat.Fig1Trace())
+	if err != nil {
+		return nil, camat.Params{}, err
+	}
+	p := an.Params()
+	tb := tablefmt.New("Fig. 1: C-AMAT demonstration (five accesses)", "quantity", "value", "paper")
+	tb.AddRow("H (hit time)", tablefmt.Float(p.H), "3")
+	tb.AddRow("MR", tablefmt.Float(p.MR), "0.4")
+	tb.AddRow("AMP", tablefmt.Float(p.AMP), "2")
+	tb.AddRow("AMAT", tablefmt.Float(p.AMAT()), "3.8")
+	tb.AddRow("C_H", tablefmt.Float(p.CH), "5/2")
+	tb.AddRow("C_M", tablefmt.Float(p.CM), "1")
+	tb.AddRow("pMR", tablefmt.Float(p.PMR), "0.2")
+	tb.AddRow("pAMP", tablefmt.Float(p.PAMP), "2")
+	tb.AddRow("C-AMAT", tablefmt.Float(p.CAMAT()), "1.6")
+	tb.AddRow("C = AMAT/C-AMAT", tablefmt.Float(p.Concurrency()), "2.375")
+	return tb, p, nil
+}
+
+// Table1G reproduces Table I: the g(N) factors of four applications,
+// evaluated at a reference scale to show the growth numerically.
+func Table1G() *tablefmt.Table {
+	rows := speedup.Table1(1 << 20)
+	tb := tablefmt.New("Table I: problem size scale factors g(N)",
+		"application", "computation", "memory", "g(N)", "g(4)", "g(64)")
+	for _, r := range rows {
+		tb.AddRow(r.Application, r.Computation, r.Memory, r.GFormula,
+			tablefmt.Float(r.Scale(4)), tablefmt.Float(r.Scale(64)))
+	}
+	return tb
+}
+
+// Fig2Case is one subgraph of Fig. 2: the work completed and the time it
+// takes under a process count and memory-concurrency combination.
+type Fig2Case struct {
+	Label string
+	P     int     // process-level parallelism
+	C     float64 // memory-level concurrency
+	Time  float64 // normalized completion time
+	Work  float64 // normalized work (shadowed area)
+}
+
+// Fig2Illustration quantifies the Fig. 2 concept: a fixed problem (work
+// normalized to 1) under (p=1, C=1), (p=N, C=1) and (p=N, C>1). The CPU
+// component splits into compute and data-stall parts; process parallelism
+// divides the parallel portion by p, memory concurrency divides the
+// data-stall part by C.
+func Fig2Illustration(n int, c float64, fseq, fmem, cpiExe, amat float64) ([]Fig2Case, error) {
+	if n < 1 || c < 1 {
+		return nil, fmt.Errorf("experiments: Fig. 2 needs n ≥ 1 and C ≥ 1 (got %d, %v)", n, c)
+	}
+	timeAt := func(p int, conc float64) float64 {
+		cpi := cpiExe + fmem*amat/conc
+		return cpi * (fseq + (1-fseq)/float64(p))
+	}
+	base := timeAt(1, 1)
+	return []Fig2Case{
+		{Label: "(a) p=1, C=1", P: 1, C: 1, Time: 1, Work: 1},
+		{Label: fmt.Sprintf("(b) p=%d, C=1", n), P: n, C: 1, Time: timeAt(n, 1) / base, Work: 1},
+		{Label: fmt.Sprintf("(c) p=%d, C=%g", n, c), P: n, C: c, Time: timeAt(n, c) / base, Work: 1},
+	}, nil
+}
+
+// Fig2Table renders the illustration.
+func Fig2Table(cases []Fig2Case) *tablefmt.Table {
+	tb := tablefmt.New("Fig. 2: process- and memory-level concurrency", "case", "p", "C", "normalized time")
+	for _, cs := range cases {
+		tb.AddRow(cs.Label, tablefmt.Int(cs.P), tablefmt.Float(cs.C), tablefmt.Float(cs.Time))
+	}
+	return tb
+}
+
+// Fig7CoreAllocation reproduces the multi-application allocation case
+// study: three applications with contrasting (f_seq, C) profiles dividing
+// a 64-core chip.
+func Fig7CoreAllocation() (*tablefmt.Table, []core.Allocation, error) {
+	cfg := chip.DefaultConfig()
+	apps := []core.App{core.SequentialHeavyApp(), core.ParallelConcurrentApp(), core.BalancedApp()}
+	allocs, err := core.AllocateCores(cfg, apps, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := tablefmt.New("Fig. 7: core allocation for multiple tasks (64 cores)",
+		"application", "f_seq", "C", "cores", "speedup")
+	for _, al := range allocs {
+		tb.AddRow(al.App.Name, tablefmt.Float(al.App.Fseq), tablefmt.Float(al.App.CH),
+			tablefmt.Int(al.Cores), tablefmt.Float(al.Speedup))
+	}
+	return tb, allocs, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "runtime"
+
+// Scale sizes the simulation-backed experiments. The zero value selects
+// defaults that finish in seconds; cmd/figures -full raises them to
+// paper-scale (the 10⁶-point space).
+type Scale struct {
+	// SpacePer is the number of values per design-space dimension for the
+	// DSE experiments (10 = the paper's full 10⁶ space; default 3).
+	SpacePer int
+	// TotalRefs is the fixed workload size split across simulated cores.
+	TotalRefs int
+	// WSBytes is the workload working-set size.
+	WSBytes uint64
+	// Workers bounds sweep parallelism.
+	Workers int
+	// Seed drives every deterministic generator.
+	Seed uint64
+}
+
+func (s *Scale) fill() {
+	if s.SpacePer <= 0 {
+		s.SpacePer = 3
+	}
+	if s.TotalRefs <= 0 {
+		s.TotalRefs = 4000
+	}
+	if s.WSBytes == 0 {
+		s.WSBytes = 4 << 20
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	if s.Seed == 0 {
+		s.Seed = 7
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/speedup"
+	"repro/internal/tablefmt"
+)
+
+// ScalingPoint is one point of the Figs. 8-11 series: problem size W,
+// execution time T and throughput W/T at core count N under data-access
+// concurrency C.
+type ScalingPoint struct {
+	N  int
+	C  float64
+	W  float64
+	T  float64
+	WT float64
+}
+
+// scalingApp is the §IV case-study profile: a data-intensive workload
+// with a tiny sequential portion and superlinear memory-bounded scaling
+// g(N) = N^{3/2}, evaluated at pinned concurrency C.
+func scalingApp(fmem, c float64) core.App {
+	app := core.App{
+		Name: "scaling", Fseq: 0.01, Fmem: fmem, Overlap: 0.2,
+		CH: 1, CM: 1, PMRRatio: 1, PAMPRatio: 1,
+		L1Miss: chip.MissRateCurve{Base: 0.15, RefKB: 32, Alpha: 0.3, Floor: 0.02},
+		L2Miss: chip.MissRateCurve{Base: 0.5, RefKB: 512, Alpha: 0.3, Floor: 0.1},
+		G:      speedup.PowerLaw(1.5), GOrder: 1.5, IC0: 1,
+	}
+	return app.WithConcurrency(c)
+}
+
+// scalingChip builds the per-N chip for memory-bounded scaling: each core
+// brings its own silicon (Sun-Ni's processor-memory pairs), so the die
+// grows with N while the off-chip memory bandwidth — the shared resource
+// that eventually bounds throughput — stays fixed.
+func scalingChip(n int) chip.Config {
+	cfg := chip.DefaultConfig()
+	cfg.TotalArea = float64(n)*(4+1+4) + cfg.FixedArea
+	// Fixed shared memory bandwidth, calibrated so the C=1 curve
+	// saturates near one hundred cores (the Fig. 10 knee).
+	cfg.MemBandwidth = 1.5
+	cfg.QueueSensitivity = 3
+	return cfg
+}
+
+// scalingDesign is the fixed per-core split used across the sweep.
+func scalingDesign(n int) chip.Design {
+	return chip.Design{N: n, CoreArea: 4, L1Area: 1, L2Area: 4}
+}
+
+// MemoryBoundedScaling evaluates W and T (Figs. 8 and 9) and W/T
+// (Figs. 10 and 11) for g(N) = N^{3/2} at the given memory access
+// frequency, for each concurrency level and core count.
+func MemoryBoundedScaling(fmem float64, concurrencies []float64, ns []int) ([]ScalingPoint, error) {
+	if fmem <= 0 || fmem > 1 {
+		return nil, fmt.Errorf("experiments: fmem=%v outside (0,1]", fmem)
+	}
+	if len(concurrencies) == 0 || len(ns) == 0 {
+		return nil, fmt.Errorf("experiments: empty concurrency or N list")
+	}
+	var out []ScalingPoint
+	for _, c := range concurrencies {
+		app := scalingApp(fmem, c)
+		for _, n := range ns {
+			m := core.Model{Chip: scalingChip(n), App: app}
+			e, err := m.Evaluate(scalingDesign(n))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scaling N=%d C=%v: %w", n, c, err)
+			}
+			out = append(out, ScalingPoint{N: n, C: c, W: e.Work, T: e.Time, WT: e.Throughput})
+		}
+	}
+	return out, nil
+}
+
+// ScalingNs returns the log-spaced core counts of the Figs. 8-11 x-axis
+// (1 … 1000).
+func ScalingNs() []int {
+	return []int{1, 2, 4, 8, 16, 32, 64, 100, 150, 250, 400, 650, 1000}
+}
+
+// PaperConcurrencies are the three §IV concurrency levels.
+func PaperConcurrencies() []float64 { return []float64{1, 4, 8} }
+
+// ScalingTable renders a scaling series as one table with a W column and
+// per-concurrency T (or W/T) columns, matching the figure layout.
+func ScalingTable(title string, points []ScalingPoint, throughput bool) *tablefmt.Table {
+	byN := map[int]map[float64]ScalingPoint{}
+	var ns []int
+	var cs []float64
+	seenC := map[float64]bool{}
+	for _, p := range points {
+		if byN[p.N] == nil {
+			byN[p.N] = map[float64]ScalingPoint{}
+			ns = append(ns, p.N)
+		}
+		byN[p.N][p.C] = p
+		if !seenC[p.C] {
+			seenC[p.C] = true
+			cs = append(cs, p.C)
+		}
+	}
+	cols := []string{"N", "W"}
+	for _, c := range cs {
+		if throughput {
+			cols = append(cols, fmt.Sprintf("W/T(C=%g)", c))
+		} else {
+			cols = append(cols, fmt.Sprintf("T(C=%g)", c))
+		}
+	}
+	tb := tablefmt.New(title, cols...)
+	for _, n := range ns {
+		row := []string{tablefmt.Int(n), tablefmt.Float(byN[n][cs[0]].W)}
+		for _, c := range cs {
+			p := byN[n][c]
+			if throughput {
+				row = append(row, tablefmt.Float(p.WT))
+			} else {
+				row = append(row, tablefmt.Float(p.T))
+			}
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// Fig8 returns the W/T-vs-N table for fmem = 0.3 (execution time view).
+func Fig8() (*tablefmt.Table, []ScalingPoint, error) {
+	pts, err := MemoryBoundedScaling(0.3, PaperConcurrencies(), ScalingNs())
+	if err != nil {
+		return nil, nil, err
+	}
+	return ScalingTable("Fig. 8: W and T, memory-bounded scaling (g=N^1.5, fmem=0.3)", pts, false), pts, nil
+}
+
+// Fig9 returns the execution-time table for fmem = 0.9.
+func Fig9() (*tablefmt.Table, []ScalingPoint, error) {
+	pts, err := MemoryBoundedScaling(0.9, PaperConcurrencies(), ScalingNs())
+	if err != nil {
+		return nil, nil, err
+	}
+	return ScalingTable("Fig. 9: W and T, memory-bounded scaling (g=N^1.5, fmem=0.9)", pts, false), pts, nil
+}
+
+// Fig10 returns the throughput table for fmem = 0.3.
+func Fig10() (*tablefmt.Table, []ScalingPoint, error) {
+	pts, err := MemoryBoundedScaling(0.3, PaperConcurrencies(), ScalingNs())
+	if err != nil {
+		return nil, nil, err
+	}
+	return ScalingTable("Fig. 10: W/T (g=N^1.5, fmem=0.3)", pts, true), pts, nil
+}
+
+// Fig11 returns the throughput table for fmem = 0.9.
+func Fig11() (*tablefmt.Table, []ScalingPoint, error) {
+	pts, err := MemoryBoundedScaling(0.9, PaperConcurrencies(), ScalingNs())
+	if err != nil {
+		return nil, nil, err
+	}
+	return ScalingTable("Fig. 11: W/T (g=N^1.5, fmem=0.9)", pts, true), pts, nil
+}

@@ -1,0 +1,399 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// flatMemory is a fixed-latency lower level for testing.
+type flatMemory struct {
+	latency  int64
+	accesses int
+	writes   int
+	lastTime int64
+}
+
+func (m *flatMemory) Access(t int64, addr uint64, write bool) int64 {
+	m.accesses++
+	if write {
+		m.writes++
+	}
+	m.lastTime = t
+	return t + m.latency
+}
+
+func smallConfig() Config {
+	return Config{Name: "t", SizeKB: 1, LineBytes: 64, Assoc: 2, Banks: 1, Ports: 1, HitLatency: 2, MSHRs: 4}
+}
+
+func mustCache(t *testing.T, cfg Config, lower Level) *Cache {
+	t.Helper()
+	c, err := New(cfg, lower)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultL1().Validate(); err != nil {
+		t.Fatalf("default L1 invalid: %v", err)
+	}
+	if err := DefaultL2().Validate(); err != nil {
+		t.Fatalf("default L2 invalid: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"size":   func(c *Config) { c.SizeKB = 0 },
+		"line":   func(c *Config) { c.LineBytes = 4 },
+		"assoc":  func(c *Config) { c.Assoc = 0 },
+		"banks":  func(c *Config) { c.Banks = 0 },
+		"ports":  func(c *Config) { c.Ports = 0 },
+		"hitlat": func(c *Config) { c.HitLatency = 0 },
+		"mshrs":  func(c *Config) { c.MSHRs = 0 },
+		"tiny":   func(c *Config) { c.SizeKB = 1; c.LineBytes = 512; c.Assoc = 8 },
+	} {
+		cfg := DefaultL1()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+	if _, err := New(smallConfig(), nil); err == nil {
+		t.Error("nil lower accepted")
+	}
+}
+
+func TestSets(t *testing.T) {
+	cfg := Config{SizeKB: 32, LineBytes: 64, Assoc: 8}
+	if got := cfg.Sets(); got != 64 {
+		t.Fatalf("Sets = %d, want 64", got)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	c := mustCache(t, smallConfig(), mem)
+	r1 := c.AccessTimed(0, 0x40, false)
+	if r1.Hit {
+		t.Fatal("cold access hit")
+	}
+	// Miss latency: lookup (2) + memory (100).
+	if r1.Done != 102 {
+		t.Fatalf("miss done = %d, want 102", r1.Done)
+	}
+	r2 := c.AccessTimed(r1.Done, 0x40, false)
+	if !r2.Hit {
+		t.Fatal("second access missed")
+	}
+	if r2.Done != r2.Start+2 {
+		t.Fatalf("hit latency wrong: %+v", r2)
+	}
+	// Same line, different word: still a hit.
+	r3 := c.AccessTimed(r2.Done, 0x78, false)
+	if !r3.Hit {
+		t.Fatal("same-line access missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MissRate() != 1.0/3 {
+		t.Fatalf("miss rate = %v", st.MissRate())
+	}
+	if st.AvgLatency() <= 0 {
+		t.Fatal("no latency accumulated")
+	}
+}
+
+func TestMSHRMergeSecondaryMiss(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	c := mustCache(t, smallConfig(), mem)
+	r1 := c.AccessTimed(0, 0x1000, false)
+	// Second access to the same line while the first is outstanding.
+	r2 := c.AccessTimed(1, 0x1008, false)
+	if !r2.Merged {
+		t.Fatalf("secondary miss not merged: %+v", r2)
+	}
+	if r2.Done != r1.Done {
+		t.Fatalf("merged miss completes at %d, primary at %d", r2.Done, r1.Done)
+	}
+	if mem.accesses != 1 {
+		t.Fatalf("memory saw %d accesses, want 1 (merge)", mem.accesses)
+	}
+	if c.Stats().MSHRMerges != 1 {
+		t.Fatalf("merges = %d", c.Stats().MSHRMerges)
+	}
+}
+
+func TestMSHRLimitThrottles(t *testing.T) {
+	mem := &flatMemory{latency: 1000}
+	cfg := smallConfig()
+	cfg.MSHRs = 2
+	cfg.Ports = 8
+	cfg.Banks = 8
+	c := mustCache(t, cfg, mem)
+	// Four distinct-line misses at t=0: only 2 MSHRs, so the 3rd and 4th
+	// requests leave late.
+	var dones []int64
+	for i := 0; i < 4; i++ {
+		dones = append(dones, c.AccessTimed(0, uint64(i)*0x1000, false).Done)
+	}
+	if !(dones[2] > dones[0] && dones[3] > dones[1]) {
+		t.Fatalf("MSHR limit not throttling: %v", dones)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	mem := &flatMemory{latency: 10}
+	cfg := smallConfig() // 1 KB, 2-way, 64B lines → 8 sets
+	c := mustCache(t, cfg, mem)
+	setStride := uint64(cfg.Sets() * cfg.LineBytes) // same set every stride
+	clock := int64(0)
+	// Fill both ways of set 0, then touch way A, then install a third
+	// line: way B (LRU) must be evicted.
+	clock = c.Access(clock, 0*setStride, false)
+	clock = c.Access(clock, 1*setStride, false)
+	clock = c.Access(clock, 0*setStride, false) // refresh A
+	clock = c.Access(clock, 2*setStride, false) // evict B
+	if r := c.AccessTimed(clock, 0*setStride, false); !r.Hit {
+		t.Fatal("recently used line was evicted")
+	}
+	clock = c.Access(clock+10, 0, false)
+	if r := c.AccessTimed(clock+10, 1*setStride, false); r.Hit {
+		t.Fatal("LRU line survived eviction")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	mem := &flatMemory{latency: 10}
+	cfg := smallConfig()
+	c := mustCache(t, cfg, mem)
+	setStride := uint64(cfg.Sets() * cfg.LineBytes)
+	clock := c.Access(0, 0, true) // write-allocate, dirty
+	clock = c.Access(clock, 1*setStride, false)
+	memBefore := mem.writes
+	clock = c.Access(clock, 2*setStride, false) // evicts the dirty line
+	_ = clock
+	if mem.writes != memBefore+1 {
+		t.Fatalf("dirty eviction produced %d writebacks, want 1", mem.writes-memBefore)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	mem := &flatMemory{latency: 10}
+	cfg := smallConfig()
+	c := mustCache(t, cfg, mem)
+	setStride := uint64(cfg.Sets() * cfg.LineBytes)
+	clock := c.Access(0, 0, false)
+	clock = c.Access(clock, 1*setStride, false)
+	c.Access(clock, 2*setStride, false)
+	if c.Stats().Writebacks != 0 {
+		t.Fatalf("clean eviction wrote back: %+v", c.Stats())
+	}
+}
+
+func TestBankConflictDelays(t *testing.T) {
+	mem := &flatMemory{latency: 10}
+	cfg := smallConfig()
+	cfg.Banks = 1
+	cfg.Ports = 4
+	c := mustCache(t, cfg, mem)
+	c.Access(0, 0, false)
+	r := c.AccessTimed(0, 0x40, false) // same single bank at the same cycle
+	if r.Start == 0 {
+		t.Fatal("bank conflict did not delay the second access")
+	}
+}
+
+func TestPortLimitDelays(t *testing.T) {
+	mem := &flatMemory{latency: 10}
+	cfg := smallConfig()
+	cfg.Banks = 8
+	cfg.Ports = 1
+	c := mustCache(t, cfg, mem)
+	c.Access(0, 0, false)
+	r := c.AccessTimed(0, 0x40, false) // different bank, one port
+	if r.Start == 0 {
+		t.Fatal("port limit did not delay the second access")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	mem := &flatMemory{latency: 50}
+	cfg := DefaultL1() // 32 KB
+	c := mustCache(t, cfg, mem)
+	clock := int64(0)
+	// Touch 16 KB twice: second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 16*1024; addr += 64 {
+			clock = c.Access(clock, addr, false)
+		}
+	}
+	st := c.Stats()
+	wantMisses := uint64(16 * 1024 / 64)
+	if st.Misses != wantMisses {
+		t.Fatalf("misses = %d, want %d (cold only)", st.Misses, wantMisses)
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	mem := &flatMemory{latency: 50}
+	cfg := smallConfig() // 1 KB cache
+	c := mustCache(t, cfg, mem)
+	clock := int64(0)
+	// Stream 64 KB twice: second pass misses too (capacity).
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 64*1024; addr += 64 {
+			clock = c.Access(clock, addr, false)
+		}
+	}
+	if mr := c.Stats().MissRate(); mr < 0.99 {
+		t.Fatalf("thrashing miss rate = %v, want ≈1", mr)
+	}
+}
+
+func TestContentsBounded(t *testing.T) {
+	mem := &flatMemory{latency: 5}
+	cfg := smallConfig() // 16 lines capacity
+	c := mustCache(t, cfg, mem)
+	clock := int64(0)
+	for addr := uint64(0); addr < 1<<16; addr += 64 {
+		clock = c.Access(clock, addr, false)
+	}
+	maxLines := cfg.SizeKB * 1024 / cfg.LineBytes
+	if got := c.Contents(); got > maxLines {
+		t.Fatalf("cache holds %d lines, capacity %d", got, maxLines)
+	}
+}
+
+func TestPruneInflight(t *testing.T) {
+	mem := &flatMemory{latency: 10}
+	c := mustCache(t, smallConfig(), mem)
+	for i := 0; i < 100; i++ {
+		c.Access(int64(i*1000), uint64(i)*0x1000, false)
+	}
+	c.PruneInflight(1 << 40)
+	if len(c.inflight) != 0 {
+		t.Fatalf("prune left %d entries", len(c.inflight))
+	}
+}
+
+func TestCompletionAfterRequest(t *testing.T) {
+	mem := &flatMemory{latency: 25}
+	cfg := smallConfig()
+	f := func(addrs []uint16, gaps []uint8) bool {
+		c, err := New(cfg, mem)
+		if err != nil {
+			return false
+		}
+		var clock int64
+		for i, a := range addrs {
+			if i < len(gaps) {
+				clock += int64(gaps[i])
+			}
+			r := c.AccessTimed(clock, uint64(a)*8, i%4 == 0)
+			if r.Done <= clock || r.Start < clock {
+				return false
+			}
+			if r.Hit && r.Done != r.Start+int64(cfg.HitLatency) {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessLevelInterface(t *testing.T) {
+	mem := &flatMemory{latency: 7}
+	c := mustCache(t, smallConfig(), mem)
+	var lvl Level = c
+	if done := lvl.Access(0, 0, false); done != 9 { // 2 lookup + 7 memory
+		t.Fatalf("Level.Access done = %d, want 9", done)
+	}
+	if c.Config().Name != "t" {
+		t.Fatal("Config() mismatch")
+	}
+}
+
+func TestNextLinePrefetchHelpsStreaming(t *testing.T) {
+	run := func(prefetch bool) (Stats, int64) {
+		mem := &flatMemory{latency: 100}
+		cfg := DefaultL1()
+		cfg.NextLinePrefetch = prefetch
+		c := mustCache(t, cfg, mem)
+		clock := int64(0)
+		// Sequential word walk over 1 MB: classic streaming.
+		for addr := uint64(0); addr < 1<<20; addr += 8 {
+			clock = c.Access(clock, addr, false)
+		}
+		return c.Stats(), clock
+	}
+	base, baseTime := run(false)
+	pf, pfTime := run(true)
+	if pf.Prefetches == 0 {
+		t.Fatal("prefetcher idle on a streaming walk")
+	}
+	if base.Prefetches != 0 {
+		t.Fatal("prefetches counted with prefetcher off")
+	}
+	if pfTime >= baseTime {
+		t.Fatalf("prefetching did not speed streaming: %d vs %d cycles", pfTime, baseTime)
+	}
+	// Demand misses shrink: the next line is in flight by the time the
+	// walk reaches it (merged or hit).
+	if pf.Misses-pf.MSHRMerges >= base.Misses-base.MSHRMerges {
+		t.Fatalf("primary demand misses not reduced: %d vs %d",
+			pf.Misses-pf.MSHRMerges, base.Misses-base.MSHRMerges)
+	}
+}
+
+func TestPrefetchDoesNotEvictDirtyLines(t *testing.T) {
+	mem := &flatMemory{latency: 10}
+	cfg := smallConfig() // 8 sets, 2-way
+	cfg.NextLinePrefetch = true
+	cfg.MSHRs = 8
+	c := mustCache(t, cfg, mem)
+	setStride := uint64(cfg.Sets() * cfg.LineBytes)
+	clock := c.Access(0, 0, true) // dirty line in set 0
+	clock = c.Access(clock, 1*setStride, true)
+	// A miss in set 7 prefetches line in set 0 (line+1 wraps sets): the
+	// dirty lines must survive speculative installs.
+	before := c.Stats().Writebacks
+	clock = c.Access(clock, 7*uint64(cfg.LineBytes), false)
+	_ = clock
+	if c.Stats().Writebacks != before {
+		t.Fatal("prefetch caused a writeback")
+	}
+}
+
+func TestPrefetchUselessForRandom(t *testing.T) {
+	run := func(prefetch bool) int64 {
+		mem := &flatMemory{latency: 100}
+		cfg := DefaultL1()
+		cfg.NextLinePrefetch = prefetch
+		c := mustCache(t, cfg, mem)
+		clock := int64(0)
+		x := uint64(7)
+		for i := 0; i < 20000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			clock = c.Access(clock, (x%(1<<26))&^7, false)
+		}
+		return clock
+	}
+	base := run(false)
+	pf := run(true)
+	// Random access gains nothing; allow small slack either way.
+	ratio := float64(pf) / float64(base)
+	if ratio < 0.9 || ratio > 1.2 {
+		t.Fatalf("prefetch changed random-walk time unexpectedly: ratio %v", ratio)
+	}
+}

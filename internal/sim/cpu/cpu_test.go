@@ -1,0 +1,198 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/sim/cache"
+	"repro/internal/trace"
+)
+
+// flatMemory is a fixed-latency lower level.
+type flatMemory struct{ latency int64 }
+
+func (m *flatMemory) Access(t int64, addr uint64, write bool) int64 { return t + m.latency }
+
+func newL1(t *testing.T, mshrs int) *cache.Cache {
+	t.Helper()
+	cfg := cache.DefaultL1()
+	cfg.MSHRs = mshrs
+	cfg.Ports = 4
+	cfg.Banks = 8
+	c, err := cache.New(cfg, &flatMemory{latency: 200})
+	if err != nil {
+		t.Fatalf("cache.New: %v", err)
+	}
+	return c
+}
+
+func mustCore(t *testing.T, cfg Config, l1 *cache.Cache, obs AccessObserver) *Core {
+	t.Helper()
+	c, err := NewCore(cfg, l1, obs)
+	if err != nil {
+		t.Fatalf("NewCore: %v", err)
+	}
+	return c
+}
+
+func hitTrace(n int, gap uint16) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(i%64) * 8, Gap: gap} // 8 lines, always warm after cold start
+	}
+	return refs
+}
+
+func missTrace(n int, gap uint16, dep bool) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(i) * 4096, Gap: gap, Dep: dep} // distinct sets/lines
+	}
+	return refs
+}
+
+func runTrace(t *testing.T, cfg Config, refs []trace.Ref, mshrs int) Stats {
+	t.Helper()
+	core := mustCore(t, cfg, newL1(t, mshrs), nil)
+	for _, r := range refs {
+		core.Step(r)
+	}
+	return core.Drain()
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if err := (Config{IssueWidth: 0, ROB: 128}).Validate(); err == nil {
+		t.Error("zero issue width accepted")
+	}
+	if err := (Config{IssueWidth: 4, ROB: 0}).Validate(); err == nil {
+		t.Error("zero ROB accepted")
+	}
+	if _, err := NewCore(Config{}, nil, nil); err == nil {
+		t.Error("NewCore accepted bad config")
+	}
+	if _, err := NewCore(DefaultConfig(), nil, nil); err == nil {
+		t.Error("NewCore accepted nil L1")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	st := runTrace(t, DefaultConfig(), hitTrace(100, 3), 8)
+	if st.MemAccesses != 100 {
+		t.Fatalf("mem accesses = %d", st.MemAccesses)
+	}
+	if st.Instructions != 100+100*3 {
+		t.Fatalf("instructions = %d, want 400", st.Instructions)
+	}
+	if st.Cycles <= 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	if st.CPI() <= 0 {
+		t.Fatal("CPI not positive")
+	}
+	if (Stats{}).CPI() != 0 {
+		t.Fatal("empty CPI not 0")
+	}
+}
+
+func TestIssueWidthSpeedsUpCompute(t *testing.T) {
+	// Compute-heavy trace: wider issue → fewer cycles.
+	refs := hitTrace(500, 16)
+	narrow := runTrace(t, Config{IssueWidth: 1, ROB: 128}, refs, 8)
+	wide := runTrace(t, Config{IssueWidth: 8, ROB: 128}, refs, 8)
+	if wide.Cycles >= narrow.Cycles {
+		t.Fatalf("8-wide (%d cycles) not faster than 1-wide (%d)", wide.Cycles, narrow.Cycles)
+	}
+	// Roughly 8× on pure compute; allow generous slack for memory time.
+	if float64(narrow.Cycles) < 3*float64(wide.Cycles) {
+		t.Fatalf("issue width scaling too weak: %d vs %d", narrow.Cycles, wide.Cycles)
+	}
+}
+
+func TestROBEnablesMLP(t *testing.T) {
+	// Independent misses: a big window overlaps them, a tiny one cannot.
+	refs := missTrace(200, 4, false)
+	small := runTrace(t, Config{IssueWidth: 4, ROB: 5}, refs, 16)
+	big := runTrace(t, Config{IssueWidth: 4, ROB: 256}, refs, 16)
+	if big.Cycles >= small.Cycles {
+		t.Fatalf("large ROB (%d cycles) not faster than small (%d)", big.Cycles, small.Cycles)
+	}
+	if float64(small.Cycles) < 2*float64(big.Cycles) {
+		t.Fatalf("MLP benefit too weak: %d vs %d", small.Cycles, big.Cycles)
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	indep := runTrace(t, DefaultConfig(), missTrace(200, 0, false), 16)
+	dep := runTrace(t, DefaultConfig(), missTrace(200, 0, true), 16)
+	if dep.Cycles <= indep.Cycles {
+		t.Fatalf("dependent chain (%d cycles) not slower than independent (%d)", dep.Cycles, indep.Cycles)
+	}
+	// A dependent chain of 200 misses costs ≥ 200 × memory latency.
+	if dep.Cycles < 200*200 {
+		t.Fatalf("dependent chain too fast: %d cycles", dep.Cycles)
+	}
+}
+
+func TestMaxInFlightRespectsROB(t *testing.T) {
+	l1 := newL1(t, 64)
+	core := mustCore(t, Config{IssueWidth: 4, ROB: 8}, l1, nil)
+	for _, r := range missTrace(100, 0, false) {
+		core.Step(r)
+	}
+	core.Drain()
+	if core.MaxInFlight() > 8 {
+		t.Fatalf("in-flight %d exceeded ROB 8", core.MaxInFlight())
+	}
+	if core.MaxInFlight() < 2 {
+		t.Fatalf("no MLP achieved: %d", core.MaxInFlight())
+	}
+}
+
+// captureObserver records observed accesses.
+type captureObserver struct {
+	n        int
+	lastDone int64
+}
+
+func (c *captureObserver) Observe(res cache.Result, hitLatency int) {
+	c.n++
+	c.lastDone = res.Done
+}
+
+func TestObserverSeesEveryAccess(t *testing.T) {
+	obs := &captureObserver{}
+	core := mustCore(t, DefaultConfig(), newL1(t, 8), obs)
+	for _, r := range hitTrace(50, 2) {
+		core.Step(r)
+	}
+	core.Drain()
+	if obs.n != 50 {
+		t.Fatalf("observer saw %d accesses, want 50", obs.n)
+	}
+	if obs.lastDone <= 0 {
+		t.Fatal("observer got no completion times")
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	core := mustCore(t, DefaultConfig(), newL1(t, 8), nil)
+	prev := core.Clock()
+	for _, r := range missTrace(100, 3, false) {
+		core.Step(r)
+		if core.Clock() < prev {
+			t.Fatalf("clock went backwards: %d → %d", prev, core.Clock())
+		}
+		prev = core.Clock()
+	}
+}
+
+func TestDrainWaitsForOutstanding(t *testing.T) {
+	core := mustCore(t, DefaultConfig(), newL1(t, 8), nil)
+	core.Step(trace.Ref{Addr: 0x10000}) // one miss, ~200 cycles
+	st := core.Drain()
+	if st.Cycles < 200 {
+		t.Fatalf("drain did not wait for the miss: %d cycles", st.Cycles)
+	}
+}

@@ -1,0 +1,189 @@
+// Package dram is a DRAMSim2-style main-memory timing model: channels,
+// banks, row buffers and the tRCD/tCAS/tRP timing triplet, with per-channel
+// data-bus serialization. It is a timing calculator rather than a
+// cycle-stepped state machine: each access reserves its bank and bus in
+// arrival order (the FR-FCFS approximation appropriate for trace-driven
+// simulation) and returns its completion cycle.
+package dram
+
+import "fmt"
+
+// Config holds the memory-system geometry and timing in core cycles.
+type Config struct {
+	Channels        int
+	BanksPerChannel int
+	RowBytes        int // row-buffer width
+	LineBytes       int // transfer granularity
+
+	TRCD   int // activate → column access
+	TCAS   int // column access → data
+	TRP    int // precharge
+	TBurst int // data-bus occupancy per line
+
+	// TREFI is the refresh interval: every TREFI cycles each channel
+	// performs an all-bank refresh taking TRFC cycles, during which the
+	// banks are unavailable and open rows are closed. TREFI ≤ 0 disables
+	// refresh.
+	TREFI int
+	TRFC  int
+}
+
+// DefaultConfig returns DDR3-1600-like timings expressed in CPU cycles
+// (~3 GHz core, 200-cycle unloaded round trip through the controller).
+func DefaultConfig() Config {
+	return Config{
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBytes:        8192,
+		LineBytes:       64,
+		TRCD:            40,
+		TCAS:            40,
+		TRP:             40,
+		TBurst:          12,
+		TREFI:           23400, // 7.8 µs at 3 GHz
+		TRFC:            1050,  // 350 ns
+	}
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels < 1 || c.BanksPerChannel < 1:
+		return fmt.Errorf("dram: need ≥1 channel and bank (got %d, %d)", c.Channels, c.BanksPerChannel)
+	case c.RowBytes < c.LineBytes || c.LineBytes < 8:
+		return fmt.Errorf("dram: row %dB must hold at least one %dB line", c.RowBytes, c.LineBytes)
+	case c.TRCD < 0 || c.TCAS < 0 || c.TRP < 0 || c.TBurst < 1:
+		return fmt.Errorf("dram: negative timing (tRCD=%d tCAS=%d tRP=%d tBurst=%d)", c.TRCD, c.TCAS, c.TRP, c.TBurst)
+	case c.TREFI > 0 && c.TRFC <= 0:
+		return fmt.Errorf("dram: refresh enabled (tREFI=%d) with tRFC=%d", c.TREFI, c.TRFC)
+	case c.TREFI > 0 && c.TRFC >= c.TREFI:
+		return fmt.Errorf("dram: tRFC=%d must be below tREFI=%d", c.TRFC, c.TREFI)
+	}
+	return nil
+}
+
+// Stats aggregates access outcomes.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64 // includes row conflicts (precharge needed)
+	RowEmpty  uint64 // activate into an idle bank
+	Refreshes uint64 // all-bank refreshes performed
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses())
+}
+
+type bank struct {
+	freeAt  int64
+	openRow int64 // -1 when precharged/idle
+}
+
+type channel struct {
+	busFreeAt   int64
+	banks       []bank
+	nextRefresh int64
+}
+
+// DRAM is the memory-system state. It is not safe for concurrent use; the
+// simulator serializes accesses in global time order.
+type DRAM struct {
+	cfg   Config
+	chans []channel
+	stats Stats
+}
+
+// New builds a DRAM model.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DRAM{cfg: cfg, chans: make([]channel, cfg.Channels)}
+	for i := range d.chans {
+		d.chans[i].banks = make([]bank, cfg.BanksPerChannel)
+		for b := range d.chans[i].banks {
+			d.chans[i].banks[b].openRow = -1
+		}
+		if cfg.TREFI > 0 {
+			d.chans[i].nextRefresh = int64(cfg.TREFI)
+		}
+	}
+	return d, nil
+}
+
+// Config returns the model's configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Access services one line transfer whose request arrives at cycle t and
+// returns the cycle at which the data transfer completes. Channel is
+// selected by line interleaving, bank by line-within-channel interleaving,
+// and the row by the address within the bank, so sequential lines stream
+// across channels and sequential rows stay bank-local.
+func (d *DRAM) Access(t int64, addr uint64, write bool) int64 {
+	line := addr / uint64(d.cfg.LineBytes)
+	chIdx := int(line % uint64(d.cfg.Channels))
+	ch := &d.chans[chIdx]
+	bankIdx := int((line / uint64(d.cfg.Channels)) % uint64(d.cfg.BanksPerChannel))
+	bk := &ch.banks[bankIdx]
+	row := int64(addr / uint64(d.cfg.RowBytes))
+
+	// Catch up on refreshes due before this request: each all-bank
+	// refresh blocks the channel for tRFC and precharges every row.
+	if d.cfg.TREFI > 0 {
+		for ch.nextRefresh <= t {
+			refreshEnd := ch.nextRefresh + int64(d.cfg.TRFC)
+			for b := range ch.banks {
+				if ch.banks[b].freeAt < refreshEnd {
+					ch.banks[b].freeAt = refreshEnd
+				}
+				ch.banks[b].openRow = -1
+			}
+			d.stats.Refreshes++
+			ch.nextRefresh += int64(d.cfg.TREFI)
+		}
+	}
+
+	start := t
+	if bk.freeAt > start {
+		start = bk.freeAt
+	}
+	var lat int64
+	switch {
+	case bk.openRow == row:
+		d.stats.RowHits++
+		lat = int64(d.cfg.TCAS)
+	case bk.openRow < 0:
+		d.stats.RowEmpty++
+		lat = int64(d.cfg.TRCD + d.cfg.TCAS)
+	default:
+		d.stats.RowMisses++
+		lat = int64(d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS)
+	}
+	dataReady := start + lat
+	busStart := dataReady
+	if ch.busFreeAt > busStart {
+		busStart = ch.busFreeAt
+	}
+	done := busStart + int64(d.cfg.TBurst)
+	ch.busFreeAt = done
+	bk.freeAt = done
+	bk.openRow = row
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	return done
+}

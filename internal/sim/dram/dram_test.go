@@ -1,0 +1,261 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *DRAM {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"channels": func(c *Config) { c.Channels = 0 },
+		"banks":    func(c *Config) { c.BanksPerChannel = 0 },
+		"row":      func(c *Config) { c.RowBytes = 32 },
+		"line":     func(c *Config) { c.LineBytes = 4 },
+		"trcd":     func(c *Config) { c.TRCD = -1 },
+		"tburst":   func(c *Config) { c.TBurst = 0 },
+	} {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("%s: New accepted invalid config", name)
+		}
+	}
+}
+
+func TestRowBufferHit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.BanksPerChannel = 1
+	d := mustNew(t, cfg)
+	// First access: empty bank → tRCD+tCAS+tBurst.
+	done1 := d.Access(0, 0, false)
+	want1 := int64(cfg.TRCD + cfg.TCAS + cfg.TBurst)
+	if done1 != want1 {
+		t.Fatalf("first access done=%d, want %d", done1, want1)
+	}
+	// Same row, after the bank frees: row hit → tCAS+tBurst.
+	done2 := d.Access(done1, 64, false)
+	want2 := done1 + int64(cfg.TCAS+cfg.TBurst)
+	if done2 != want2 {
+		t.Fatalf("row hit done=%d, want %d", done2, want2)
+	}
+	// Different row: precharge+activate.
+	done3 := d.Access(done2, uint64(cfg.RowBytes*4), false)
+	want3 := done2 + int64(cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBurst)
+	if done3 != want3 {
+		t.Fatalf("row miss done=%d, want %d", done3, want3)
+	}
+	st := d.Stats()
+	if st.RowEmpty != 1 || st.RowHits != 1 || st.RowMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.RowHitRate() != 1.0/3 {
+		t.Fatalf("row hit rate = %v", st.RowHitRate())
+	}
+}
+
+func TestBankConflictSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.BanksPerChannel = 1
+	d := mustNew(t, cfg)
+	// Two simultaneous requests to one bank: the second waits.
+	d1 := d.Access(0, 0, false)
+	d2 := d.Access(0, 64, false)
+	if d2 <= d1 {
+		t.Fatalf("bank conflict not serialized: %d ≤ %d", d2, d1)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	cfg.BanksPerChannel = 1
+	d := mustNew(t, cfg)
+	// Adjacent lines interleave across channels: both can proceed.
+	d1 := d.Access(0, 0, false)
+	d2 := d.Access(0, 64, false)
+	if d1 != d2 {
+		t.Fatalf("independent channels should finish together: %d vs %d", d1, d2)
+	}
+}
+
+func TestBusSerializesWithinChannel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.BanksPerChannel = 8
+	d := mustNew(t, cfg)
+	// Different banks, same channel: activations overlap but the data bus
+	// transfers serialize.
+	lineStride := uint64(cfg.LineBytes) // bank stride within a channel
+	d1 := d.Access(0, 0*lineStride, false)
+	d2 := d.Access(0, 1*lineStride, false)
+	if d2 != d1+int64(cfg.TBurst) {
+		t.Fatalf("bus not serialized: %d, want %d", d2, d1+int64(cfg.TBurst))
+	}
+}
+
+func TestStreamingHasHighRowHitRate(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	var clock int64
+	for addr := uint64(0); addr < 1<<20; addr += 64 {
+		clock = d.Access(clock, addr, false)
+	}
+	if rate := d.Stats().RowHitRate(); rate < 0.8 {
+		t.Fatalf("streaming row hit rate = %v, want ≥ 0.8", rate)
+	}
+}
+
+func TestRandomHasLowRowHitRate(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	var clock int64
+	x := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		clock = d.Access(clock, (x%(1<<28))&^63, false)
+	}
+	if rate := d.Stats().RowHitRate(); rate > 0.2 {
+		t.Fatalf("random row hit rate = %v, want ≤ 0.2", rate)
+	}
+}
+
+func TestCompletionMonotoneInArrival(t *testing.T) {
+	// For a fixed address, later arrivals never finish earlier.
+	cfg := DefaultConfig()
+	f := func(gaps []uint8) bool {
+		d, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		var tArr int64
+		var prevDone int64
+		for _, g := range gaps {
+			tArr += int64(g)
+			done := d.Access(tArr, 4096, false)
+			if done < prevDone {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritesCounted(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	d.Access(0, 0, true)
+	d.Access(0, 64, false)
+	st := d.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.Accesses() != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if d.Config().Channels != DefaultConfig().Channels {
+		t.Fatal("Config() mismatch")
+	}
+}
+
+func TestEmptyStatsRates(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	if d.Stats().RowHitRate() != 0 {
+		t.Fatal("empty row hit rate not 0")
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TREFI = 1000
+	cfg.TRFC = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("refresh without tRFC accepted")
+	}
+	cfg.TRFC = 2000
+	if err := cfg.Validate(); err == nil {
+		t.Error("tRFC ≥ tREFI accepted")
+	}
+}
+
+func TestRefreshStallsAndClosesRows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.BanksPerChannel = 1
+	cfg.TREFI = 1000
+	cfg.TRFC = 200
+	d := mustNew(t, cfg)
+	// Open a row well before the refresh.
+	done := d.Access(0, 0, false)
+	if done > 1000 {
+		t.Fatalf("first access too slow: %d", done)
+	}
+	// Next access arrives after the refresh point: it pays tRFC and the
+	// row is closed (activate needed again, not a row hit).
+	done2 := d.Access(1001, 64, false)
+	if done2 < 1200+int64(cfg.TRCD+cfg.TCAS) {
+		t.Fatalf("refresh did not stall: done=%d", done2)
+	}
+	st := d.Stats()
+	if st.Refreshes == 0 {
+		t.Fatal("no refresh counted")
+	}
+	if st.RowHits != 0 {
+		t.Fatalf("row survived refresh: %+v", st)
+	}
+}
+
+func TestRefreshCatchUp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.TREFI = 100
+	cfg.TRFC = 10
+	d := mustNew(t, cfg)
+	// A request arriving far in the future catches up on all missed
+	// refreshes without looping forever.
+	d.Access(100000, 0, false)
+	if got := d.Stats().Refreshes; got != 1000 {
+		t.Fatalf("refreshes = %d, want 1000", got)
+	}
+}
+
+func TestRefreshOverheadMeasurable(t *testing.T) {
+	run := func(refresh bool) int64 {
+		cfg := DefaultConfig()
+		if !refresh {
+			cfg.TREFI = 0
+		}
+		d := mustNew(t, cfg)
+		var clock int64
+		for addr := uint64(0); addr < 1<<22; addr += 64 {
+			clock = d.Access(clock, addr, false)
+		}
+		return clock
+	}
+	with := run(true)
+	without := run(false)
+	if with <= without {
+		t.Fatalf("refresh has no cost: %d vs %d", with, without)
+	}
+	// Overhead is bounded (tRFC/tREFI ≈ 4.5%).
+	if float64(with) > 1.2*float64(without) {
+		t.Fatalf("refresh overhead implausibly high: %d vs %d", with, without)
+	}
+}

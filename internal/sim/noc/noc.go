@@ -1,0 +1,83 @@
+// Package noc models the on-chip interconnect between cores and the
+// shared-L2 banks as a 2-D mesh: cores and banks are placed on a
+// √N-by-√N grid and each request pays the Manhattan hop distance in both
+// directions plus router overhead. Queueing inside the network is left to
+// the L2 bank/port reservations, which dominate contention in practice.
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes the mesh.
+type Config struct {
+	Nodes        int // number of mesh endpoints (≥ cores, ≥ banks)
+	HopCycles    int // per-hop link latency
+	RouterCycles int // fixed injection+ejection overhead
+}
+
+// DefaultConfig returns a typical low-radix mesh: 2 cycles per hop, 4
+// cycles of router overhead.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, HopCycles: 2, RouterCycles: 4}
+}
+
+// Validate checks the mesh shape.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("noc: %d nodes", c.Nodes)
+	}
+	if c.HopCycles < 0 || c.RouterCycles < 0 {
+		return fmt.Errorf("noc: negative latency (hop=%d router=%d)", c.HopCycles, c.RouterCycles)
+	}
+	return nil
+}
+
+// Mesh computes deterministic hop latencies.
+type Mesh struct {
+	cfg  Config
+	side int
+}
+
+// New builds the mesh; nodes are arranged on the smallest square that
+// holds them, row-major.
+func New(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	side := int(math.Ceil(math.Sqrt(float64(cfg.Nodes))))
+	if side < 1 {
+		side = 1
+	}
+	return &Mesh{cfg: cfg, side: side}, nil
+}
+
+// Side returns the mesh's edge length.
+func (m *Mesh) Side() int { return m.side }
+
+// position maps a node index onto the grid.
+func (m *Mesh) position(node int) (x, y int) {
+	node %= m.side * m.side
+	return node % m.side, node / m.side
+}
+
+// Hops returns the Manhattan distance between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.position(src)
+	dx, dy := m.position(dst)
+	h := sx - dx
+	if h < 0 {
+		h = -h
+	}
+	v := sy - dy
+	if v < 0 {
+		v = -v
+	}
+	return h + v
+}
+
+// Latency returns the one-way latency in cycles from src to dst.
+func (m *Mesh) Latency(src, dst int) int64 {
+	return int64(m.cfg.RouterCycles + m.cfg.HopCycles*m.Hops(src, dst))
+}

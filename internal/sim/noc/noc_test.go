@@ -1,0 +1,93 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustMesh(t *testing.T, cfg Config) *Mesh {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig(16).Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if err := (Config{Nodes: 0}).Validate(); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if err := (Config{Nodes: 4, HopCycles: -1}).Validate(); err == nil {
+		t.Error("negative hop accepted")
+	}
+	if _, err := New(Config{Nodes: -1}); err == nil {
+		t.Error("New accepted bad config")
+	}
+}
+
+func TestMeshShape(t *testing.T) {
+	cases := []struct{ nodes, side int }{
+		{1, 1}, {2, 2}, {4, 2}, {5, 3}, {9, 3}, {16, 4}, {17, 5}, {64, 8},
+	}
+	for _, c := range cases {
+		m := mustMesh(t, DefaultConfig(c.nodes))
+		if m.Side() != c.side {
+			t.Errorf("nodes=%d: side=%d, want %d", c.nodes, m.Side(), c.side)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(16)) // 4×4
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1},  // one row down
+		{0, 15, 6}, // corner to corner
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	cfg := Config{Nodes: 16, HopCycles: 2, RouterCycles: 4}
+	m := mustMesh(t, cfg)
+	if got := m.Latency(0, 15); got != int64(4+2*6) {
+		t.Fatalf("Latency corner-corner = %d, want 16", got)
+	}
+	if got := m.Latency(3, 3); got != 4 {
+		t.Fatalf("self latency = %d, want router overhead 4", got)
+	}
+}
+
+func TestHopsMetricProperties(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(25))
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a, b, c := int(aRaw)%25, int(bRaw)%25, int(cRaw)%25
+		// Symmetry, identity, triangle inequality.
+		return m.Hops(a, b) == m.Hops(b, a) &&
+			m.Hops(a, a) == 0 &&
+			m.Hops(a, c) <= m.Hops(a, b)+m.Hops(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeWraparound(t *testing.T) {
+	// Node indices beyond the grid wrap rather than panic (banks placed
+	// round-robin can exceed the node count).
+	m := mustMesh(t, DefaultConfig(4))
+	if got := m.Hops(0, 4); got != 0 {
+		t.Fatalf("wrapped hop = %d, want 0", got)
+	}
+}

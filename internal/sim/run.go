@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/apc"
+	"repro/internal/camat"
+	"repro/internal/detector"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/dram"
+	"repro/internal/sim/noc"
+	"repro/internal/trace"
+)
+
+// Run simulates the machine executing one reference trace per core.
+// Cores advance in global-time order (the core with the smallest clock
+// steps next), so shared-resource reservations at the L2 and DRAM happen
+// in approximately arrival order. Run returns an error for invalid
+// configurations or a core count/trace count mismatch.
+func Run(cfg Config, traces [][]trace.Ref) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(traces) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d traces for %d cores", len(traces), cfg.Cores)
+	}
+
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	memTracker := apc.NewTracker(0)
+	memLevel := &recordingLevel{inner: mem, tracker: memTracker}
+
+	l2, err := cache.New(cfg.L2, memLevel)
+	if err != nil {
+		return nil, err
+	}
+	mesh, err := noc.New(cfg.NoC)
+	if err != nil {
+		return nil, err
+	}
+	l2Tracker := apc.NewTracker(0)
+	// Layer APCs take the chip-wide view: accesses at the layer divided
+	// by the union of cycles the layer has at least one outstanding
+	// access (Fig. 13). The per-core APC = 1/C-AMAT identity is reported
+	// separately through the detector aggregate (Result.L1Aggregate).
+	l1Tracker := apc.NewTracker(0)
+
+	cores := make([]*cpu.Core, cfg.Cores)
+	l1s := make([]*cache.Cache, cfg.Cores)
+	dets := make([]*detector.Detector, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		// Each core reaches the shared L2 through the mesh; the hop count
+		// uses the average distance from the core to the L2 banks, which
+		// are spread across the die. Bank queueing itself is modelled by
+		// the L2's bank reservations.
+		var hops int64
+		banks := cfg.L2.Banks
+		for b := 0; b < banks; b++ {
+			// Banks occupy mesh nodes round-robin.
+			hops += mesh.Latency(i, b*maxInt(1, cfg.NoC.Nodes/banks))
+		}
+		l2Adapter := &recordingLevel{inner: l2, tracker: l2Tracker, oneWay: hops / int64(banks)}
+		l1, err := cache.New(cfg.L1, l2Adapter)
+		if err != nil {
+			return nil, err
+		}
+		det := detector.New()
+		obs := &observerChain{obs: []cpu.AccessObserver{det}, tracker: l1Tracker}
+		core, err := cpu.NewCore(cfg.Core, l1, obs)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = core
+		l1s[i] = l1
+		dets[i] = det
+	}
+
+	// Global-time-ordered interleaving.
+	idx := make([]int, cfg.Cores)
+	remaining := 0
+	for _, tr := range traces {
+		remaining += len(tr)
+	}
+	steps := 0
+	for remaining > 0 {
+		best := -1
+		var bestClock int64
+		for c := 0; c < cfg.Cores; c++ {
+			if idx[c] >= len(traces[c]) {
+				continue
+			}
+			if best < 0 || cores[c].Clock() < bestClock {
+				best = c
+				bestClock = cores[c].Clock()
+			}
+		}
+		cores[best].Step(traces[best][idx[best]])
+		idx[best]++
+		remaining--
+		steps++
+		if steps%100000 == 0 {
+			watermark := bestClock - (1 << 22)
+			for _, l1 := range l1s {
+				l1.PruneInflight(watermark)
+			}
+			l2.PruneInflight(watermark)
+		}
+	}
+
+	res := &Result{Cores: cfg.Cores}
+	res.CoreStats = make([]cpu.Stats, cfg.Cores)
+	res.L1Analyses = make([]camat.Analysis, cfg.Cores)
+	var cpiSum float64
+	activeCores := 0
+	for i, core := range cores {
+		st := core.Drain()
+		res.CoreStats[i] = st
+		res.Instructions += st.Instructions
+		res.MemAccesses += st.MemAccesses
+		if st.Cycles > res.Cycles {
+			res.Cycles = st.Cycles
+		}
+		if st.Instructions > 0 {
+			cpiSum += st.CPI()
+			activeCores++
+		}
+		res.L1Analyses[i] = dets[i].Finalize()
+		l1Stats := l1s[i].Stats()
+		res.L1Stats.Accesses += l1Stats.Accesses
+		res.L1Stats.Hits += l1Stats.Hits
+		res.L1Stats.Misses += l1Stats.Misses
+		res.L1Stats.MSHRMerges += l1Stats.MSHRMerges
+		res.L1Stats.Writebacks += l1Stats.Writebacks
+		res.L1Stats.LatencySum += l1Stats.LatencySum
+	}
+	if activeCores > 0 {
+		res.CPI = cpiSum / float64(activeCores)
+	}
+	res.L1Aggregate = camat.Merge(res.L1Analyses...)
+	res.L1Params = res.L1Aggregate.Params()
+	res.L2Stats = l2.Stats()
+	res.DRAMStats = mem.Stats()
+	res.APCL1 = l1Tracker.APC()
+	res.APCL2 = l2Tracker.APC()
+	res.APCMem = memTracker.APC()
+	return res, nil
+}
+
+// RunWorkload is a convenience wrapper: it builds one generator per core
+// for the named workload (distinct seeds) and runs refsPerCore references
+// on each.
+func RunWorkload(cfg Config, workload string, wsBytes uint64, meanGap float64, refsPerCore int, seed uint64) (*Result, error) {
+	if refsPerCore < 1 {
+		return nil, fmt.Errorf("sim: refsPerCore %d below 1", refsPerCore)
+	}
+	traces := make([][]trace.Ref, cfg.Cores)
+	for i := range traces {
+		g, err := trace.ByName(workload, wsBytes, meanGap, seed+uint64(i)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = trace.Take(g, refsPerCore)
+	}
+	return Run(cfg, traces)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WorkloadSpec describes one application's share of a mixed run.
+type WorkloadSpec struct {
+	Workload string
+	WSBytes  uint64
+	MeanGap  float64
+	Refs     int // references per core
+	Cores    int
+	Seed     uint64
+}
+
+// RunMixed co-schedules several applications on one machine: spec i
+// occupies spec.Cores cores with its own generator instances. The
+// machine's core count is the sum of the specs' cores. Per-core results
+// in the returned Result follow spec order, so callers can attribute
+// interference to individual applications.
+func RunMixed(cfg Config, specs []WorkloadSpec) (*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: RunMixed needs at least one workload")
+	}
+	total := 0
+	for i, sp := range specs {
+		if sp.Cores < 1 || sp.Refs < 1 {
+			return nil, fmt.Errorf("sim: spec %d needs ≥1 core and ≥1 ref", i)
+		}
+		total += sp.Cores
+	}
+	cfg.Cores = total
+	cfg.NoC.Nodes = total
+	traces := make([][]trace.Ref, 0, total)
+	for i, sp := range specs {
+		for c := 0; c < sp.Cores; c++ {
+			g, err := trace.ByName(sp.Workload, sp.WSBytes, sp.MeanGap, sp.Seed+uint64(i*131+c)*0x9e37)
+			if err != nil {
+				return nil, err
+			}
+			traces = append(traces, trace.Take(g, sp.Refs))
+		}
+	}
+	return Run(cfg, traces)
+}

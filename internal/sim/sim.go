@@ -1,0 +1,123 @@
+// Package sim assembles the full many-core simulator used as the
+// GEM5+DRAMSim2 substitute: N out-of-order cores with private non-blocking
+// L1 caches, a shared banked L2 reached over a mesh NoC, and a
+// bank/row-buffer DRAM model. Each core carries a C-AMAT detector
+// (HCD+MCD) and every hierarchy layer an APC tracker, so one run yields
+// all measured parameters the C²-Bound model consumes.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/apc"
+	"repro/internal/camat"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/dram"
+	"repro/internal/sim/noc"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	Cores int
+	Core  cpu.Config
+	L1    cache.Config // per-core private L1
+	L2    cache.Config // shared L2 (Banks spread over the NoC)
+	DRAM  dram.Config
+	NoC   noc.Config
+}
+
+// DefaultConfig models the paper's testbed: 4-wide 128-entry-ROB cores,
+// 32 KB L1s, a 2 MB shared L2 and DDR3-like memory.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores: cores,
+		Core:  cpu.DefaultConfig(),
+		L1:    cache.DefaultL1(),
+		L2:    cache.DefaultL2(),
+		DRAM:  dram.DefaultConfig(),
+		NoC:   noc.DefaultConfig(cores),
+	}
+}
+
+// Validate checks the machine description.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: %d cores", c.Cores)
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	return c.NoC.Validate()
+}
+
+// Result carries everything a simulation measures.
+type Result struct {
+	Cores        int
+	Cycles       int64 // slowest core's cycle count
+	Instructions uint64
+	MemAccesses  uint64
+	CPI          float64 // aggregate: total cycles×cores view uses per-core mean
+
+	CoreStats   []cpu.Stats
+	L1Analyses  []camat.Analysis // per-core detector output
+	L1Aggregate camat.Analysis   // merged across cores
+	L1Params    camat.Params     // aggregate C-AMAT parameters at L1
+
+	L1Stats   cache.Stats // summed across cores
+	L2Stats   cache.Stats
+	DRAMStats dram.Stats
+
+	// APCL1, APCL2 and APCMem are the chip-level layer APCs: accesses at
+	// the layer per cycle in which the layer has at least one outstanding
+	// access (union across requesters). The per-core APC = 1/C-AMAT
+	// identity is available as 1/L1Aggregate.CAMATDirect().
+	APCL1  float64
+	APCL2  float64
+	APCMem float64
+}
+
+// recordingLevel wraps a Level with an APC tracker and an optional
+// fixed extra latency in each direction (the NoC hop for L2 access).
+type recordingLevel struct {
+	inner   cache.Level
+	tracker *apc.Tracker
+	oneWay  int64
+}
+
+func (r *recordingLevel) Access(t int64, addr uint64, write bool) int64 {
+	start := t + r.oneWay
+	done := r.inner.Access(start, addr, write)
+	r.tracker.Add(start, done)
+	return done + r.oneWay
+}
+
+// observerChain fans one core's L1 access results out to the detector and
+// the L1 APC tracker.
+type observerChain struct {
+	obs     []cpu.AccessObserver
+	tracker *apc.Tracker
+}
+
+func (o *observerChain) Observe(res cache.Result, hitLatency int) {
+	for _, ob := range o.obs {
+		ob.Observe(res, hitLatency)
+	}
+	o.tracker.Add(res.Start, res.Done)
+}
+
+// Detector abstracts the per-core analyzer so callers can substitute their
+// own (the default is detector.New via the Run wiring in run.go).
+type Detector interface {
+	cpu.AccessObserver
+	Finalize() camat.Analysis
+}

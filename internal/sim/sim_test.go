@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, cfg Config, workload string, ws uint64, gap float64, refs int) *Result {
+	t.Helper()
+	res, err := RunWorkload(cfg, workload, ws, gap, refs, 42)
+	if err != nil {
+		t.Fatalf("RunWorkload(%s): %v", workload, err)
+	}
+	return res
+}
+
+func TestRunBasics(t *testing.T) {
+	cfg := DefaultConfig(4)
+	res := run(t, cfg, "stream", 1<<20, 2, 5000)
+	if res.Cores != 4 {
+		t.Fatalf("cores = %d", res.Cores)
+	}
+	if res.Instructions == 0 || res.MemAccesses != 4*5000 {
+		t.Fatalf("instructions=%d mem=%d", res.Instructions, res.MemAccesses)
+	}
+	if res.CPI <= 0 {
+		t.Fatalf("CPI = %v", res.CPI)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	if err := res.L1Params.Validate(); err != nil {
+		t.Fatalf("L1 params invalid: %v (%v)", err, res.L1Params)
+	}
+	// Detector identity: decomposition equals direct C-AMAT.
+	direct := res.L1Aggregate.CAMATDirect()
+	if math.Abs(res.L1Params.CAMAT()-direct) > 1e-9*(1+direct) {
+		t.Fatalf("C-AMAT decomposition %v != direct %v", res.L1Params.CAMAT(), direct)
+	}
+	// Cache stats consistency.
+	if res.L1Stats.Hits+res.L1Stats.Misses != res.L1Stats.Accesses {
+		t.Fatalf("L1 stats inconsistent: %+v", res.L1Stats)
+	}
+	if res.L1Stats.Accesses != uint64(4*5000) {
+		t.Fatalf("L1 accesses = %d", res.L1Stats.Accesses)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig(2)
+	a := run(t, cfg, "fluidanimate", 1<<20, 2, 3000)
+	b := run(t, cfg, "fluidanimate", 1<<20, 2, 3000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := DefaultConfig(2)
+	if _, err := Run(cfg, make([][]trace.Ref, 3)); err == nil {
+		t.Error("trace/core mismatch accepted")
+	}
+	bad := cfg
+	bad.Cores = 0
+	if _, err := Run(bad, nil); err == nil {
+		t.Error("zero cores accepted")
+	}
+	bad = cfg
+	bad.L1.Assoc = 0
+	if _, err := Run(bad, make([][]trace.Ref, 2)); err == nil {
+		t.Error("invalid L1 accepted")
+	}
+	if _, err := RunWorkload(cfg, "nope", 1<<20, 2, 100, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := RunWorkload(cfg, "stream", 1<<20, 2, 0, 1); err == nil {
+		t.Error("zero refs accepted")
+	}
+}
+
+func TestAPCDecreasesDownHierarchy(t *testing.T) {
+	// Fig. 13: APC_L1 ≫ APC_L2 ≫ APC_mem. The ordering comes from access
+	// counts shrinking down the hierarchy, so it needs a workload with
+	// locality (every reference touches L1, only L1 misses reach L2, only
+	// L2 misses reach DRAM).
+	cfg := DefaultConfig(4)
+	res := run(t, cfg, "fluidanimate", 8<<20, 2, 20000)
+	if !(res.APCL1 > res.APCL2 && res.APCL2 > res.APCMem) {
+		t.Fatalf("APC ordering violated: L1=%v L2=%v mem=%v", res.APCL1, res.APCL2, res.APCMem)
+	}
+	if res.APCMem <= 0 {
+		t.Fatal("no DRAM traffic for an out-of-cache workload")
+	}
+}
+
+func TestWorkingSetFitsInL1(t *testing.T) {
+	cfg := DefaultConfig(1)
+	// 8 KB working set in a 32 KB L1: after the cold pass (whose fills
+	// also absorb secondary/merged misses), pure hits.
+	res := run(t, cfg, "stream", 8<<10, 2, 50000)
+	if mr := res.L1Params.MR; mr > 0.03 {
+		t.Fatalf("resident working set missed %v of accesses", mr)
+	}
+	// Steady state: re-run with 10× the references; the miss rate must
+	// shrink accordingly (cold misses amortized).
+	res2 := run(t, cfg, "stream", 8<<10, 2, 500000)
+	if res2.L1Params.MR > res.L1Params.MR/5 {
+		t.Fatalf("cold misses not amortized: %v vs %v", res2.L1Params.MR, res.L1Params.MR)
+	}
+}
+
+func TestLargeWorkingSetMisses(t *testing.T) {
+	cfg := DefaultConfig(1)
+	res := run(t, cfg, "random", 64<<20, 2, 20000)
+	if mr := res.L1Params.MR; mr < 0.5 {
+		t.Fatalf("64 MB random working set only missed %v", mr)
+	}
+	if res.DRAMStats.Accesses() == 0 {
+		t.Fatal("no DRAM accesses")
+	}
+}
+
+func TestStreamFasterThanPointerChase(t *testing.T) {
+	cfg := DefaultConfig(1)
+	ws := uint64(16 << 20)
+	stream := run(t, cfg, "stream", ws, 2, 10000)
+	chase := run(t, cfg, "pchase", ws, 2, 10000)
+	if stream.CPI >= chase.CPI {
+		t.Fatalf("stream CPI %v not below pchase CPI %v", stream.CPI, chase.CPI)
+	}
+	// The chase's C-AMAT concurrency collapses toward 1; streaming keeps
+	// memory-level parallelism.
+	if chase.L1Params.Concurrency() > stream.L1Params.Concurrency() {
+		t.Fatalf("pchase concurrency %v above stream %v",
+			chase.L1Params.Concurrency(), stream.L1Params.Concurrency())
+	}
+}
+
+func TestMoreMSHRsHelpRandomMisses(t *testing.T) {
+	base := DefaultConfig(1)
+	base.L1.MSHRs = 1
+	few := run(t, base, "random", 64<<20, 1, 8000)
+	base.L1.MSHRs = 16
+	many := run(t, base, "random", 64<<20, 1, 8000)
+	if many.Cycles >= few.Cycles {
+		t.Fatalf("16 MSHRs (%d cycles) not faster than 1 (%d)", many.Cycles, few.Cycles)
+	}
+	// MSHRs raise the measured pure-miss concurrency C_M.
+	if many.L1Params.CM <= few.L1Params.CM {
+		t.Fatalf("C_M with 16 MSHRs (%v) not above 1 MSHR (%v)",
+			many.L1Params.CM, few.L1Params.CM)
+	}
+}
+
+func TestBiggerL2ReducesDRAMTraffic(t *testing.T) {
+	small := DefaultConfig(2)
+	small.L2.SizeKB = 256
+	resSmall := run(t, small, "fluidanimate", 4<<20, 2, 20000)
+	big := DefaultConfig(2)
+	big.L2.SizeKB = 8192
+	resBig := run(t, big, "fluidanimate", 4<<20, 2, 20000)
+	if resBig.DRAMStats.Accesses() >= resSmall.DRAMStats.Accesses() {
+		t.Fatalf("8 MB L2 DRAM traffic %d not below 256 KB L2 %d",
+			resBig.DRAMStats.Accesses(), resSmall.DRAMStats.Accesses())
+	}
+}
+
+func TestMoreCoresContendOnDRAM(t *testing.T) {
+	// Per-core time grows with core count when all cores hammer DRAM.
+	one := run(t, DefaultConfig(1), "random", 64<<20, 1, 6000)
+	eight := run(t, DefaultConfig(8), "random", 64<<20, 1, 6000)
+	if eight.CPI <= one.CPI {
+		t.Fatalf("8-core CPI %v not above 1-core %v under DRAM contention", eight.CPI, one.CPI)
+	}
+}
+
+func TestPerCoreAnalysesSumToAggregate(t *testing.T) {
+	res := run(t, DefaultConfig(4), "stencil", 1<<22, 2, 5000)
+	var acc int
+	for _, an := range res.L1Analyses {
+		acc += an.Accesses
+	}
+	if acc != res.L1Aggregate.Accesses {
+		t.Fatalf("aggregate accesses %d != sum %d", res.L1Aggregate.Accesses, acc)
+	}
+}
+
+func TestValidateConfig(t *testing.T) {
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig(4)
+	bad.DRAM.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad DRAM accepted")
+	}
+	bad = DefaultConfig(4)
+	bad.NoC.Nodes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad NoC accepted")
+	}
+	bad = DefaultConfig(4)
+	bad.Core.IssueWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad core accepted")
+	}
+	bad = DefaultConfig(4)
+	bad.L2.MSHRs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad L2 accepted")
+	}
+}
+
+func TestRunMixed(t *testing.T) {
+	cfg := DefaultConfig(1) // core count overridden by specs
+	specs := []WorkloadSpec{
+		{Workload: "tiledmm", WSBytes: 2 << 20, MeanGap: 2, Refs: 4000, Cores: 2, Seed: 1},
+		{Workload: "random", WSBytes: 32 << 20, MeanGap: 1, Refs: 4000, Cores: 2, Seed: 2},
+	}
+	res, err := RunMixed(cfg, specs)
+	if err != nil {
+		t.Fatalf("RunMixed: %v", err)
+	}
+	if res.Cores != 4 {
+		t.Fatalf("cores = %d", res.Cores)
+	}
+	// Cores 0-1 run the cache-friendly workload: lower CPI than 2-3.
+	victim := (res.CoreStats[0].CPI() + res.CoreStats[1].CPI()) / 2
+	aggressor := (res.CoreStats[2].CPI() + res.CoreStats[3].CPI()) / 2
+	if victim >= aggressor {
+		t.Fatalf("tiledmm CPI %v not below random CPI %v", victim, aggressor)
+	}
+	// Validation.
+	if _, err := RunMixed(cfg, nil); err == nil {
+		t.Error("empty specs accepted")
+	}
+	if _, err := RunMixed(cfg, []WorkloadSpec{{Workload: "stream", Cores: 0, Refs: 10}}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := RunMixed(cfg, []WorkloadSpec{{Workload: "nope", Cores: 1, Refs: 10}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

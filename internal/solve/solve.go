@@ -1,0 +1,329 @@
+// Package solve provides the numerical machinery behind the C²-Bound
+// optimization (§III-C): Newton's method for nonlinear equation sets (the
+// paper's stated solver for the Lagrange/KKT system), a Broyden
+// quasi-Newton variant, golden-section line search, Nelder-Mead simplex
+// minimization and exhaustive grid search. Everything is dependency-free
+// and deterministic.
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is wrapped by solvers that exhaust their iteration
+// budget without meeting the tolerance.
+var ErrNoConvergence = errors.New("solve: no convergence")
+
+// Func is a scalar function of one variable.
+type Func func(x float64) float64
+
+// VecFunc maps R^n to R^m (m = len of returned slice, fixed per function).
+type VecFunc func(x []float64) []float64
+
+// ObjFunc is a scalar function of a vector.
+type ObjFunc func(x []float64) float64
+
+// Newton1D finds a root of f near x0 using Newton's method with a
+// numerical derivative and bisection-style damping. It returns the root
+// and the number of iterations used.
+func Newton1D(f Func, x0 float64, tol float64, maxIter int) (float64, int, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		fx := f(x)
+		if math.Abs(fx) < tol {
+			return x, i, nil
+		}
+		h := 1e-7 * (1 + math.Abs(x))
+		d := (f(x+h) - f(x-h)) / (2 * h)
+		if d == 0 || math.IsNaN(d) {
+			return x, i, fmt.Errorf("%w: zero derivative at x=%v", ErrNoConvergence, x)
+		}
+		step := fx / d
+		// Damping: halve the step until |f| decreases or the step dies.
+		lambda := 1.0
+		for j := 0; j < 40; j++ {
+			xn := x - lambda*step
+			if math.Abs(f(xn)) < math.Abs(fx) {
+				x = xn
+				break
+			}
+			lambda /= 2
+			if j == 39 {
+				x -= lambda * step
+			}
+		}
+	}
+	if math.Abs(f(x)) < math.Sqrt(tol) {
+		return x, maxIter, nil
+	}
+	return x, maxIter, fmt.Errorf("%w: |f|=%v after %d iterations", ErrNoConvergence, math.Abs(f(x)), maxIter)
+}
+
+// Bisect finds a root of f on [a,b], requiring f(a) and f(b) to have
+// opposite signs.
+func Bisect(f Func, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("solve: Bisect needs a sign change on [%v,%v] (f=%v,%v)", a, b, fa, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for i := 0; i < 200 && b-a > tol*(1+math.Abs(a)+math.Abs(b)); i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), nil
+}
+
+// jacobian estimates the Jacobian of f at x by central differences.
+func jacobian(f VecFunc, x, fx []float64) [][]float64 {
+	n := len(x)
+	m := len(fx)
+	jac := make([][]float64, m)
+	for i := range jac {
+		jac[i] = make([]float64, n)
+	}
+	xp := make([]float64, n)
+	for j := 0; j < n; j++ {
+		h := 1e-7 * (1 + math.Abs(x[j]))
+		copy(xp, x)
+		xp[j] = x[j] + h
+		fp := f(xp)
+		xp[j] = x[j] - h
+		fm := f(xp)
+		for i := 0; i < m; i++ {
+			jac[i][j] = (fp[i] - fm[i]) / (2 * h)
+		}
+	}
+	return jac
+}
+
+// solveLinear solves A·x = b by Gaussian elimination with partial
+// pivoting, destroying A and b.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-300 {
+			return nil, errors.New("solve: singular Jacobian")
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NewtonSystem solves the square nonlinear system f(x) = 0 starting from
+// x0 using damped Newton iterations with a finite-difference Jacobian.
+// This is the solver the paper integrates for the KKT equations of
+// Eq. 13. It returns the solution and iteration count.
+func NewtonSystem(f VecFunc, x0 []float64, tol float64, maxIter int) ([]float64, int, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	x := append([]float64(nil), x0...)
+	fx := f(x)
+	if len(fx) != len(x) {
+		return nil, 0, fmt.Errorf("solve: NewtonSystem needs a square system (%d equations, %d unknowns)", len(fx), len(x))
+	}
+	for i := 0; i < maxIter; i++ {
+		if norm(fx) < tol {
+			return x, i, nil
+		}
+		jac := jacobian(f, x, fx)
+		rhs := make([]float64, len(fx))
+		for k, v := range fx {
+			rhs[k] = -v
+		}
+		dx, err := solveLinear(jac, rhs)
+		if err != nil {
+			return x, i, fmt.Errorf("%w: %v", ErrNoConvergence, err)
+		}
+		// Damped update with Armijo-style backtracking on ‖f‖.
+		base := norm(fx)
+		lambda := 1.0
+		var xn []float64
+		var fn []float64
+		for j := 0; ; j++ {
+			xn = make([]float64, len(x))
+			for k := range x {
+				xn[k] = x[k] + lambda*dx[k]
+			}
+			fn = f(xn)
+			if nf := norm(fn); nf < base || j >= 40 {
+				break
+			}
+			lambda /= 2
+		}
+		x, fx = xn, fn
+	}
+	if norm(fx) < math.Sqrt(tol) {
+		return x, maxIter, nil
+	}
+	return x, maxIter, fmt.Errorf("%w: ‖f‖=%v after %d iterations", ErrNoConvergence, norm(fx), maxIter)
+}
+
+// Broyden solves f(x) = 0 with Broyden's rank-one quasi-Newton updates,
+// re-seeding the Jacobian when progress stalls. It is cheaper than
+// NewtonSystem when f is expensive, at the cost of slower convergence.
+func Broyden(f VecFunc, x0 []float64, tol float64, maxIter int) ([]float64, int, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 400
+	}
+	x := append([]float64(nil), x0...)
+	fx := f(x)
+	n := len(x)
+	if len(fx) != n {
+		return nil, 0, fmt.Errorf("solve: Broyden needs a square system")
+	}
+	jac := jacobian(f, x, fx)
+	for i := 0; i < maxIter; i++ {
+		if norm(fx) < tol {
+			return x, i, nil
+		}
+		a := make([][]float64, n)
+		for r := range a {
+			a[r] = append([]float64(nil), jac[r]...)
+		}
+		rhs := make([]float64, n)
+		for k, v := range fx {
+			rhs[k] = -v
+		}
+		dx, err := solveLinear(a, rhs)
+		if err != nil {
+			jac = jacobian(f, x, fx) // re-seed and retry once
+			for r := range a {
+				a[r] = append([]float64(nil), jac[r]...)
+			}
+			for k, v := range fx {
+				rhs[k] = -v
+			}
+			dx, err = solveLinear(a, rhs)
+			if err != nil {
+				return x, i, fmt.Errorf("%w: %v", ErrNoConvergence, err)
+			}
+		}
+		xn := make([]float64, n)
+		for k := range x {
+			xn[k] = x[k] + dx[k]
+		}
+		fn := f(xn)
+		if norm(fn) > 0.9*norm(fx) {
+			// Stalling: refresh the true Jacobian.
+			jac = jacobian(f, xn, fn)
+		} else {
+			// Broyden rank-one update: J += (df − J·dx)·dxᵀ / (dxᵀ·dx).
+			df := make([]float64, n)
+			for k := range df {
+				df[k] = fn[k] - fx[k]
+			}
+			dd := 0.0
+			for _, v := range dx {
+				dd += v * v
+			}
+			if dd > 0 {
+				for r := 0; r < n; r++ {
+					var jdx float64
+					for c := 0; c < n; c++ {
+						jdx += jac[r][c] * dx[c]
+					}
+					coef := (df[r] - jdx) / dd
+					for c := 0; c < n; c++ {
+						jac[r][c] += coef * dx[c]
+					}
+				}
+			}
+		}
+		x, fx = xn, fn
+	}
+	if norm(fx) < math.Sqrt(tol) {
+		return x, maxIter, nil
+	}
+	return x, maxIter, fmt.Errorf("%w: ‖f‖=%v", ErrNoConvergence, norm(fx))
+}
+
+// GoldenSection minimizes a unimodal scalar function on [a,b] and returns
+// the minimizer.
+func GoldenSection(f Func, a, b, tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 300 && b-a > tol*(1+math.Abs(a)+math.Abs(b)); i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0.5 * (a + b)
+}

@@ -1,0 +1,265 @@
+package solve
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewton1DQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, iters, err := Newton1D(f, 1, 1e-12, 100)
+	if err != nil {
+		t.Fatalf("Newton1D: %v", err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-8 {
+		t.Fatalf("root = %v, want √2", root)
+	}
+	if iters > 20 {
+		t.Fatalf("took %d iterations", iters)
+	}
+}
+
+func TestNewton1DDefaults(t *testing.T) {
+	root, _, err := Newton1D(func(x float64) float64 { return math.Exp(x) - 3 }, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("Newton1D: %v", err)
+	}
+	if math.Abs(root-math.Log(3)) > 1e-6 {
+		t.Fatalf("root = %v, want ln 3", root)
+	}
+}
+
+func TestNewton1DFlat(t *testing.T) {
+	_, _, err := Newton1D(func(x float64) float64 { return 1 }, 0, 1e-10, 50)
+	if err == nil {
+		t.Fatal("rootless flat function converged")
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return math.Cos(x) }, 0, 3, 1e-12)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if math.Abs(root-math.Pi/2) > 1e-9 {
+		t.Fatalf("root = %v, want π/2", root)
+	}
+	if _, err := Bisect(func(x float64) float64 { return 1 + x*x }, -1, 1, 0); err == nil {
+		t.Fatal("Bisect without sign change succeeded")
+	}
+	if r, err := Bisect(func(x float64) float64 { return x }, 0, 1, 0); err != nil || r != 0 {
+		t.Fatalf("Bisect with root at endpoint: %v, %v", r, err)
+	}
+}
+
+func TestNewtonSystem2D(t *testing.T) {
+	// x² + y² = 4, x = y ⇒ (√2, √2).
+	f := func(v []float64) []float64 {
+		return []float64{v[0]*v[0] + v[1]*v[1] - 4, v[0] - v[1]}
+	}
+	x, _, err := NewtonSystem(f, []float64{1, 2}, 1e-12, 100)
+	if err != nil {
+		t.Fatalf("NewtonSystem: %v", err)
+	}
+	if math.Abs(x[0]-math.Sqrt2) > 1e-8 || math.Abs(x[1]-math.Sqrt2) > 1e-8 {
+		t.Fatalf("solution = %v, want (√2,√2)", x)
+	}
+}
+
+func TestNewtonSystemNonSquare(t *testing.T) {
+	f := func(v []float64) []float64 { return []float64{v[0]} }
+	if _, _, err := NewtonSystem(f, []float64{1, 2}, 1e-10, 10); err == nil {
+		t.Fatal("non-square system accepted")
+	}
+}
+
+func TestNewtonSystemRosenbrockGradient(t *testing.T) {
+	// ∇ of the Rosenbrock function vanishes at (1,1).
+	grad := func(v []float64) []float64 {
+		x, y := v[0], v[1]
+		return []float64{
+			-2*(1-x) - 400*x*(y-x*x),
+			200 * (y - x*x),
+		}
+	}
+	x, _, err := NewtonSystem(grad, []float64{-1.2, 1}, 1e-10, 500)
+	if err != nil {
+		t.Fatalf("NewtonSystem: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-6 || math.Abs(x[1]-1) > 1e-6 {
+		t.Fatalf("solution = %v, want (1,1)", x)
+	}
+}
+
+func TestBroyden(t *testing.T) {
+	f := func(v []float64) []float64 {
+		return []float64{
+			v[0] + v[1] - 3,
+			v[0]*v[0] + v[1]*v[1] - 9,
+		}
+	}
+	x, _, err := Broyden(f, []float64{1, 5}, 1e-10, 400)
+	if err != nil {
+		t.Fatalf("Broyden: %v", err)
+	}
+	// Roots: (0,3) or (3,0).
+	ok := (math.Abs(x[0]) < 1e-6 && math.Abs(x[1]-3) < 1e-6) ||
+		(math.Abs(x[0]-3) < 1e-6 && math.Abs(x[1]) < 1e-6)
+	if !ok {
+		t.Fatalf("solution = %v", x)
+	}
+	g := func(v []float64) []float64 { return []float64{v[0]} }
+	if _, _, err := Broyden(g, []float64{1, 2}, 0, 0); err == nil {
+		t.Fatal("non-square Broyden accepted")
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	min := GoldenSection(func(x float64) float64 { return (x - 3) * (x - 3) }, -10, 10, 1e-12)
+	if math.Abs(min-3) > 1e-7 {
+		t.Fatalf("minimizer = %v, want 3", min)
+	}
+}
+
+func TestGoldenSectionRandomQuadratics(t *testing.T) {
+	f := func(cRaw int16) bool {
+		c := float64(cRaw) / 1000
+		min := GoldenSection(func(x float64) float64 { return (x - c) * (x - c) }, -40, 40, 1e-12)
+		return math.Abs(min-c) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	obj := func(x []float64) float64 {
+		return (x[0]-1)*(x[0]-1) + 10*(x[1]+2)*(x[1]+2) + 3
+	}
+	x, f := NelderMead(obj, []float64{5, 5}, NelderMeadOpts{})
+	if math.Abs(x[0]-1) > 1e-4 || math.Abs(x[1]+2) > 1e-4 {
+		t.Fatalf("minimizer = %v, want (1,−2)", x)
+	}
+	if math.Abs(f-3) > 1e-6 {
+		t.Fatalf("minimum = %v, want 3", f)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	obj := func(v []float64) float64 {
+		x, y := v[0], v[1]
+		return (1-x)*(1-x) + 100*(y-x*x)*(y-x*x)
+	}
+	x, f := NelderMead(obj, []float64{-1.2, 1}, NelderMeadOpts{MaxIter: 5000})
+	if f > 1e-6 {
+		t.Fatalf("minimum = %v at %v, want ≈0 at (1,1)", f, x)
+	}
+}
+
+func TestNelderMeadEmpty(t *testing.T) {
+	x, f := NelderMead(func([]float64) float64 { return 7 }, nil, NelderMeadOpts{})
+	if x != nil || f != 7 {
+		t.Fatalf("empty NM = %v, %v", x, f)
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	obj := func(x []float64) float64 {
+		return math.Abs(x[0]-2) + math.Abs(x[1]-30)
+	}
+	pt, f := GridSearch(obj, [][]float64{
+		{0, 1, 2, 3},
+		{10, 20, 30, 40},
+	})
+	if pt[0] != 2 || pt[1] != 30 || f != 0 {
+		t.Fatalf("grid best = %v (f=%v), want (2,30)", pt, f)
+	}
+}
+
+func TestGridSearchSingleCell(t *testing.T) {
+	pt, f := GridSearch(func(x []float64) float64 { return x[0] }, [][]float64{{5}})
+	if pt[0] != 5 || f != 5 {
+		t.Fatalf("single-cell grid = %v, %v", pt, f)
+	}
+}
+
+func TestSolveLinearViaNewtonLinearSystem(t *testing.T) {
+	// A linear system converges in one damped-Newton step.
+	f := func(v []float64) []float64 {
+		return []float64{
+			2*v[0] + v[1] - 5,
+			v[0] - 3*v[1] + 4,
+		}
+	}
+	x, iters, err := NewtonSystem(f, []float64{0, 0}, 1e-12, 10)
+	if err != nil {
+		t.Fatalf("NewtonSystem: %v", err)
+	}
+	if iters > 3 {
+		t.Fatalf("linear system took %d iterations", iters)
+	}
+	if math.Abs(f(x)[0]) > 1e-9 || math.Abs(f(x)[1]) > 1e-9 {
+		t.Fatalf("residual nonzero at %v", x)
+	}
+}
+
+func TestBisectEndpointRootB(t *testing.T) {
+	r, err := Bisect(func(x float64) float64 { return x - 1 }, 0, 1, 0)
+	if err != nil || math.Abs(r-1) > 1e-9 {
+		t.Fatalf("Bisect endpoint b: %v, %v", r, err)
+	}
+}
+
+func TestNewton1DLooseConvergence(t *testing.T) {
+	// A stiff function where full tolerance is not reached in the budget
+	// but √tol is: Newton1D accepts the approximate root.
+	f := func(x float64) float64 { return (x - 2) * (x - 2) } // double root: slow convergence
+	root, _, err := Newton1D(f, 0, 1e-14, 60)
+	if err != nil {
+		t.Fatalf("Newton1D double root: %v", err)
+	}
+	if math.Abs(root-2) > 1e-3 {
+		t.Fatalf("root = %v", root)
+	}
+}
+
+func TestBroydenReseedsOnStall(t *testing.T) {
+	// A system whose Jacobian changes rapidly forces the stall-reseed
+	// path.
+	f := func(v []float64) []float64 {
+		return []float64{
+			math.Sin(3*v[0]) + v[1],
+			v[0] - 0.3*math.Cos(v[1]),
+		}
+	}
+	x, _, err := Broyden(f, []float64{2, 2}, 1e-9, 400)
+	if err != nil {
+		t.Fatalf("Broyden: %v", err)
+	}
+	r := f(x)
+	if math.Abs(r[0]) > 1e-6 || math.Abs(r[1]) > 1e-6 {
+		t.Fatalf("residual %v at %v", r, x)
+	}
+}
+
+func TestGoldenSectionDefaultTol(t *testing.T) {
+	min := GoldenSection(func(x float64) float64 { return x * x }, -5, 5, 0)
+	if math.Abs(min) > 1e-6 {
+		t.Fatalf("minimizer = %v", min)
+	}
+}
+
+func TestNelderMeadOptsDefaults(t *testing.T) {
+	// Zero options select the standard coefficients; a 2-D bowl converges
+	// tightly (1-D simplices are degenerate and converge loosely).
+	x, f := NelderMead(func(v []float64) float64 { return v[0]*v[0] + v[1]*v[1] },
+		[]float64{3, -2}, NelderMeadOpts{MaxIter: 0, Tol: 0, Scale: 0})
+	if math.Abs(x[0]) > 1e-3 || math.Abs(x[1]) > 1e-3 || f > 1e-5 {
+		t.Fatalf("defaults: %v %v", x, f)
+	}
+}

@@ -1,0 +1,477 @@
+package trace
+
+import "fmt"
+
+// Stream walks the working set sequentially, line by line — the classic
+// bandwidth-bound streaming kernel (STREAM triad shape: two reads and one
+// write per element group).
+type Stream struct {
+	ws      uint64
+	meanGap float64
+	seed    uint64
+
+	pos uint64
+	cnt int
+	g   gapper
+}
+
+// NewStream builds a streaming generator over a working set of wsBytes.
+func NewStream(wsBytes uint64, meanGap float64, seed uint64) (*Stream, error) {
+	if err := validateWS("stream", wsBytes); err != nil {
+		return nil, err
+	}
+	s := &Stream{ws: wsBytes, meanGap: meanGap, seed: seed}
+	s.Reset()
+	return s, nil
+}
+
+// Name implements Generator.
+func (s *Stream) Name() string { return "stream" }
+
+// Next implements Generator.
+func (s *Stream) Next(ref *Ref) {
+	ref.Addr = s.pos % s.ws
+	ref.Write = s.cnt%3 == 2 // triad: read, read, write
+	ref.Gap = s.g.gap()
+	s.pos += 8
+	s.cnt++
+}
+
+// Reset implements Generator.
+func (s *Stream) Reset() {
+	s.pos, s.cnt = 0, 0
+	s.g = gapper{mean: s.meanGap, r: newRNG(s.seed)}
+}
+
+// Random issues uniformly random references over the working set: the
+// worst-case locality stressor (pointer-heavy database-like behaviour).
+type Random struct {
+	ws       uint64
+	meanGap  float64
+	writePct float64
+	seed     uint64
+	g        gapper
+	r        *rng
+}
+
+// NewRandom builds a uniform-random generator; writePct in [0,1] sets the
+// store fraction.
+func NewRandom(wsBytes uint64, meanGap, writePct float64, seed uint64) (*Random, error) {
+	if err := validateWS("random", wsBytes); err != nil {
+		return nil, err
+	}
+	if writePct < 0 || writePct > 1 {
+		return nil, fmt.Errorf("trace: write fraction %v outside [0,1]", writePct)
+	}
+	r := &Random{ws: wsBytes, meanGap: meanGap, writePct: writePct, seed: seed}
+	r.Reset()
+	return r, nil
+}
+
+// Name implements Generator.
+func (r *Random) Name() string { return "random" }
+
+// Next implements Generator.
+func (r *Random) Next(ref *Ref) {
+	ref.Addr = r.r.intn(r.ws) &^ 7
+	ref.Write = r.r.float() < r.writePct
+	ref.Gap = r.g.gap()
+}
+
+// Reset implements Generator.
+func (r *Random) Reset() {
+	r.r = newRNG(r.seed)
+	r.g = gapper{mean: r.meanGap, r: newRNG(r.seed ^ 0xabcdef)}
+}
+
+// PointerChase models a dependent linked-list walk through a shuffled
+// permutation of the working set: minimal spatial locality and no
+// memory-level parallelism (each address depends on the previous load).
+type PointerChase struct {
+	perm    []uint32
+	meanGap float64
+	seed    uint64
+	cur     uint32
+	g       gapper
+}
+
+// NewPointerChase builds a chase over wsBytes/64 nodes (one per line).
+func NewPointerChase(wsBytes uint64, meanGap float64, seed uint64) (*PointerChase, error) {
+	if err := validateWS("pchase", wsBytes); err != nil {
+		return nil, err
+	}
+	nodes := wsBytes / 64
+	if nodes > 1<<26 {
+		nodes = 1 << 26 // cap the permutation table at 256 MiB of trace state
+	}
+	p := &PointerChase{perm: make([]uint32, nodes), meanGap: meanGap, seed: seed}
+	r := newRNG(seed)
+	// Sattolo's algorithm: a single cycle through all nodes.
+	for i := range p.perm {
+		p.perm[i] = uint32(i)
+	}
+	for i := len(p.perm) - 1; i > 0; i-- {
+		j := int(r.intn(uint64(i)))
+		p.perm[i], p.perm[j] = p.perm[j], p.perm[i]
+	}
+	p.Reset()
+	return p, nil
+}
+
+// Name implements Generator.
+func (p *PointerChase) Name() string { return "pchase" }
+
+// Next implements Generator.
+func (p *PointerChase) Next(ref *Ref) {
+	ref.Addr = uint64(p.cur) * 64
+	ref.Write = false
+	ref.Gap = p.g.gap()
+	ref.Dep = true
+	p.cur = p.perm[p.cur]
+}
+
+// Reset implements Generator.
+func (p *PointerChase) Reset() {
+	p.cur = 0
+	p.g = gapper{mean: p.meanGap, r: newRNG(p.seed ^ 0x5ca1ab1e)}
+}
+
+// TiledMM emits the access pattern of a tiled dense matrix multiplication
+// C = A×B with n×n float64 matrices and t×t tiles: for each tile triple,
+// the kernel re-reads the A and B tiles while accumulating into C. Reuse
+// within a tile is high (g(N) = N^{3/2} workloads of Table I).
+type TiledMM struct {
+	n, t    int
+	meanGap float64
+	seed    uint64
+
+	// loop state: tile indices (ti,tj,tk) and intra-tile (i,j,k), phase
+	// cycles A,B,C accesses.
+	ti, tj, tk int
+	i, j, k    int
+	phase      int
+	g          gapper
+}
+
+// NewTiledMM builds the generator for an n×n matmul with tile size t.
+func NewTiledMM(n, t int, meanGap float64, seed uint64) (*TiledMM, error) {
+	if n < 2 || t < 1 || t > n {
+		return nil, fmt.Errorf("trace: tiled MM needs 1 ≤ t ≤ n, n ≥ 2 (got n=%d t=%d)", n, t)
+	}
+	m := &TiledMM{n: n, t: t, meanGap: meanGap, seed: seed}
+	m.Reset()
+	return m, nil
+}
+
+// Name implements Generator.
+func (m *TiledMM) Name() string { return "tiledmm" }
+
+// Next implements Generator.
+func (m *TiledMM) Next(ref *Ref) {
+	n := uint64(m.n)
+	base := func(matrix int, row, col int) uint64 {
+		return (uint64(matrix)*n*n + uint64(row)*n + uint64(col)) * 8
+	}
+	row := m.ti*m.t + m.i
+	col := m.tj*m.t + m.j
+	kk := m.tk*m.t + m.k
+	switch m.phase {
+	case 0: // load A[row][kk]
+		ref.Addr, ref.Write = base(0, row, kk), false
+	case 1: // load B[kk][col]
+		ref.Addr, ref.Write = base(1, kk, col), false
+	default: // update C[row][col]
+		ref.Addr, ref.Write = base(2, row, col), true
+	}
+	ref.Gap = m.g.gap()
+	m.phase++
+	if m.phase < 3 {
+		return
+	}
+	m.phase = 0
+	// Advance the six nested loops: k, j, i within tiles; tk, tj, ti over
+	// tiles. Bounds clip at matrix edges.
+	lim := func(tile int) int {
+		r := m.n - tile*m.t
+		if r > m.t {
+			r = m.t
+		}
+		return r
+	}
+	m.k++
+	if m.k < lim(m.tk) {
+		return
+	}
+	m.k = 0
+	m.j++
+	if m.j < lim(m.tj) {
+		return
+	}
+	m.j = 0
+	m.i++
+	if m.i < lim(m.ti) {
+		return
+	}
+	m.i = 0
+	m.tk++
+	tiles := (m.n + m.t - 1) / m.t
+	if m.tk < tiles {
+		return
+	}
+	m.tk = 0
+	m.tj++
+	if m.tj < tiles {
+		return
+	}
+	m.tj = 0
+	m.ti = (m.ti + 1) % tiles
+}
+
+// Reset implements Generator.
+func (m *TiledMM) Reset() {
+	m.ti, m.tj, m.tk, m.i, m.j, m.k, m.phase = 0, 0, 0, 0, 0, 0, 0
+	m.g = gapper{mean: m.meanGap, r: newRNG(m.seed ^ 0x7ead)}
+}
+
+// Stencil sweeps a 2-D grid applying a 5-point stencil: for each cell it
+// reads the four neighbours and writes the cell. Spatially local with
+// streaming reuse one row apart (g(N) = N workloads of Table I).
+type Stencil struct {
+	rows, cols int
+	meanGap    float64
+	seed       uint64
+
+	r, c, phase int
+	g           gapper
+}
+
+// NewStencil builds a 5-point stencil sweep over a rows×cols float64 grid.
+func NewStencil(rows, cols int, meanGap float64, seed uint64) (*Stencil, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("trace: stencil grid %dx%d too small", rows, cols)
+	}
+	s := &Stencil{rows: rows, cols: cols, meanGap: meanGap, seed: seed}
+	s.Reset()
+	return s, nil
+}
+
+// Name implements Generator.
+func (s *Stencil) Name() string { return "stencil" }
+
+// Next implements Generator.
+func (s *Stencil) Next(ref *Ref) {
+	at := func(r, c int) uint64 { return (uint64(r)*uint64(s.cols) + uint64(c)) * 8 }
+	// Interior sweep; offsets N,S,W,E then the write.
+	switch s.phase {
+	case 0:
+		ref.Addr, ref.Write = at(s.r-1, s.c), false
+	case 1:
+		ref.Addr, ref.Write = at(s.r+1, s.c), false
+	case 2:
+		ref.Addr, ref.Write = at(s.r, s.c-1), false
+	case 3:
+		ref.Addr, ref.Write = at(s.r, s.c+1), false
+	default:
+		ref.Addr, ref.Write = at(s.r, s.c)+uint64(s.rows)*uint64(s.cols)*8, true // output grid
+	}
+	ref.Gap = s.g.gap()
+	s.phase++
+	if s.phase < 5 {
+		return
+	}
+	s.phase = 0
+	s.c++
+	if s.c < s.cols-1 {
+		return
+	}
+	s.c = 1
+	s.r++
+	if s.r >= s.rows-1 {
+		s.r = 1
+	}
+}
+
+// Reset implements Generator.
+func (s *Stencil) Reset() {
+	s.r, s.c, s.phase = 1, 1, 0
+	s.g = gapper{mean: s.meanGap, r: newRNG(s.seed ^ 0x57e)}
+}
+
+// FFT emits the butterfly access pattern of an in-place radix-2 FFT over
+// 2^logN complex points: per stage, pairs at stride 2^stage are read and
+// written, so the stride doubles every stage — excellent locality early,
+// cache-hostile late.
+type FFT struct {
+	logN    int
+	meanGap float64
+	seed    uint64
+
+	stage, idx, phase int
+	g                 gapper
+}
+
+// NewFFT builds the generator for a 2^logN-point FFT.
+func NewFFT(logN int, meanGap float64, seed uint64) (*FFT, error) {
+	if logN < 2 || logN > 30 {
+		return nil, fmt.Errorf("trace: FFT log2 size %d outside [2,30]", logN)
+	}
+	f := &FFT{logN: logN, meanGap: meanGap, seed: seed}
+	f.Reset()
+	return f, nil
+}
+
+// Name implements Generator.
+func (f *FFT) Name() string { return "fft" }
+
+// Next implements Generator.
+func (f *FFT) Next(ref *Ref) {
+	n := 1 << f.logN
+	half := 1 << f.stage
+	span := half << 1
+	group := f.idx / half
+	within := f.idx % half
+	a := group*span + within
+	b := a + half
+	// Phases: read a, read b, write a, write b (complex128 = 16 bytes).
+	switch f.phase {
+	case 0:
+		ref.Addr, ref.Write = uint64(a)*16, false
+	case 1:
+		ref.Addr, ref.Write = uint64(b)*16, false
+	case 2:
+		ref.Addr, ref.Write = uint64(a)*16, true
+	default:
+		ref.Addr, ref.Write = uint64(b)*16, true
+	}
+	ref.Gap = f.g.gap()
+	f.phase++
+	if f.phase < 4 {
+		return
+	}
+	f.phase = 0
+	f.idx++
+	if f.idx < n/2 {
+		return
+	}
+	f.idx = 0
+	f.stage++
+	if f.stage >= f.logN {
+		f.stage = 0
+	}
+}
+
+// Reset implements Generator.
+func (f *FFT) Reset() {
+	f.stage, f.idx, f.phase = 0, 0, 0
+	f.g = gapper{mean: f.meanGap, r: newRNG(f.seed ^ 0xff7)}
+}
+
+// Fluidanimate mimics the PARSEC fluidanimate particle/grid kernel: the
+// simulation streams over particles (good spatial locality), looks up the
+// 3×3×3 neighbour cells of each particle's grid cell (medium locality,
+// scattered), and updates the particle (write). Working sets are large,
+// matching the paper's choice of fluidanimate for the APS validation.
+type Fluidanimate struct {
+	particles int
+	cells     int
+	meanGap   float64
+	seed      uint64
+
+	p, phase int
+	cell     int
+	g        gapper
+	r        *rng
+}
+
+// NewFluidanimate builds the generator; particles sets the particle array
+// length, cells the number of grid cells per dimension (cells³ total).
+func NewFluidanimate(particles, cells int, meanGap float64, seed uint64) (*Fluidanimate, error) {
+	if particles < 1 || cells < 2 {
+		return nil, fmt.Errorf("trace: fluidanimate needs ≥1 particle and ≥2 cells (got %d, %d)", particles, cells)
+	}
+	f := &Fluidanimate{particles: particles, cells: cells, meanGap: meanGap, seed: seed}
+	f.Reset()
+	return f, nil
+}
+
+// Name implements Generator.
+func (f *Fluidanimate) Name() string { return "fluidanimate" }
+
+const fluidParticleBytes = 64 // position+velocity+density record
+
+// Next implements Generator.
+func (f *Fluidanimate) Next(ref *Ref) {
+	cellBase := uint64(f.particles) * fluidParticleBytes
+	switch {
+	case f.phase == 0: // read own particle record
+		ref.Addr, ref.Write = uint64(f.p)*fluidParticleBytes, false
+		f.cell = int(f.r.intn(uint64(f.cells * f.cells * f.cells)))
+	case f.phase <= 9: // probe 9 of the 27 neighbour cells (sampled)
+		neighbor := (f.cell + int(f.r.intn(27)) - 13 + f.cells*f.cells*f.cells) % (f.cells * f.cells * f.cells)
+		ref.Addr, ref.Write = cellBase+uint64(neighbor)*64, false
+	default: // write back own particle
+		ref.Addr, ref.Write = uint64(f.p)*fluidParticleBytes, true
+	}
+	ref.Gap = f.g.gap()
+	f.phase++
+	if f.phase > 10 {
+		f.phase = 0
+		f.p = (f.p + 1) % f.particles
+	}
+}
+
+// Reset implements Generator.
+func (f *Fluidanimate) Reset() {
+	f.p, f.phase, f.cell = 0, 0, 0
+	f.r = newRNG(f.seed ^ 0xf1d)
+	f.g = gapper{mean: f.meanGap, r: newRNG(f.seed ^ 0x90a)}
+}
+
+// ByName constructs a generator for a named workload with a given working
+// set (bytes), mean compute gap and seed. Recognized names: stream,
+// random, pchase, tiledmm, stencil, fft, fluidanimate.
+func ByName(name string, wsBytes uint64, meanGap float64, seed uint64) (Generator, error) {
+	switch name {
+	case "stream":
+		return NewStream(wsBytes, meanGap, seed)
+	case "random":
+		return NewRandom(wsBytes, meanGap, 0.3, seed)
+	case "pchase":
+		return NewPointerChase(wsBytes, meanGap, seed)
+	case "tiledmm":
+		// n² elements × 8 bytes × 3 matrices = wsBytes.
+		n := 2
+		for uint64(n+1)*uint64(n+1)*24 <= wsBytes {
+			n++
+		}
+		return NewTiledMM(n, 16, meanGap, seed)
+	case "stencil":
+		side := 3
+		for uint64(side+1)*uint64(side+1)*16 <= wsBytes {
+			side++
+		}
+		return NewStencil(side, side, meanGap, seed)
+	case "fft":
+		logN := 2
+		for uint64(16)<<(logN+1) <= wsBytes && logN < 30 {
+			logN++
+		}
+		return NewFFT(logN, meanGap, seed)
+	case "fluidanimate":
+		particles := int(wsBytes / (2 * fluidParticleBytes))
+		if particles < 1 {
+			particles = 1
+		}
+		cells := 2
+		for uint64(cells+1)*uint64(cells+1)*uint64(cells+1)*64 <= wsBytes/2 {
+			cells++
+		}
+		return NewFluidanimate(particles, cells, meanGap, seed)
+	}
+	return nil, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// Workloads lists the names accepted by ByName.
+func Workloads() []string {
+	return []string{"stream", "random", "pchase", "tiledmm", "stencil", "fft", "fluidanimate"}
+}

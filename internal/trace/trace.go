@@ -1,0 +1,186 @@
+// Package trace generates synthetic memory-reference traces with
+// controllable locality, working-set size and compute/memory mix. The
+// generators stand in for the paper's SPLASH-2/PARSEC + SimPoint traces:
+// every experiment in this repository consumes traces only through their
+// statistical properties (reuse distance, access frequency, stride
+// structure, bank spread), which these generators control directly.
+package trace
+
+import "fmt"
+
+// Ref is one memory reference. Gap is the number of non-memory
+// instructions the core executes immediately before this reference, which
+// sets the trace's memory access frequency fmem = 1/(1+E[Gap]).
+type Ref struct {
+	Addr  uint64
+	Write bool
+	Gap   uint16
+	// Dep marks a reference whose address depends on the previous
+	// reference's data (pointer chasing): the core cannot issue it until
+	// the previous access completes, destroying memory-level parallelism.
+	Dep bool
+}
+
+// Generator produces an unbounded deterministic reference stream.
+type Generator interface {
+	// Name identifies the workload family.
+	Name() string
+	// Next writes the next reference into ref. It always succeeds;
+	// generators are unbounded and callers take as many references as the
+	// experiment needs.
+	Next(ref *Ref)
+	// Reset rewinds the generator to its initial state.
+	Reset()
+}
+
+// rng is a splitmix64 deterministic generator: tiny, fast, and
+// reproducible across platforms.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0,n).
+func (r *rng) intn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// float returns a uniform value in [0,1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Take drains n references from g into a slice.
+func Take(g Generator, n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}
+
+// Interleave round-robins the given generators into one stream, modelling
+// a multiprogrammed reference mix. Each sub-stream keeps its own address
+// space by tagging the top bits with the stream index.
+type Interleave struct {
+	gens []Generator
+	next int
+}
+
+// NewInterleave builds an interleaving generator. It panics on an empty
+// generator list, which is a programming error.
+func NewInterleave(gens ...Generator) *Interleave {
+	if len(gens) == 0 {
+		panic("trace: NewInterleave needs at least one generator")
+	}
+	return &Interleave{gens: gens}
+}
+
+// Name implements Generator.
+func (iv *Interleave) Name() string { return "interleave" }
+
+// Next implements Generator.
+func (iv *Interleave) Next(ref *Ref) {
+	i := iv.next
+	iv.gens[i].Next(ref)
+	ref.Addr = (ref.Addr & 0x00ffffffffffffff) | uint64(i+1)<<56
+	iv.next = (iv.next + 1) % len(iv.gens)
+}
+
+// Reset implements Generator.
+func (iv *Interleave) Reset() {
+	iv.next = 0
+	for _, g := range iv.gens {
+		g.Reset()
+	}
+}
+
+// PhaseSwitch alternates between sub-generators every period references,
+// modelling the phase behaviour the paper's online adaptation targets
+// (§IV: "the behavior of an application changes phase by phase").
+type PhaseSwitch struct {
+	gens   []Generator
+	period int
+	count  int
+	idx    int
+}
+
+// NewPhaseSwitch builds a phase-alternating generator. It panics on an
+// empty generator list or non-positive period (programming errors).
+func NewPhaseSwitch(period int, gens ...Generator) *PhaseSwitch {
+	if len(gens) == 0 || period < 1 {
+		panic("trace: NewPhaseSwitch needs ≥1 generator and a positive period")
+	}
+	return &PhaseSwitch{gens: gens, period: period}
+}
+
+// Name implements Generator.
+func (ps *PhaseSwitch) Name() string { return "phaseswitch" }
+
+// Phase returns the index of the currently active sub-generator.
+func (ps *PhaseSwitch) Phase() int { return ps.idx }
+
+// Next implements Generator.
+func (ps *PhaseSwitch) Next(ref *Ref) {
+	ps.gens[ps.idx].Next(ref)
+	// Tag the address space per phase so phases do not share lines.
+	ref.Addr = (ref.Addr & 0x00ffffffffffffff) | uint64(ps.idx+1)<<56
+	ps.count++
+	if ps.count%ps.period == 0 {
+		ps.idx = (ps.idx + 1) % len(ps.gens)
+	}
+}
+
+// Reset implements Generator.
+func (ps *PhaseSwitch) Reset() {
+	ps.count, ps.idx = 0, 0
+	for _, g := range ps.gens {
+		g.Reset()
+	}
+}
+
+// gapper draws compute gaps with the configured mean using a bounded
+// geometric-ish distribution, keeping fmem = 1/(1+mean) on average.
+type gapper struct {
+	mean float64
+	r    *rng
+}
+
+func (g gapper) gap() uint16 {
+	if g.mean <= 0 {
+		return 0
+	}
+	// Uniform over [0, 2·mean] keeps the mean exact with bounded variance.
+	hi := uint64(2*g.mean + 0.5)
+	if hi == 0 {
+		return 0
+	}
+	v := g.r.intn(hi + 1)
+	if v > 0xffff {
+		v = 0xffff
+	}
+	return uint16(v)
+}
+
+// validateWS checks a working-set byte size.
+func validateWS(name string, bytes uint64) error {
+	if bytes < 64 {
+		return fmt.Errorf("trace: %s working set %d bytes below one cache line", name, bytes)
+	}
+	return nil
+}

@@ -1,0 +1,390 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// genHelper lets constructor calls expand their (Generator, error) return
+// directly into must.
+type genHelper struct{ t *testing.T }
+
+func (h genHelper) must(g Generator, err error) Generator {
+	h.t.Helper()
+	if err != nil {
+		h.t.Fatalf("generator construction: %v", err)
+	}
+	return g
+}
+
+func allGenerators(t *testing.T) []Generator {
+	t.Helper()
+	h := genHelper{t}
+	return []Generator{
+		h.must(NewStream(1<<20, 2, 1)),
+		h.must(NewRandom(1<<20, 2, 0.3, 1)),
+		h.must(NewPointerChase(1<<18, 2, 1)),
+		h.must(NewTiledMM(64, 8, 2, 1)),
+		h.must(NewStencil(64, 64, 2, 1)),
+		h.must(NewFFT(10, 2, 1)),
+		h.must(NewFluidanimate(4096, 8, 2, 1)),
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range allGenerators(t) {
+		a := Take(g, 2000)
+		g.Reset()
+		b := Take(g, 2000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic at ref %d: %+v vs %+v", g.Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGeneratorsNamed(t *testing.T) {
+	for _, g := range allGenerators(t) {
+		if g.Name() == "" {
+			t.Error("generator with empty name")
+		}
+	}
+}
+
+func TestMeanGapControlsFmem(t *testing.T) {
+	for _, meanGap := range []float64{0, 1, 4, 9} {
+		g := genHelper{t}.must(NewRandom(1<<20, meanGap, 0.3, 7))
+		refs := Take(g, 20000)
+		var sum float64
+		for _, r := range refs {
+			sum += float64(r.Gap)
+		}
+		got := sum / float64(len(refs))
+		if math.Abs(got-meanGap) > 0.15*(1+meanGap) {
+			t.Errorf("mean gap %v measured %v", meanGap, got)
+		}
+		wantFmem := 1 / (1 + meanGap)
+		gotFmem := float64(len(refs)) / (float64(len(refs)) + sum)
+		if math.Abs(gotFmem-wantFmem) > 0.1*wantFmem {
+			t.Errorf("fmem: want %v got %v", wantFmem, gotFmem)
+		}
+	}
+}
+
+func TestWorkingSetBounds(t *testing.T) {
+	cases := []struct {
+		g  Generator
+		ws uint64
+	}{
+		{genHelper{t}.must(NewStream(1<<16, 0, 1)), 1 << 16},
+		{genHelper{t}.must(NewRandom(1<<16, 0, 0.3, 1)), 1 << 16},
+		{genHelper{t}.must(NewPointerChase(1<<16, 0, 1)), 1 << 16},
+	}
+	for _, c := range cases {
+		for _, r := range Take(c.g, 50000) {
+			if r.Addr >= c.ws {
+				t.Fatalf("%s: address %#x outside working set %#x", c.g.Name(), r.Addr, c.ws)
+			}
+		}
+	}
+}
+
+func TestStreamIsSequential(t *testing.T) {
+	g := genHelper{t}.must(NewStream(1<<20, 0, 1))
+	refs := Take(g, 1000)
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Addr != refs[i-1].Addr+8 {
+			t.Fatalf("stream not sequential at %d: %#x → %#x", i, refs[i-1].Addr, refs[i].Addr)
+		}
+	}
+	// Triad write mix: one write in three (±1 for trace length rounding).
+	writes := 0
+	for _, r := range refs {
+		if r.Write {
+			writes++
+		}
+	}
+	if writes < len(refs)/3-1 || writes > len(refs)/3+1 {
+		t.Fatalf("stream writes = %d of %d, want one third", writes, len(refs))
+	}
+}
+
+func TestPointerChaseVisitsAllNodes(t *testing.T) {
+	ws := uint64(64 * 256) // 256 nodes
+	g := genHelper{t}.must(NewPointerChase(ws, 0, 42))
+	seen := map[uint64]bool{}
+	for _, r := range Take(g, 256) {
+		if r.Addr%64 != 0 {
+			t.Fatalf("pchase address %#x not line-aligned", r.Addr)
+		}
+		if seen[r.Addr] {
+			t.Fatalf("pchase revisited %#x before covering the cycle", r.Addr)
+		}
+		seen[r.Addr] = true
+	}
+	if len(seen) != 256 {
+		t.Fatalf("pchase visited %d nodes, want 256 (Sattolo single cycle)", len(seen))
+	}
+}
+
+func TestTiledMMTouchesThreeMatrices(t *testing.T) {
+	n := 32
+	g := genHelper{t}.must(NewTiledMM(n, 8, 0, 1))
+	refs := Take(g, 3*n*n*n) // one full multiplication
+	bound := uint64(3*n*n) * 8
+	matrices := map[int]bool{}
+	writes := 0
+	for _, r := range refs {
+		if r.Addr >= bound {
+			t.Fatalf("tiledmm address %#x beyond 3 matrices (%#x)", r.Addr, bound)
+		}
+		matrices[int(r.Addr/uint64(n*n*8))] = true
+		if r.Write {
+			writes++
+		}
+	}
+	if len(matrices) != 3 {
+		t.Fatalf("tiledmm touched %d matrices, want 3", len(matrices))
+	}
+	if writes*3 != len(refs) {
+		t.Fatalf("tiledmm writes = %d of %d, want one third (C updates)", writes, len(refs))
+	}
+}
+
+func TestStencilStaysInterior(t *testing.T) {
+	rows, cols := 16, 16
+	g := genHelper{t}.must(NewStencil(rows, cols, 0, 1))
+	gridBytes := uint64(rows*cols) * 8
+	for _, r := range Take(g, 5000) {
+		if r.Write {
+			if r.Addr < gridBytes || r.Addr >= 2*gridBytes {
+				t.Fatalf("stencil write %#x outside output grid", r.Addr)
+			}
+		} else if r.Addr >= gridBytes {
+			t.Fatalf("stencil read %#x outside input grid", r.Addr)
+		}
+	}
+}
+
+func TestFFTStrideDoublesPerStage(t *testing.T) {
+	logN := 6
+	n := 1 << logN
+	g := genHelper{t}.must(NewFFT(logN, 0, 1))
+	// Stage s emits n/2 butterflies × 4 refs; partner distance is 16·2^s bytes.
+	for s := 0; s < logN; s++ {
+		refs := Take(g, 4*n/2)
+		wantDelta := uint64(16) << s
+		for b := 0; b < n/2; b++ {
+			a, bb := refs[4*b], refs[4*b+1]
+			if bb.Addr-a.Addr != wantDelta {
+				t.Fatalf("stage %d butterfly %d: partner delta %d, want %d", s, b, bb.Addr-a.Addr, wantDelta)
+			}
+			if refs[4*b+2].Addr != a.Addr || !refs[4*b+2].Write {
+				t.Fatalf("stage %d: third ref is not write-back of a", s)
+			}
+		}
+	}
+}
+
+func TestFluidanimatePhases(t *testing.T) {
+	g := genHelper{t}.must(NewFluidanimate(100, 4, 0, 3))
+	refs := Take(g, 11*100)
+	particleBytes := uint64(100 * fluidParticleBytes)
+	for i := 0; i < len(refs); i += 11 {
+		if refs[i].Write || refs[i].Addr >= particleBytes {
+			t.Fatalf("phase 0 ref %d invalid: %+v", i, refs[i])
+		}
+		if !refs[i+10].Write || refs[i+10].Addr != refs[i].Addr {
+			t.Fatalf("write-back mismatch at particle %d", i/11)
+		}
+		for j := 1; j <= 9; j++ {
+			if refs[i+j].Addr < particleBytes {
+				t.Fatalf("neighbour probe %d hit particle array", j)
+			}
+		}
+	}
+}
+
+func TestInterleaveTagsStreams(t *testing.T) {
+	g1 := genHelper{t}.must(NewStream(1<<16, 0, 1))
+	g2 := genHelper{t}.must(NewRandom(1<<16, 0, 0, 2))
+	iv := NewInterleave(g1, g2)
+	refs := Take(iv, 100)
+	for i, r := range refs {
+		wantTag := uint64(i%2+1) << 56
+		if r.Addr>>56 != wantTag>>56 {
+			t.Fatalf("ref %d tag %#x, want %#x", i, r.Addr>>56, wantTag>>56)
+		}
+	}
+	iv.Reset()
+	again := Take(iv, 100)
+	for i := range refs {
+		if refs[i] != again[i] {
+			t.Fatalf("interleave not deterministic after reset")
+		}
+	}
+	if iv.Name() == "" {
+		t.Error("empty interleave name")
+	}
+}
+
+func TestInterleavePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInterleave() with no generators did not panic")
+		}
+	}()
+	NewInterleave()
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewStream(8, 0, 1); err == nil {
+		t.Error("tiny stream accepted")
+	}
+	if _, err := NewRandom(1<<16, 0, 1.5, 1); err == nil {
+		t.Error("bad write fraction accepted")
+	}
+	if _, err := NewTiledMM(4, 8, 0, 1); err == nil {
+		t.Error("tile larger than matrix accepted")
+	}
+	if _, err := NewStencil(2, 2, 0, 1); err == nil {
+		t.Error("tiny stencil accepted")
+	}
+	if _, err := NewFFT(1, 0, 1); err == nil {
+		t.Error("tiny FFT accepted")
+	}
+	if _, err := NewFFT(31, 0, 1); err == nil {
+		t.Error("huge FFT accepted")
+	}
+	if _, err := NewFluidanimate(0, 4, 0, 1); err == nil {
+		t.Error("zero particles accepted")
+	}
+	if _, err := NewPointerChase(8, 0, 1); err == nil {
+		t.Error("tiny pchase accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Workloads() {
+		g, err := ByName(name, 1<<20, 2, 7)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		refs := Take(g, 1000)
+		if len(refs) != 1000 {
+			t.Fatalf("ByName(%q) produced %d refs", name, len(refs))
+		}
+	}
+	if _, err := ByName("nope", 1<<20, 2, 7); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestByNameWorkingSetsReasonable(t *testing.T) {
+	// Each named workload should keep its footprint within ~2× the request
+	// and use at least a quarter of it.
+	for _, name := range Workloads() {
+		ws := uint64(1 << 19)
+		g, err := ByName(name, ws, 0, 7)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		var maxAddr uint64
+		for _, r := range Take(g, 300000) {
+			if r.Addr > maxAddr {
+				maxAddr = r.Addr
+			}
+		}
+		if maxAddr > 2*ws {
+			t.Errorf("%s: footprint %#x far beyond request %#x", name, maxAddr, ws)
+		}
+		if maxAddr < ws/4 {
+			t.Errorf("%s: footprint %#x far below request %#x", name, maxAddr, ws)
+		}
+	}
+}
+
+func TestRNGQuality(t *testing.T) {
+	r := newRNG(0) // zero seed must still work
+	buckets := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		buckets[r.intn(16)]++
+	}
+	for b, c := range buckets {
+		if c < 700 || c > 1300 {
+			t.Fatalf("bucket %d badly skewed: %d of 16000", b, c)
+		}
+	}
+	if r.intn(0) != 0 {
+		t.Fatal("intn(0) must return 0")
+	}
+	// float in [0,1).
+	for i := 0; i < 1000; i++ {
+		if f := r.float(); f < 0 || f >= 1 {
+			t.Fatalf("float out of range: %v", f)
+		}
+	}
+}
+
+func TestPhaseSwitchAlternates(t *testing.T) {
+	h := genHelper{t}
+	a := h.must(NewStream(1<<16, 0, 1))
+	b := h.must(NewRandom(1<<16, 0, 0, 2))
+	ps := NewPhaseSwitch(100, a, b)
+	refs := Take(ps, 400)
+	// First 100 refs from phase 0, next 100 from phase 1, etc., with the
+	// phase tag in the top bits.
+	for i, r := range refs {
+		wantPhase := (i / 100) % 2
+		if got := int(r.Addr>>56) - 1; got != wantPhase {
+			t.Fatalf("ref %d tagged phase %d, want %d", i, got, wantPhase)
+		}
+	}
+	if ps.Phase() != 0 {
+		t.Fatalf("after 400 refs phase = %d, want 0", ps.Phase())
+	}
+	if ps.Name() == "" {
+		t.Fatal("empty name")
+	}
+	// Reset restores determinism.
+	ps.Reset()
+	again := Take(ps, 400)
+	for i := range refs {
+		if refs[i] != again[i] {
+			t.Fatal("phase switch not deterministic after reset")
+		}
+	}
+}
+
+func TestPhaseSwitchPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPhaseSwitch with no generators did not panic")
+		}
+	}()
+	NewPhaseSwitch(10)
+}
+
+func TestPhaseSwitchSingleGenerator(t *testing.T) {
+	g := genHelper{t}.must(NewStream(1<<16, 0, 1))
+	ps := NewPhaseSwitch(50, g)
+	refs := Take(ps, 200)
+	for i, r := range refs {
+		if r.Addr>>56 != 1 {
+			t.Fatalf("ref %d wrong tag", i)
+		}
+	}
+}
+
+func TestPhaseSwitchInSimulator(t *testing.T) {
+	// A phase-switching trace is a valid simulator input end to end.
+	h := genHelper{t}
+	ps := NewPhaseSwitch(500,
+		h.must(NewTiledMM(32, 8, 2, 1)),
+		h.must(NewRandom(8<<20, 2, 0.3, 2)))
+	refs := Take(ps, 3000)
+	if len(refs) != 3000 {
+		t.Fatal("short trace")
+	}
+}
