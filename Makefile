@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures figures-full examples cover clean
+.PHONY: all build vet test test-short race check bench figures figures-full examples cover clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-merge gate: build, vet, tests, and the race detector.
+check: build vet test race
 
 # One iteration of every figure/table benchmark with its headline metric.
 bench:

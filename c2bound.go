@@ -1,6 +1,8 @@
 package c2bound
 
 import (
+	"context"
+
 	"repro/internal/aps"
 	"repro/internal/baselines"
 	"repro/internal/camat"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/dse"
+	"repro/internal/robust"
 	"repro/internal/sim"
 	"repro/internal/speedup"
 	"repro/internal/trace"
@@ -203,11 +206,49 @@ func NewSimEvaluator(cfg ChipConfig, workload string, wsBytes uint64, meanGap fl
 }
 
 // SweepSpace brute-forces a space in parallel (the ground-truth path).
-func SweepSpace(e Evaluator, s DesignSpace, workers int) []float64 { return dse.Sweep(e, s, workers) }
+func SweepSpace(e Evaluator, s DesignSpace, workers int) []float64 {
+	return dse.Sweep(context.Background(), e, s, workers)
+}
 
 // RunAPS executes the Analysis-Plus-Simulation flow.
 func RunAPS(m Model, space DesignSpace, eval Evaluator, opts APSOptions) (APSResult, error) {
 	return aps.Run(m, space, eval, opts)
+}
+
+// Resilient exploration (cancellation, retries, checkpoint/resume).
+type (
+	// CtxEvaluator is a context-aware, fallible evaluator; SimEvaluator
+	// implements it, and AdaptEvaluator lifts a plain Evaluator.
+	CtxEvaluator = dse.CtxEvaluator
+	// SweepOptions tunes the resilient sweep: workers, retry policy,
+	// timeout, and checkpoint/resume.
+	SweepOptions = dse.SweepOptions
+	// SweepReport is the structured outcome of a resilient sweep:
+	// completed/failed/pending indices, retry counts and wall time.
+	SweepReport = dse.SweepReport
+	// RetryPolicy bounds re-attempts of transiently failing evaluations
+	// (exponential backoff with jitter).
+	RetryPolicy = robust.RetryPolicy
+	// SweepCheckpoint is the JSON sweep-state snapshot written by
+	// checkpointed sweeps.
+	SweepCheckpoint = dse.Checkpoint
+)
+
+// AdaptEvaluator lifts a plain Evaluator to the context-aware interface.
+func AdaptEvaluator(e Evaluator) CtxEvaluator { return dse.WithContext(e) }
+
+// SweepSpaceCtx is SweepSpace with cancellation, deadlines, retries,
+// panic isolation and optional checkpoint/resume. Partial results and
+// the report are valid even when the returned error is non-nil.
+func SweepSpaceCtx(ctx context.Context, e CtxEvaluator, s DesignSpace, opts SweepOptions) ([]float64, SweepReport, error) {
+	return dse.SweepCtx(ctx, e, s, nil, opts)
+}
+
+// RunAPSCtx is RunAPS with the same resilience guarantees: cancellation
+// propagates into the analytic scan and every simulator invocation, and
+// the simulated slice retries transient failures per opts.Sweep.Retry.
+func RunAPSCtx(ctx context.Context, m Model, space DesignSpace, eval CtxEvaluator, opts APSOptions) (APSResult, error) {
+	return aps.RunCtx(ctx, m, space, eval, opts)
 }
 
 // Baselines (§VI).

@@ -8,16 +8,22 @@
 // Usage:
 //
 //	aps [-workload name] [-ws bytes] [-refs n] [-per k] [-fseq f]
-//	    [-radius r] [-truth]
+//	    [-radius r] [-truth] [-timeout d] [-checkpoint file] [-resume]
 //
 // With -truth the full design space is also swept to ground-truth the APS
-// design (expensive: per^6 simulations).
+// design (expensive: per^6 simulations). -timeout bounds the whole run;
+// when it fires, whatever was evaluated so far is reported (and saved to
+// the -checkpoint file, if given, from where a later -resume run picks the
+// sweep back up).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/aps"
@@ -34,7 +40,21 @@ func main() {
 	fseq := flag.Float64("fseq", 0.05, "sequential fraction (from the app's structure)")
 	radius := flag.Int("radius", 0, "extra neighborhood radius around the analytic point")
 	truth := flag.Bool("truth", false, "also brute-force the space to measure APS error")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	checkpoint := flag.String("checkpoint", "", "periodically save sweep state to this JSON file")
+	resume := flag.Bool("resume", false, "skip configurations already recorded in -checkpoint")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
 	start := time.Now()
 
@@ -67,23 +87,42 @@ func main() {
 
 	// Steps 2-3: analytic optimization + simulated slice.
 	fmt.Printf("[2/3] solving the C²-Bound optimization and snapping onto the %d-point grid...\n", space.Size())
-	res, err := aps.Run(m, space, eval, aps.Options{Radius: *radius, Optimize: core.Options{MaxN: 64}})
+	opts := aps.Options{Radius: *radius, Optimize: core.Options{MaxN: 64}}
+	opts.Sweep.CheckpointPath = *checkpoint
+	opts.Sweep.Resume = *resume
+	res, err := aps.RunCtx(ctx, m, space, eval, opts)
 	if err != nil {
+		reportSweep(res.Report)
 		log.Fatalf("aps: %v", err)
 	}
-	fmt.Printf("[3/3] simulated %d configurations (analytic phase scored %d grid points).\n\n",
+	fmt.Printf("[3/3] simulated %d configurations (analytic phase scored %d grid points).\n",
 		res.Simulations, res.AnalyticPoints)
+	reportSweep(res.Report)
+	fmt.Println()
 
 	p := res.BestPoint
 	fmt.Printf("chosen design: A0=%.3g A1=%.3g A2=%.3g mm², N=%.0f cores, issue=%[5]g, ROB=%.0f\n",
 		p[0], p[1], p[2], p[3], p[4], p[5])
 	fmt.Printf("simulated time: %.0f cycles\n", res.BestValue)
-	fmt.Printf("design space: %d points; APS explored %d (%.1fx reduction)\n",
-		res.SpaceSize, res.Simulations, float64(res.SpaceSize)/float64(res.Simulations))
+	if res.Simulations > 0 {
+		fmt.Printf("design space: %d points; APS explored %d (%.1fx reduction)\n",
+			res.SpaceSize, res.Simulations, float64(res.SpaceSize)/float64(res.Simulations))
+	} else {
+		fmt.Printf("design space: %d points; every slice point restored from checkpoint\n", res.SpaceSize)
+	}
 
 	if *truth {
 		fmt.Printf("\nbrute-forcing all %d configurations for ground truth...\n", space.Size())
-		values := dse.Sweep(eval, space, 0)
+		truthOpts := dse.SweepOptions{Resume: *resume}
+		if *checkpoint != "" {
+			truthOpts.CheckpointPath = *checkpoint + ".truth"
+		}
+		values, rep, err := dse.SweepCtx(ctx, eval, space, nil, truthOpts)
+		if err != nil {
+			reportSweep(rep)
+			log.Fatalf("truth sweep: %v", err)
+		}
+		reportSweep(rep)
 		relErr, err := aps.RelativeError(res.BestValue, values)
 		if err != nil {
 			log.Fatalf("relative error: %v", err)
@@ -91,4 +130,22 @@ func main() {
 		fmt.Printf("APS design is within %.2f%% of the true optimum (paper: 5.96%%)\n", 100*relErr)
 	}
 	fmt.Printf("\nwall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// reportSweep prints the resilience summary of a simulated sweep when
+// anything noteworthy happened (retries, failures, cancellation, resume).
+func reportSweep(rep dse.SweepReport) {
+	if rep.Total == 0 {
+		return
+	}
+	if rep.Retries > 0 || rep.Resumed > 0 || len(rep.Failed) > 0 || rep.Canceled {
+		fmt.Printf("      sweep: %d/%d evaluated (%d resumed, %d retries, %d failed, %d pending)\n",
+			len(rep.Completed), rep.Total, rep.Resumed, rep.Retries, len(rep.Failed), len(rep.Pending))
+	}
+	for _, f := range rep.Failed {
+		fmt.Printf("      index %d failed after %d attempts: %s\n", f.Index, f.Attempts, f.Err)
+	}
+	if rep.Canceled {
+		fmt.Printf("      sweep interrupted; rerun with -resume to continue\n")
+	}
 }

@@ -6,19 +6,29 @@
 // Usage:
 //
 //	c2bound [-app fluidanimate|tmm|stencil|fft] [-area mm2] [-fseq f]
-//	        [-fmem f] [-conc C] [-gorder b] [-maxn n]
+//	        [-fmem f] [-conc C] [-gorder b] [-maxn n] [-timeout d]
+//	        [-sweep per] [-checkpoint file] [-resume]
 //
 // Flags override the preset profile's fields, so one command answers
 // "what if this application had concurrency 8?" style questions.
+//
+// With -sweep the command additionally brute-forces the per-values-per-
+// dimension reduced design space with the analytic evaluator; -checkpoint
+// and -resume make that sweep restartable, and -timeout bounds the whole
+// run (a timed-out sweep saves its partial state before exiting).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"time"
 
 	c2bound "repro"
+	"repro/internal/dse"
 )
 
 func main() {
@@ -29,7 +39,22 @@ func main() {
 	conc := flag.Float64("conc", 0, "pin the data-access concurrency C (C_H = C_M = C)")
 	gorder := flag.Float64("gorder", -1, "g(N) = N^b growth exponent override")
 	maxn := flag.Int("maxn", 0, "largest core count to consider")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	sweepPer := flag.Int("sweep", 0, "also sweep the reduced space with this many values per dimension")
+	checkpoint := flag.String("checkpoint", "", "save sweep state to this JSON file")
+	resume := flag.Bool("resume", false, "skip points already recorded in -checkpoint")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
 	var app c2bound.App
 	switch *appName {
@@ -66,7 +91,7 @@ func main() {
 	}
 
 	m := c2bound.Model{Chip: cfg, App: app}
-	res, err := m.Optimize(c2bound.OptimizeOptions{MaxN: *maxn})
+	res, err := m.OptimizeCtx(ctx, c2bound.OptimizeOptions{MaxN: *maxn})
 	if err != nil {
 		log.Fatalf("optimize: %v", err)
 	}
@@ -86,4 +111,39 @@ func main() {
 	fmt.Printf("objective         : T=%.6g, W=%.6g, W/T=%.6g\n",
 		res.Eval.Time, res.Eval.Work, res.Eval.Throughput)
 	fmt.Printf("solver            : %s after %d objective evaluations\n", res.Method, res.Evaluations)
+
+	if *sweepPer > 0 {
+		runSweep(ctx, m, cfg, *sweepPer, *checkpoint, *resume)
+	}
+}
+
+// runSweep brute-forces the reduced design space with the analytic
+// evaluator, optionally checkpointing so an interrupted run can resume.
+func runSweep(ctx context.Context, m c2bound.Model, cfg c2bound.ChipConfig, per int, checkpoint string, resume bool) {
+	space, err := dse.ReducedSpace(cfg, per)
+	if err != nil {
+		log.Fatalf("sweep space: %v", err)
+	}
+	fmt.Printf("\nsweeping %d analytic design points...\n", space.Size())
+	start := time.Now()
+	values, rep, err := dse.SweepCtx(ctx, &dse.ModelEvaluator{Model: m}, space, nil, dse.SweepOptions{
+		CheckpointPath: checkpoint,
+		Resume:         resume,
+	})
+	fmt.Printf("sweep: %d/%d evaluated (%d resumed, %d retries, %d failed, %d pending) in %v\n",
+		len(rep.Completed), rep.Total, rep.Resumed, rep.Retries, len(rep.Failed), len(rep.Pending),
+		time.Since(start).Round(time.Millisecond))
+	if err != nil {
+		if checkpoint != "" {
+			fmt.Printf("sweep interrupted; rerun with -resume to continue\n")
+		}
+		log.Fatalf("sweep: %v", err)
+	}
+	idx, best := dse.Best(values)
+	if idx < 0 {
+		log.Fatal("sweep: no feasible design point")
+	}
+	p := space.Point(idx)
+	fmt.Printf("sweep optimum     : A0=%.3g A1=%.3g A2=%.3g mm², N=%.0f cores, issue=%g, ROB=%.0f (T=%.6g)\n",
+		p[0], p[1], p[2], p[3], p[4], p[5], best)
 }

@@ -9,6 +9,7 @@
 package aps
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,6 +48,10 @@ type Options struct {
 	Metric Metric
 	// Optimize forwards bounds to the analytic optimizer.
 	Optimize core.Options
+	// Sweep tunes the resilience of the simulated phase: retry policy,
+	// overall timeout, and checkpoint/resume of the slice sweep. Its
+	// Workers field defaults to Options.Workers when zero.
+	Sweep dse.SweepOptions
 }
 
 // Result is the APS outcome.
@@ -63,12 +68,23 @@ type Result struct {
 	// optimization; these are microseconds each, not simulations.
 	AnalyticPoints int
 	SpaceSize      int
+	// Report is the resilience accounting of the simulated phase:
+	// completed/failed/pending indices, retries and wall time.
+	Report dse.SweepReport
 }
 
 // Run executes APS for the model over the given space using eval as the
 // simulator. The space must carry the six paper dimensions (dse.DimA0 …
 // dse.DimROB).
 func Run(m core.Model, space dse.Space, eval dse.Evaluator, opts Options) (Result, error) {
+	return RunCtx(context.Background(), m, space, dse.WithContext(eval), opts)
+}
+
+// RunCtx executes APS with cancellation and resilience: the context's
+// cancellation or deadline propagates into the analytic grid scan and
+// every simulator invocation, failing evaluations are retried per
+// opts.Sweep.Retry, and the simulated phase can checkpoint and resume.
+func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEvaluator, opts Options) (Result, error) {
 	dims := make(map[string]int, 6)
 	for _, name := range []string{dse.DimA0, dse.DimA1, dse.DimA2, dse.DimN, dse.DimIssue, dse.DimROB} {
 		d, err := space.DimIndex(name)
@@ -85,11 +101,11 @@ func Run(m core.Model, space dse.Space, eval dse.Evaluator, opts Options) (Resul
 	// (A0, A1, A2, N) combinations — still pure analysis, zero
 	// simulations — because the continuous optimum may sit between grid
 	// values (especially its tight area constraint).
-	analytic, err := m.Optimize(opts.Optimize)
+	analytic, err := m.OptimizeCtx(ctx, opts.Optimize)
 	if err != nil {
 		return Result{}, err
 	}
-	center, analyticPoints, err := gridOptimum(m, space, dims, opts.Metric)
+	center, analyticPoints, err := gridOptimum(ctx, m, space, dims, opts.Metric)
 	if err != nil {
 		return Result{}, err
 	}
@@ -117,28 +133,40 @@ func Run(m core.Model, space dse.Space, eval dse.Evaluator, opts Options) (Resul
 			}
 		}
 	}
-	values := dse.SweepIndices(eval, space, indices, opts.Workers)
-	bestIdx, bestVal := dse.Best(values)
-	if bestIdx < 0 {
-		return Result{}, fmt.Errorf("aps: no feasible configuration in the simulated slice")
+	sweepOpts := opts.Sweep
+	if sweepOpts.Workers == 0 {
+		sweepOpts.Workers = opts.Workers
 	}
-	return Result{
+	values, report, sweepErr := dse.SweepCtx(ctx, eval, space, indices, sweepOpts)
+	bestIdx, bestVal := dse.Best(values)
+	res := Result{
 		Analytic:       analytic,
 		Snapped:        center,
 		BestIdx:        bestIdx,
-		BestPoint:      space.Point(bestIdx),
-		BestValue:      bestVal,
-		Simulations:    len(indices),
 		AnalyticPoints: analyticPoints,
+		Simulations:    len(report.Completed) - report.Resumed + len(report.Failed),
 		SpaceSize:      space.Size(),
-	}, nil
+		Report:         report,
+	}
+	if bestIdx >= 0 {
+		res.BestPoint = space.Point(bestIdx)
+		res.BestValue = bestVal
+	}
+	if sweepErr != nil {
+		return res, fmt.Errorf("aps: simulated slice interrupted (%d/%d evaluated): %w",
+			len(report.Completed), report.Total, sweepErr)
+	}
+	if bestIdx < 0 {
+		return res, fmt.Errorf("aps: no feasible configuration in the simulated slice")
+	}
+	return res, nil
 }
 
 // gridOptimum scans the representable (A0, A1, A2, N) grid combinations
 // with the *analytic* objective (no simulation) and returns the best
 // feasible coordinates, with the issue/ROB dimensions left at zero for
 // the subsequent simulated slice.
-func gridOptimum(m core.Model, space dse.Space, dims map[string]int, metric Metric) ([]int, int, error) {
+func gridOptimum(ctx context.Context, m core.Model, space dse.Space, dims map[string]int, metric Metric) ([]int, int, error) {
 	dA0, dA1, dA2, dN := dims[dse.DimA0], dims[dse.DimA1], dims[dse.DimA2], dims[dse.DimN]
 	best := make([]int, space.Dims())
 	found := false
@@ -146,6 +174,9 @@ func gridOptimum(m core.Model, space dse.Space, dims map[string]int, metric Metr
 	coords := make([]int, space.Dims())
 	points := 0
 	for i0 := range space.Params[dA0].Values {
+		if err := ctx.Err(); err != nil {
+			return nil, points, fmt.Errorf("aps: analytic grid scan interrupted: %w", err)
+		}
 		for i1 := range space.Params[dA1].Values {
 			for i2 := range space.Params[dA2].Values {
 				for in := range space.Params[dN].Values {

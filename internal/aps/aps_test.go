@@ -1,6 +1,7 @@
 package aps
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -68,7 +69,7 @@ func TestRunCloseToGroundTruth(t *testing.T) {
 	// On the analytic evaluator, APS's chosen design should be within a
 	// modest factor of the global optimum of the full sweep.
 	m, space, eval := testSetup(t, 3)
-	truth := dse.Sweep(eval, space, 0)
+	truth := dse.Sweep(context.Background(), eval, space, 0)
 	res, err := Run(m, space, eval, Options{Optimize: core.Options{MaxN: 64}})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -133,7 +134,7 @@ func TestRelativeError(t *testing.T) {
 
 func TestANNSearchReachesTarget(t *testing.T) {
 	_, space, eval := testSetup(t, 3)
-	truth := dse.Sweep(eval, space, 0)
+	truth := dse.Sweep(context.Background(), eval, space, 0)
 	search := &ANNSearch{
 		Space: space, Truth: truth, Seed: 11,
 		ChunkSize: 30, Epochs: 200, MaxSims: space.Size(),
@@ -172,7 +173,7 @@ func TestANNNeedsMoreSimsThanAPS(t *testing.T) {
 	// The paper's Fig. 12 relationship on the reduced space: APS's
 	// simulation count is below the ANN baseline's at matched error.
 	m, space, eval := testSetup(t, 3)
-	truth := dse.Sweep(eval, space, 0)
+	truth := dse.Sweep(context.Background(), eval, space, 0)
 	apsRes, err := Run(m, space, eval, Options{Optimize: core.Options{MaxN: 64}})
 	if err != nil {
 		t.Fatalf("APS: %v", err)

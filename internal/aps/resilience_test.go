@@ -1,0 +1,99 @@
+package aps
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/robust"
+)
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	m, space, eval := testSetup(t, 4)
+	opts := Options{Optimize: core.Options{MaxN: 64}}
+	plain, err := Run(m, space, eval, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ctxRes, err := RunCtx(context.Background(), m, space, dse.WithContext(eval), opts)
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if plain.BestValue != ctxRes.BestValue || plain.Simulations != ctxRes.Simulations {
+		t.Fatalf("RunCtx diverged: best %v vs %v, sims %d vs %d",
+			ctxRes.BestValue, plain.BestValue, ctxRes.Simulations, plain.Simulations)
+	}
+}
+
+func TestRunCtxWithFaultInjectionFindsSameOptimum(t *testing.T) {
+	m, space, eval := testSetup(t, 4)
+	opts := Options{Optimize: core.Options{MaxN: 64}}
+	clean, err := RunCtx(context.Background(), m, space, dse.WithContext(eval), opts)
+	if err != nil {
+		t.Fatalf("clean RunCtx: %v", err)
+	}
+
+	faulty := robust.NewFaulty(dse.WithContext(eval), 0xbad5eed)
+	faulty.PFail = 0.15
+	faulty.PPanic = 0.05 // 20% transient faults on every simulated point
+	fopts := opts
+	fopts.Sweep.Retry = robust.RetryPolicy{
+		MaxAttempts: 12, BaseDelay: time.Microsecond, MaxDelay: 50 * time.Microsecond,
+	}
+	got, err := RunCtx(context.Background(), m, space, faulty, fopts)
+	if err != nil {
+		t.Fatalf("faulty RunCtx: %v", err)
+	}
+	if math.Float64bits(got.BestValue) != math.Float64bits(clean.BestValue) {
+		t.Fatalf("fault-injected optimum %v != clean optimum %v", got.BestValue, clean.BestValue)
+	}
+	if got.BestIdx != clean.BestIdx {
+		t.Fatalf("fault-injected best index %d != clean %d", got.BestIdx, clean.BestIdx)
+	}
+	if got.Report.Retries == 0 {
+		t.Fatal("no retries despite 20% fault injection")
+	}
+	if len(got.Report.Failed) != 0 {
+		t.Fatalf("permanent failures under transient faults: %+v", got.Report.Failed)
+	}
+}
+
+func TestRunCtxCancelledBeforeSweep(t *testing.T) {
+	m, space, eval := testSetup(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, m, space, dse.WithContext(eval), Options{Optimize: core.Options{MaxN: 64}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxCancelMidSweepReturnsPartialReport(t *testing.T) {
+	m, space, _ := testSetup(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	inner := &dse.ModelEvaluator{Model: m}
+	calls := 0
+	eval := robust.EvaluatorFunc(func(c context.Context, p []float64) (float64, error) {
+		calls++
+		if calls > 4 {
+			cancel()
+		}
+		return inner.EvaluateCtx(c, p)
+	})
+	opts := Options{Optimize: core.Options{MaxN: 64}}
+	opts.Sweep.Workers = 1
+	res, err := RunCtx(ctx, m, space, eval, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !res.Report.Canceled {
+		t.Fatal("report does not mark cancellation")
+	}
+	if len(res.Report.Pending) == 0 {
+		t.Fatal("no pending indices recorded for the interrupted slice")
+	}
+}

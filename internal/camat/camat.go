@@ -88,28 +88,39 @@ func (p Params) APC() float64 {
 	return 1 / c
 }
 
+// ErrBadParams is the sentinel wrapped by every Validate failure, so
+// callers can classify invalid-parameter errors with errors.Is without
+// matching message text.
+var ErrBadParams = errors.New("camat: invalid parameters")
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // Validate reports whether the parameter set is internally consistent:
-// non-negative fields, rates within [0,1], concurrency values ≥ 1 when the
-// corresponding activity exists, and pure-miss quantities bounded by their
-// conventional counterparts.
+// finite (no NaN/Inf) non-negative fields, rates within [0,1],
+// concurrency values ≥ 1 when the corresponding activity exists, and
+// pure-miss quantities bounded by their conventional counterparts. A
+// Params that passes Validate cannot propagate NaN through Eq. 2.
 func (p Params) Validate() error {
 	switch {
-	case p.H < 0 || math.IsNaN(p.H):
-		return fmt.Errorf("camat: hit time H=%v out of range", p.H)
+	case p.H < 0 || !finite(p.H):
+		return fmt.Errorf("%w: hit time H=%v out of range", ErrBadParams, p.H)
 	case p.MR < 0 || p.MR > 1 || math.IsNaN(p.MR):
-		return fmt.Errorf("camat: miss rate MR=%v outside [0,1]", p.MR)
+		return fmt.Errorf("%w: miss rate MR=%v outside [0,1]", ErrBadParams, p.MR)
 	case p.PMR < 0 || p.PMR > 1 || math.IsNaN(p.PMR):
-		return fmt.Errorf("camat: pure miss rate pMR=%v outside [0,1]", p.PMR)
+		return fmt.Errorf("%w: pure miss rate pMR=%v outside [0,1]", ErrBadParams, p.PMR)
 	case p.PMR > p.MR+1e-12:
-		return fmt.Errorf("camat: pMR=%v exceeds MR=%v", p.PMR, p.MR)
-	case p.AMP < 0 || math.IsNaN(p.AMP):
-		return fmt.Errorf("camat: AMP=%v negative", p.AMP)
-	case p.PAMP < 0 || math.IsNaN(p.PAMP):
-		return fmt.Errorf("camat: pAMP=%v negative", p.PAMP)
-	case p.H > 0 && p.CH < 1:
-		return fmt.Errorf("camat: hit concurrency C_H=%v below 1", p.CH)
-	case p.PMR > 0 && p.CM < 1:
-		return fmt.Errorf("camat: pure-miss concurrency C_M=%v below 1", p.CM)
+		return fmt.Errorf("%w: pMR=%v exceeds MR=%v", ErrBadParams, p.PMR, p.MR)
+	case p.AMP < 0 || !finite(p.AMP):
+		return fmt.Errorf("%w: AMP=%v out of range", ErrBadParams, p.AMP)
+	case p.PAMP < 0 || !finite(p.PAMP):
+		return fmt.Errorf("%w: pAMP=%v out of range", ErrBadParams, p.PAMP)
+	case p.H > 0 && (p.CH < 1 || !finite(p.CH)):
+		return fmt.Errorf("%w: hit concurrency C_H=%v below 1 or not finite", ErrBadParams, p.CH)
+	case p.PMR > 0 && (p.CM < 1 || !finite(p.CM)):
+		return fmt.Errorf("%w: pure-miss concurrency C_M=%v below 1 or not finite", ErrBadParams, p.CM)
+	case math.IsNaN(p.CH) || math.IsNaN(p.CM):
+		return fmt.Errorf("%w: concurrency C_H=%v, C_M=%v not a number", ErrBadParams, p.CH, p.CM)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package camat
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -82,12 +83,26 @@ func TestValidateRejectsBadParams(t *testing.T) {
 		{"CH below 1", func(p *Params) { p.CH = 0.4 }},
 		{"CM below 1", func(p *Params) { p.CM = 0 }},
 		{"NaN H", func(p *Params) { p.H = math.NaN() }},
+		{"Inf H", func(p *Params) { p.H = math.Inf(1) }},
+		{"NaN MR", func(p *Params) { p.MR = math.NaN() }},
+		{"Inf AMP", func(p *Params) { p.AMP = math.Inf(1) }},
+		{"Inf pAMP", func(p *Params) { p.PAMP = math.Inf(1) }},
+		{"NaN CH", func(p *Params) { p.CH = math.NaN() }},
+		{"Inf CH", func(p *Params) { p.CH = math.Inf(1) }},
+		{"NaN CM", func(p *Params) { p.CM = math.NaN() }},
+		{"Inf CM", func(p *Params) { p.CM = math.Inf(1) }},
+		{"NaN pMR", func(p *Params) { p.PMR = math.NaN() }},
 	}
 	for _, tc := range cases {
 		p := good
 		tc.mutate(&p)
-		if err := p.Validate(); err == nil {
+		err := p.Validate()
+		if err == nil {
 			t.Errorf("%s: Validate accepted %+v", tc.name, p)
+			continue
+		}
+		if !errors.Is(err, ErrBadParams) {
+			t.Errorf("%s: error %v does not wrap ErrBadParams", tc.name, err)
 		}
 	}
 	if err := good.Validate(); err != nil {

@@ -7,12 +7,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/chip"
 	"repro/internal/speedup"
 )
+
+// ErrInvalidApp is the sentinel wrapped by App.Validate failures.
+var ErrInvalidApp = errors.New("core: invalid application profile")
 
 // App is the program-specific parameter set of the C²-Bound model,
 // obtained from traces, compiler analysis or the C-AMAT detector (§III-D).
@@ -50,29 +54,41 @@ type App struct {
 	IC0 float64
 }
 
-// Validate checks the profile for physically meaningful values.
+// Validate checks the profile for physically meaningful values: every
+// field must be finite (no NaN/Inf), fractions within [0,1],
+// concurrencies ≥ 1, and g(1) = 1. A profile that passes Validate cannot
+// silently propagate NaN through the Eq. 7-10 objective. Failures wrap
+// ErrInvalidApp.
 func (a App) Validate() error {
 	switch {
 	case a.Fseq < 0 || a.Fseq > 1 || math.IsNaN(a.Fseq):
-		return fmt.Errorf("core: fseq=%v outside [0,1]", a.Fseq)
+		return fmt.Errorf("%w: fseq=%v outside [0,1]", ErrInvalidApp, a.Fseq)
 	case a.Fmem < 0 || a.Fmem > 1 || math.IsNaN(a.Fmem):
-		return fmt.Errorf("core: fmem=%v outside [0,1]", a.Fmem)
-	case a.Overlap < 0 || a.Overlap > 1:
-		return fmt.Errorf("core: overlap=%v outside [0,1]", a.Overlap)
-	case a.CH < 1 || a.CM < 1:
-		return fmt.Errorf("core: concurrencies C_H=%v, C_M=%v must be ≥ 1", a.CH, a.CM)
-	case a.PMRRatio < 0 || a.PMRRatio > 1 || a.PAMPRatio < 0:
-		return fmt.Errorf("core: pure/conventional ratios pMR/MR=%v, pAMP/AMP=%v invalid", a.PMRRatio, a.PAMPRatio)
+		return fmt.Errorf("%w: fmem=%v outside [0,1]", ErrInvalidApp, a.Fmem)
+	case a.Overlap < 0 || a.Overlap > 1 || math.IsNaN(a.Overlap):
+		return fmt.Errorf("%w: overlap=%v outside [0,1]", ErrInvalidApp, a.Overlap)
+	case !(a.CH >= 1) || !(a.CM >= 1) || math.IsInf(a.CH, 0) || math.IsInf(a.CM, 0):
+		return fmt.Errorf("%w: concurrencies C_H=%v, C_M=%v must be finite and ≥ 1", ErrInvalidApp, a.CH, a.CM)
+	case a.PMRRatio < 0 || a.PMRRatio > 1 || math.IsNaN(a.PMRRatio):
+		return fmt.Errorf("%w: pMR/MR ratio %v outside [0,1]", ErrInvalidApp, a.PMRRatio)
+	case a.PAMPRatio < 0 || !finite(a.PAMPRatio):
+		return fmt.Errorf("%w: pAMP/AMP ratio %v out of range", ErrInvalidApp, a.PAMPRatio)
 	case a.G == nil:
-		return fmt.Errorf("core: scale function g(N) missing")
-	case a.IC0 <= 0:
-		return fmt.Errorf("core: IC0=%v must be positive", a.IC0)
+		return fmt.Errorf("%w: scale function g(N) missing", ErrInvalidApp)
+	case !(a.IC0 > 0) || math.IsInf(a.IC0, 0):
+		return fmt.Errorf("%w: IC0=%v must be positive and finite", ErrInvalidApp, a.IC0)
+	case math.IsNaN(a.GOrder) || math.IsInf(a.GOrder, 0):
+		return fmt.Errorf("%w: growth order %v not finite", ErrInvalidApp, a.GOrder)
 	}
-	if g1 := a.G(1); math.Abs(g1-1) > 1e-6 {
-		return fmt.Errorf("core: g(1)=%v, want 1", g1)
+	g1 := a.G(1)
+	if math.IsNaN(g1) || math.Abs(g1-1) > 1e-6 {
+		return fmt.Errorf("%w: g(1)=%v, want 1", ErrInvalidApp, g1)
 	}
 	return nil
 }
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // WithConcurrency returns a copy of the profile with the overall
 // data-access concurrency pinned to c (C_H = C_M = c, ratios 1), matching

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -362,11 +363,26 @@ func TestAppValidate(t *testing.T) {
 		"g nil":    func(a *App) { a.G = nil },
 		"ic0":      func(a *App) { a.IC0 = 0 },
 		"g(1)!=1":  func(a *App) { a.G = func(n float64) float64 { return 2 * n } },
+		"NaN fseq": func(a *App) { a.Fseq = math.NaN() },
+		"NaN fmem": func(a *App) { a.Fmem = math.NaN() },
+		"NaN ch":   func(a *App) { a.CH = math.NaN() },
+		"Inf ch":   func(a *App) { a.CH = math.Inf(1) },
+		"Inf cm":   func(a *App) { a.CM = math.Inf(1) },
+		"NaN pmr":  func(a *App) { a.PMRRatio = math.NaN() },
+		"Inf pamp": func(a *App) { a.PAMPRatio = math.Inf(1) },
+		"Inf ic0":  func(a *App) { a.IC0 = math.Inf(1) },
+		"NaN gord": func(a *App) { a.GOrder = math.NaN() },
+		"g(1) NaN": func(a *App) { a.G = func(float64) float64 { return math.NaN() } },
 	} {
 		a := good
 		mutate(&a)
-		if err := a.Validate(); err == nil {
+		err := a.Validate()
+		if err == nil {
 			t.Errorf("%s: invalid app accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidApp) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidApp", name, err)
 		}
 	}
 }

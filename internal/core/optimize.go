@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -126,10 +127,14 @@ func (m Model) OptimizeAreas(n int, opts Options) (chip.Design, string, int, err
 	method := "nelder-mead"
 
 	// The paper's route: solve the KKT system of Eq. 13 for (A0, A1, A2, λ)
-	// with Newton's method, seeded at the simplex solution.
-	if kktD, ok := m.solveKKT(n, bestD, opts, ec); ok {
+	// with Newton's method, seeded at the simplex solution. When Newton
+	// fails to converge the solver falls back to Broyden's quasi-Newton
+	// method before settling for the simplex answer, so a hard KKT system
+	// degrades the solution quality, never the API (no bare
+	// ErrNoConvergence escapes this path).
+	if kktD, kktMethod, ok := m.solveKKT(n, bestD, opts, ec); ok {
 		if t := ec.time(kktD); t <= bestT*(1+1e-9) {
-			bestD, bestT, method = kktD, t, "kkt-newton"
+			bestD, bestT, method = kktD, t, kktMethod
 		}
 	}
 	if math.IsInf(bestT, 1) {
@@ -139,9 +144,11 @@ func (m Model) OptimizeAreas(n int, opts Options) (chip.Design, string, int, err
 }
 
 // solveKKT assembles and solves the first-order conditions of the
-// Lagrangian L = J_D + λ·(N(A0+A1+A2)+Ac−A) (Eq. 13) for fixed N. It
-// reports ok=false when Newton fails or drifts outside the feasible box.
-func (m Model) solveKKT(n int, seed chip.Design, opts Options, ec *evalCounter) (chip.Design, bool) {
+// Lagrangian L = J_D + λ·(N(A0+A1+A2)+Ac−A) (Eq. 13) for fixed N, trying
+// Newton first and Broyden's quasi-Newton method as a fallback. It
+// reports ok=false when both solvers fail or the solution drifts outside
+// the feasible box; the caller then keeps the Nelder-Mead answer.
+func (m Model) solveKKT(n int, seed chip.Design, opts Options, ec *evalCounter) (chip.Design, string, bool) {
 	nf := float64(n)
 	timeOf := func(a0, a1, a2 float64) float64 {
 		return ec.time(chip.Design{N: n, CoreArea: a0, L1Area: a1, L2Area: a2})
@@ -167,18 +174,23 @@ func (m Model) solveKKT(n int, seed chip.Design, opts Options, ec *evalCounter) 
 	}
 	g0, _, _ := grad(seed.CoreArea, seed.L1Area, seed.L2Area)
 	x0 := []float64{seed.CoreArea, seed.L1Area, seed.L2Area, -g0 / nf}
+	method := "kkt-newton"
 	x, _, err := solve.NewtonSystem(system, x0, 1e-9, 60)
 	if err != nil {
-		return chip.Design{}, false
+		method = "kkt-broyden"
+		x, _, err = solve.Broyden(system, x0, 1e-9, 200)
+	}
+	if err != nil {
+		return chip.Design{}, "", false
 	}
 	d := chip.Design{N: n, CoreArea: x[0], L1Area: x[1], L2Area: x[2]}
 	if x[0] < opts.MinArea || x[1] < opts.MinArea || x[2] < opts.MinArea {
-		return chip.Design{}, false
+		return chip.Design{}, "", false
 	}
 	if err := m.Chip.CheckFeasible(d); err != nil {
-		return chip.Design{}, false
+		return chip.Design{}, "", false
 	}
-	return d, true
+	return d, method, true
 }
 
 // Optimize solves the full C²-Bound problem: scan the core count (coarse
@@ -186,6 +198,13 @@ func (m Model) solveKKT(n int, seed chip.Design, opts Options, ec *evalCounter) 
 // split at each N, and select by the regime rule of §III-C — minimum T
 // when g(N) < O(N), maximum W/T when g(N) ≥ O(N).
 func (m Model) Optimize(opts Options) (Result, error) {
+	return m.OptimizeCtx(context.Background(), opts)
+}
+
+// OptimizeCtx is Optimize with cancellation: the context is polled
+// between core-count candidates, so a deadline set by the CLI's --timeout
+// flag (or an APS-level cancellation) stops the scan promptly.
+func (m Model) OptimizeCtx(ctx context.Context, opts Options) (Result, error) {
 	if err := m.App.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -242,6 +261,9 @@ func (m Model) Optimize(opts Options) (Result, error) {
 		sweep = append(sweep, opts.MaxN)
 	}
 	for _, n := range sweep {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("core: optimize interrupted: %w", err)
+		}
 		tryN(n)
 	}
 	if best == nil {
@@ -249,6 +271,9 @@ func (m Model) Optimize(opts Options) (Result, error) {
 	}
 	// Local integer refinement around the best coarse N.
 	for radius := best.d.N / 4; radius >= 1; radius = radius / 2 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("core: optimize interrupted: %w", err)
+		}
 		n0 := best.d.N
 		for _, n := range []int{n0 - radius, n0 + radius} {
 			if !seen[n] {

@@ -108,21 +108,27 @@ func New(opts ...Option) *Detector {
 func (d *Detector) LateRecords() uint64 { return d.lateRecords }
 
 // Observe implements the cpu.AccessObserver interface: it converts a cache
-// access result into a (start, hit-cycles, miss-penalty) record.
+// access result into a (start, hit-cycles, miss-penalty) record. The
+// simulator guarantees well-formed timings, so a malformed record here is
+// an internal invariant violation and panics.
 func (d *Detector) Observe(res cache.Result, hitLatency int) {
 	penalty := res.Done - res.Start - int64(hitLatency)
 	if penalty < 0 {
 		penalty = 0
 	}
-	d.Record(res.Start, hitLatency, penalty)
+	if err := d.Record(res.Start, hitLatency, penalty); err != nil {
+		panic(fmt.Sprintf("detector: simulator produced malformed timing: %v", err))
+	}
 }
 
 // Record registers one access: hit processing during
 // [start, start+hitCycles) and, when missPenalty > 0, miss processing
-// during the following missPenalty cycles.
-func (d *Detector) Record(start int64, hitCycles int, missPenalty int64) {
+// during the following missPenalty cycles. Malformed records (non-positive
+// hit cycles or negative penalty) are rejected with an error and leave
+// the detector's state untouched.
+func (d *Detector) Record(start int64, hitCycles int, missPenalty int64) error {
 	if hitCycles <= 0 || missPenalty < 0 {
-		panic(fmt.Sprintf("detector: malformed record start=%d hit=%d penalty=%d", start, hitCycles, missPenalty))
+		return fmt.Errorf("detector: malformed record start=%d hit=%d penalty=%d", start, hitCycles, missPenalty)
 	}
 	if !d.started {
 		// Leave the full lateness window open behind the first record so
@@ -161,6 +167,7 @@ func (d *Detector) Record(start int64, hitCycles int, missPenalty int64) {
 	// Sweep everything that can no longer be affected by future records:
 	// cycles below maxStart − lateness.
 	d.sweep(d.maxStart - d.lateness)
+	return nil
 }
 
 func (d *Detector) addEvent(cycle int64) *cycleEvents {

@@ -137,13 +137,18 @@ func TestLateRecordClamped(t *testing.T) {
 	}
 }
 
-func TestMalformedRecordPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero hit cycles did not panic")
-		}
-	}()
-	New().Record(0, 0, 0)
+func TestMalformedRecordRejected(t *testing.T) {
+	d := New()
+	if err := d.Record(0, 0, 0); err == nil {
+		t.Fatal("zero hit cycles accepted")
+	}
+	if err := d.Record(0, 3, -1); err == nil {
+		t.Fatal("negative miss penalty accepted")
+	}
+	// Rejected records must leave the detector untouched.
+	if an := d.Finalize(); an.Accesses != 0 {
+		t.Fatalf("rejected records counted: %d accesses", an.Accesses)
+	}
 }
 
 func TestObserveConvertsCacheResult(t *testing.T) {

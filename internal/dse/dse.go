@@ -7,10 +7,11 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"repro/internal/robust"
 )
 
 // Param is one design-space dimension.
@@ -200,53 +201,23 @@ type EvaluatorFunc func(point []float64) float64
 func (f EvaluatorFunc) Evaluate(point []float64) float64 { return f(point) }
 
 // Sweep evaluates every configuration with a worker pool and returns the
-// value for each flat index. workers ≤ 0 selects GOMAXPROCS.
-func Sweep(e Evaluator, s Space, workers int) []float64 {
-	return SweepIndices(e, s, nil, workers)
+// value for each flat index. workers ≤ 0 selects GOMAXPROCS. Cancellation
+// of ctx stops the sweep promptly, leaving unevaluated entries NaN; use
+// SweepCtx for the full report (failures, retries, pending indices).
+func Sweep(ctx context.Context, e Evaluator, s Space, workers int) []float64 {
+	return SweepIndices(ctx, e, s, nil, workers)
 }
 
 // SweepIndices evaluates the listed flat indices (all of them when
 // indices is nil) in parallel, returning a dense slice indexed by flat
 // index with NaN for unevaluated entries (or every entry when indices is
-// nil, in which case all are evaluated).
-func SweepIndices(e Evaluator, s Space, indices []int, workers int) []float64 {
-	size := s.Size()
-	values := make([]float64, size)
-	if indices == nil {
-		indices = make([]int, size)
-		for i := range indices {
-			indices[i] = i
-		}
-	} else {
-		for i := range values {
-			values[i] = math.NaN()
-		}
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(indices) {
-		workers = len(indices)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				values[idx] = e.Evaluate(s.Point(idx))
-			}
-		}()
-	}
-	for _, idx := range indices {
-		work <- idx
-	}
-	close(work)
-	wg.Wait()
+// nil, in which case all are evaluated). Evaluator panics are isolated to
+// their index (the entry stays NaN) instead of crashing the sweep.
+func SweepIndices(ctx context.Context, e Evaluator, s Space, indices []int, workers int) []float64 {
+	values, _, _ := SweepCtx(ctx, WithContext(e), s, indices, SweepOptions{
+		Workers: workers,
+		Retry:   robust.RetryPolicy{MaxAttempts: 1}, // plain evaluators are deterministic
+	})
 	return values
 }
 

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -166,8 +167,8 @@ func TestSweepMatchesSequential(t *testing.T) {
 		Param{Name: "y", Values: []float64{1, 2, 3, 4}},
 	)
 	eval := EvaluatorFunc(func(p []float64) float64 { return p[0]*10 + p[1] })
-	par := Sweep(eval, s, 4)
-	seq := Sweep(eval, s, 1)
+	par := Sweep(context.Background(), eval, s, 4)
+	seq := Sweep(context.Background(), eval, s, 1)
 	for i := range par {
 		if par[i] != seq[i] {
 			t.Fatalf("parallel/sequential mismatch at %d", i)
@@ -182,7 +183,7 @@ func TestSweepMatchesSequential(t *testing.T) {
 func TestSweepIndicesPartial(t *testing.T) {
 	s, _ := NewSpace(Param{Name: "x", Values: []float64{0, 1, 2, 3}})
 	eval := EvaluatorFunc(func(p []float64) float64 { return p[0] })
-	vals := SweepIndices(eval, s, []int{1, 3}, 2)
+	vals := SweepIndices(context.Background(), eval, s, []int{1, 3}, 2)
 	if !math.IsNaN(vals[0]) || !math.IsNaN(vals[2]) {
 		t.Fatal("unevaluated entries not NaN")
 	}

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -153,19 +154,34 @@ func clampKB(kb float64) int {
 // Evaluate implements Evaluator: the simulated makespan in cycles, or
 // +Inf for infeasible configurations.
 func (e *SimEvaluator) Evaluate(point []float64) float64 {
-	cfg, err := e.Config(point)
+	v, err := e.EvaluateCtx(context.Background(), point)
 	if err != nil {
 		return math.Inf(1)
+	}
+	return v
+}
+
+// EvaluateCtx implements CtxEvaluator. Infeasible configurations score
+// +Inf with a nil error (a legitimate result, not a fault); simulator
+// failures and cancellation surface as errors so the resilient sweep can
+// retry or abort.
+func (e *SimEvaluator) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	cfg, err := e.Config(point)
+	if err != nil {
+		return math.Inf(1), nil
 	}
 	refsPerCore := e.TotalRefs / cfg.Cores
 	if refsPerCore < 1 {
 		refsPerCore = 1
 	}
-	res, err := sim.RunWorkload(cfg, e.Workload, e.WSBytes, e.MeanGap, refsPerCore, e.Seed)
+	res, err := sim.RunWorkloadCtx(ctx, cfg, e.Workload, e.WSBytes, e.MeanGap, refsPerCore, e.Seed)
 	if err != nil {
-		return math.Inf(1)
+		if cerr := ctx.Err(); cerr != nil {
+			return math.NaN(), cerr
+		}
+		return math.NaN(), err
 	}
-	return float64(res.Cycles)
+	return float64(res.Cycles), nil
 }
 
 // ModelEvaluator scores configurations with the analytic C²-Bound model
@@ -174,6 +190,14 @@ func (e *SimEvaluator) Evaluate(point []float64) float64 {
 // It exists to exercise DSE/APS logic quickly in tests.
 type ModelEvaluator struct {
 	Model core.Model
+}
+
+// EvaluateCtx implements CtxEvaluator.
+func (e *ModelEvaluator) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return math.NaN(), err
+	}
+	return e.Evaluate(point), nil
 }
 
 // Evaluate implements Evaluator.

@@ -1,0 +1,265 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/robust"
+)
+
+// CtxEvaluator is the resilient evaluator contract: context-aware and
+// fallible. dse.SimEvaluator and dse.ModelEvaluator implement it; plain
+// Evaluators adapt through WithContext.
+type CtxEvaluator = robust.Evaluator
+
+// WithContext adapts a plain Evaluator to the CtxEvaluator interface:
+// cancellation is honoured between evaluations and the score is returned
+// with a nil error.
+func WithContext(e Evaluator) CtxEvaluator {
+	return robust.EvaluatorFunc(func(ctx context.Context, point []float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return math.NaN(), err
+		}
+		return e.Evaluate(point), nil
+	})
+}
+
+// SweepOptions tunes the resilient sweep.
+type SweepOptions struct {
+	// Workers bounds parallelism (≤0: GOMAXPROCS).
+	Workers int
+	// Retry governs re-attempts of failing or panicking evaluations; the
+	// zero value selects robust.DefaultRetry (3 attempts, exponential
+	// backoff with jitter).
+	Retry robust.RetryPolicy
+	// Timeout bounds the whole sweep's wall time (0: none). It stacks
+	// with whatever deadline the caller's context already carries.
+	Timeout time.Duration
+	// CheckpointPath enables periodic JSON checkpointing of completed
+	// values to this file (written atomically via rename). Empty disables.
+	CheckpointPath string
+	// CheckpointEvery is the number of completed evaluations between
+	// checkpoint writes (default 256). A final checkpoint is always
+	// written when the sweep stops, including on cancellation.
+	CheckpointEvery int
+	// Resume loads CheckpointPath (when the file exists) before sweeping
+	// and skips every index it already carries. The checkpoint must match
+	// the space's signature.
+	Resume bool
+}
+
+// IndexFailure records one design point whose evaluation kept failing
+// after exhausting the retry budget.
+type IndexFailure struct {
+	Index    int    `json:"index"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"err"`
+}
+
+// SweepReport summarizes a resilient sweep: which indices completed,
+// failed or were left pending (cancellation), how many retries were
+// spent, and the wall time. Partial results always accompany the report —
+// a crash or cancellation at 90% completion loses nothing.
+type SweepReport struct {
+	// Total is the number of indices the sweep was asked to evaluate.
+	Total int `json:"total"`
+	// Completed lists the successfully evaluated indices, sorted. It
+	// includes indices restored from a resumed checkpoint.
+	Completed []int `json:"completed"`
+	// Failed lists the indices whose evaluations exhausted the retry
+	// budget, with their final error.
+	Failed []IndexFailure `json:"failed,omitempty"`
+	// Pending lists the indices never evaluated because the sweep was
+	// cancelled or timed out.
+	Pending []int `json:"pending,omitempty"`
+	// Retries is the total number of re-attempts across all indices.
+	Retries int `json:"retries"`
+	// Resumed is how many completed indices were restored from the
+	// checkpoint instead of evaluated.
+	Resumed int `json:"resumed"`
+	// Canceled reports whether the sweep stopped on context cancellation
+	// or deadline.
+	Canceled bool `json:"canceled"`
+	// WallTime is the sweep's wall-clock duration.
+	WallTime time.Duration `json:"wall_time_ns"`
+}
+
+// sweepResult is one worker's outcome for one index.
+type sweepResult struct {
+	idx      int
+	value    float64
+	attempts int
+	err      error
+}
+
+// SweepCtx evaluates the listed flat indices (all of them when indices is
+// nil) with a worker pool hardened against cancellation, panicking
+// evaluators and transient failures. It returns a dense slice indexed by
+// flat index (NaN for unevaluated entries), the structured report, and
+// the context's error when the sweep was cut short. The values slice is
+// valid in every case.
+func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts SweepOptions) ([]float64, SweepReport, error) {
+	start := time.Now()
+	size := s.Size()
+	values := make([]float64, size)
+	for i := range values {
+		values[i] = math.NaN()
+	}
+	if indices == nil {
+		indices = make([]int, size)
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	rep := SweepReport{Total: len(indices)}
+
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+
+	// Resume: restore completed indices from the checkpoint.
+	done := make(map[int]bool)
+	if opts.Resume && opts.CheckpointPath != "" {
+		ck, err := LoadCheckpoint(opts.CheckpointPath)
+		switch {
+		case os.IsNotExist(err):
+			// Nothing to resume; a fresh sweep.
+		case err != nil:
+			rep.WallTime = time.Since(start)
+			return values, rep, fmt.Errorf("dse: resume: %w", err)
+		default:
+			if ck.Signature != s.Signature() {
+				rep.WallTime = time.Since(start)
+				return values, rep, fmt.Errorf("dse: resume: checkpoint %q belongs to a different space (signature %s, want %s)",
+					opts.CheckpointPath, ck.Signature, s.Signature())
+			}
+			for i, idx := range ck.Indices {
+				if idx >= 0 && idx < size {
+					values[idx] = ck.Values[i]
+					done[idx] = true
+				}
+			}
+		}
+	}
+
+	pending := make([]int, 0, len(indices))
+	for _, idx := range indices {
+		if done[idx] {
+			rep.Completed = append(rep.Completed, idx)
+			rep.Resumed++
+		} else {
+			pending = append(pending, idx)
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	guarded := robust.Guard(e)
+	rng := robust.NewRNG(0x5eed ^ uint64(len(indices)))
+	work := make(chan int)
+	results := make(chan sweepResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				if ctx.Err() != nil {
+					return
+				}
+				point := s.Point(idx)
+				var v float64
+				attempts, err := opts.Retry.Do(ctx, rng, func(ctx context.Context) error {
+					var e2 error
+					v, e2 = guarded.EvaluateCtx(ctx, point)
+					return e2
+				})
+				results <- sweepResult{idx: idx, value: v, attempts: attempts, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for _, idx := range pending {
+			select {
+			case work <- idx:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 256
+	}
+	saw := make(map[int]bool, len(pending))
+	sinceCk := 0
+	var ckErr error
+	save := func() {
+		if opts.CheckpointPath == "" || ckErr != nil {
+			return
+		}
+		ckErr = SaveCheckpoint(opts.CheckpointPath, s, values, rep.Completed)
+	}
+	for r := range results {
+		if r.attempts > 1 {
+			rep.Retries += r.attempts - 1
+		}
+		if r.err != nil {
+			if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+				// Interrupted, not failed: the index counts as pending so a
+				// resumed sweep picks it up again.
+				continue
+			}
+			saw[r.idx] = true
+			rep.Failed = append(rep.Failed, IndexFailure{Index: r.idx, Attempts: r.attempts, Err: r.err.Error()})
+			continue
+		}
+		saw[r.idx] = true
+		values[r.idx] = r.value
+		rep.Completed = append(rep.Completed, r.idx)
+		sinceCk++
+		if sinceCk >= every {
+			sinceCk = 0
+			save()
+		}
+	}
+	for _, idx := range pending {
+		if !saw[idx] {
+			rep.Pending = append(rep.Pending, idx)
+		}
+	}
+	sort.Ints(rep.Completed)
+	sort.Slice(rep.Failed, func(i, j int) bool { return rep.Failed[i].Index < rep.Failed[j].Index })
+	save()
+	if ckErr != nil {
+		rep.WallTime = time.Since(start)
+		return values, rep, fmt.Errorf("dse: checkpoint: %w", ckErr)
+	}
+	rep.Canceled = ctx.Err() != nil
+	rep.WallTime = time.Since(start)
+	return values, rep, ctx.Err()
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aps"
@@ -56,7 +57,7 @@ func Fig12SimulationCounts(sc Scale) (*tablefmt.Table, Fig12Data, error) {
 	}
 
 	// Ground truth: the brute-force full sweep.
-	truth := dse.Sweep(eval, space, sc.Workers)
+	truth := dse.Sweep(context.Background(), eval, space, sc.Workers)
 	_, trueBest := dse.Best(truth)
 
 	// APS.

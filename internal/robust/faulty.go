@@ -1,0 +1,70 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a fault injected by FaultyEvaluator; the retry layer
+// treats it like any other transient evaluator failure.
+var ErrInjected = errors.New("robust: injected transient fault")
+
+// FaultyEvaluator is a fault-injection harness: it wraps an evaluator and
+// makes each call fail, panic or stall with configurable probabilities
+// drawn from a seeded RNG. Faults are transient — a retried call redraws —
+// so a sweep with retries must converge to exactly the fault-free result,
+// which is what the resilience tests assert.
+type FaultyEvaluator struct {
+	Inner Evaluator
+	// PFail, PPanic and PStall are the per-call probabilities of returning
+	// ErrInjected, panicking, and sleeping StallFor before evaluating.
+	// They are checked in that order against a single uniform draw, so
+	// their sum must stay ≤ 1.
+	PFail, PPanic, PStall float64
+	// StallFor is how long a stalled call sleeps (default 10ms). The stall
+	// respects context cancellation.
+	StallFor time.Duration
+
+	rng *RNG
+
+	calls, failures, panics, stalls atomic.Int64
+}
+
+// NewFaulty builds a harness around inner with a deterministic seed.
+func NewFaulty(inner Evaluator, seed uint64) *FaultyEvaluator {
+	return &FaultyEvaluator{Inner: inner, StallFor: 10 * time.Millisecond, rng: NewRNG(seed)}
+}
+
+// EvaluateCtx implements Evaluator, injecting faults ahead of the inner
+// evaluator.
+func (f *FaultyEvaluator) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	f.calls.Add(1)
+	u := f.rng.Float64()
+	switch {
+	case u < f.PFail:
+		f.failures.Add(1)
+		return 0, fmt.Errorf("%w (point %v)", ErrInjected, point)
+	case u < f.PFail+f.PPanic:
+		f.panics.Add(1)
+		panic(fmt.Sprintf("robust: injected panic (point %v)", point))
+	case u < f.PFail+f.PPanic+f.PStall:
+		f.stalls.Add(1)
+		stall := f.StallFor
+		if stall <= 0 {
+			stall = 10 * time.Millisecond
+		}
+		if !sleep(ctx, stall) {
+			return 0, ctx.Err()
+		}
+	}
+	return f.Inner.EvaluateCtx(ctx, point)
+}
+
+// Counts reports how many calls were made and how many faults of each
+// kind were injected.
+func (f *FaultyEvaluator) Counts() (calls, failures, panics, stalls int64) {
+	return f.calls.Load(), f.failures.Load(), f.panics.Load(), f.stalls.Load()
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apc"
@@ -19,6 +20,13 @@ import (
 // in approximately arrival order. Run returns an error for invalid
 // configurations or a core count/trace count mismatch.
 func Run(cfg Config, traces [][]trace.Ref) (*Result, error) {
+	return RunCtx(context.Background(), cfg, traces)
+}
+
+// RunCtx is Run with cancellation: the stepping loop polls ctx every few
+// thousand references and returns ctx.Err() when the caller cancels or a
+// deadline expires, so a long simulation never outlives its sweep.
+func RunCtx(ctx context.Context, cfg Config, traces [][]trace.Ref) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,6 +109,11 @@ func Run(cfg Config, traces [][]trace.Ref) (*Result, error) {
 		idx[best]++
 		remaining--
 		steps++
+		if steps%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if steps%100000 == 0 {
 			watermark := bestClock - (1 << 22)
 			for _, l1 := range l1s {
@@ -153,6 +166,11 @@ func Run(cfg Config, traces [][]trace.Ref) (*Result, error) {
 // for the named workload (distinct seeds) and runs refsPerCore references
 // on each.
 func RunWorkload(cfg Config, workload string, wsBytes uint64, meanGap float64, refsPerCore int, seed uint64) (*Result, error) {
+	return RunWorkloadCtx(context.Background(), cfg, workload, wsBytes, meanGap, refsPerCore, seed)
+}
+
+// RunWorkloadCtx is RunWorkload with cancellation (see RunCtx).
+func RunWorkloadCtx(ctx context.Context, cfg Config, workload string, wsBytes uint64, meanGap float64, refsPerCore int, seed uint64) (*Result, error) {
 	if refsPerCore < 1 {
 		return nil, fmt.Errorf("sim: refsPerCore %d below 1", refsPerCore)
 	}
@@ -164,7 +182,7 @@ func RunWorkload(cfg Config, workload string, wsBytes uint64, meanGap float64, r
 		}
 		traces[i] = trace.Take(g, refsPerCore)
 	}
-	return Run(cfg, traces)
+	return RunCtx(ctx, cfg, traces)
 }
 
 func maxInt(a, b int) int {

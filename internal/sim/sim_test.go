@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -242,5 +245,38 @@ func TestRunMixed(t *testing.T) {
 	}
 	if _, err := RunMixed(cfg, []WorkloadSpec{{Workload: "nope", Cores: 1, Refs: 10}}); err == nil {
 		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	cfg := DefaultConfig(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunWorkloadCtx(ctx, cfg, "stream", 1<<20, 2, 5000, 42); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// A deadline that fires mid-simulation stops the stepping loop.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err := RunWorkloadCtx(ctx2, cfg, "random", 64<<20, 2, 2_000_000, 42)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out run returned %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancellation not honored promptly")
+	}
+}
+
+func TestRunCtxMatchesRunWhenUncancelled(t *testing.T) {
+	cfg := DefaultConfig(2)
+	a := run(t, cfg, "stream", 1<<20, 2, 3000)
+	b, err := RunWorkloadCtx(context.Background(), cfg, "stream", 1<<20, 2, 3000, 42)
+	if err != nil {
+		t.Fatalf("RunWorkloadCtx: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ctx run diverged from plain run")
 	}
 }

@@ -1,0 +1,145 @@
+package solve
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// pathological1D builds a scalar objective from a shape selector and two
+// coefficients. The shapes cover the failure modes the solvers must survive
+// without panicking or looping forever: flat regions (zero derivative),
+// NaN-returning domains, discontinuous steps, non-differentiable kinks and
+// ill-scaled cubics.
+func pathological1D(shape uint8, a, b float64) Func {
+	switch shape % 6 {
+	case 0: // constant: derivative identically zero
+		return func(float64) float64 { return a }
+	case 1: // plateau around the origin, cubic outside
+		return func(x float64) float64 {
+			if math.Abs(x) < 1+math.Abs(b) {
+				return a
+			}
+			return x * x * x
+		}
+	case 2: // NaN outside a finite window
+		return func(x float64) float64 {
+			if math.Abs(x) > 1+math.Abs(a) {
+				return math.NaN()
+			}
+			return x - b
+		}
+	case 3: // discontinuous step
+		return func(x float64) float64 {
+			if x < a {
+				return -1 - math.Abs(b)
+			}
+			return 1 + math.Abs(b)
+		}
+	case 4: // |x - a|: kink with no derivative at the root
+		return func(x float64) float64 { return math.Abs(x-a) + b*0 }
+	default: // ill-scaled cubic
+		return func(x float64) float64 { return a*x*x*x + b }
+	}
+}
+
+// FuzzNewton1D drives the scalar Newton solver with pathological
+// objectives. The invariants: never panic, never loop past the iteration
+// budget, and every failure carries structured diagnostics that wrap
+// ErrNoConvergence.
+func FuzzNewton1D(f *testing.F) {
+	f.Add(uint8(0), 1.0, 0.0, 0.5)   // flat
+	f.Add(uint8(1), 2.0, 0.5, 0.0)   // plateau
+	f.Add(uint8(2), 1.0, 0.3, 10.0)  // NaN region, start outside it
+	f.Add(uint8(3), 0.0, 1.0, -2.0)  // step
+	f.Add(uint8(4), 0.7, 0.0, 5.0)   // |x|
+	f.Add(uint8(5), 1e-9, 1e9, 1.0)  // ill-scaled cubic
+	f.Add(uint8(5), 1.0, -2.0, 10.0) // benign cubic, converges
+	f.Fuzz(func(t *testing.T, shape uint8, a, b, x0 float64) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) ||
+			math.IsNaN(x0) || math.IsInf(x0, 0) {
+			t.Skip("non-finite seed")
+		}
+		fn := pathological1D(shape, a, b)
+		root, iters, err := Newton1D(fn, x0, 1e-10, 60)
+		if iters < 0 || iters > 60 {
+			t.Fatalf("iteration count %d outside budget", iters)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrNoConvergence) {
+				t.Fatalf("failure does not wrap ErrNoConvergence: %v", err)
+			}
+			ce, ok := Diagnose(err)
+			if !ok {
+				t.Fatalf("failure without diagnostics: %v", err)
+			}
+			if ce.Method != "newton1d" || ce.Reason == "" {
+				t.Fatalf("incomplete diagnostics: %+v", ce)
+			}
+			return
+		}
+		// A reported success must be a finite point with a small residual.
+		if math.IsNaN(root) || math.IsInf(root, 0) {
+			t.Fatalf("converged to non-finite root %v", root)
+		}
+		// Newton1D accepts |f| < √tol after the budget, so √tol is the
+		// loosest residual a success may carry.
+		if r := math.Abs(fn(root)); !(r < 1e-5) && !math.IsNaN(r) {
+			t.Fatalf("claimed convergence at x=%v with residual %v", root, r)
+		}
+	})
+}
+
+// pathologicalND lifts the 1D pathologies to n dimensions by summing one
+// per coordinate.
+func pathologicalND(shape uint8, a, b float64, dim int) ObjFunc {
+	f1 := pathological1D(shape, a, b)
+	return func(x []float64) float64 {
+		s := 0.0
+		for _, xi := range x {
+			s += f1(xi)
+		}
+		return s
+	}
+}
+
+// FuzzNelderMead drives the simplex minimizer with the same pathology
+// catalogue. Nelder-Mead has no failure return — the invariants are
+// termination within the iteration budget and a non-degenerate best value
+// (the minimizer must never fabricate -Inf from a NaN-returning
+// objective).
+func FuzzNelderMead(f *testing.F) {
+	f.Add(uint8(0), 1.0, 0.0, 0.5, uint8(2))
+	f.Add(uint8(1), 2.0, 0.5, 0.0, uint8(3))
+	f.Add(uint8(2), 1.0, 0.3, 4.0, uint8(2))
+	f.Add(uint8(3), 0.0, 1.0, -2.0, uint8(1))
+	f.Add(uint8(4), 0.7, 0.0, 5.0, uint8(4))
+	f.Add(uint8(5), 1e-6, 1e6, 1.0, uint8(2))
+	f.Fuzz(func(t *testing.T, shape uint8, a, b, start float64, dim uint8) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) ||
+			math.IsNaN(start) || math.IsInf(start, 0) {
+			t.Skip("non-finite seed")
+		}
+		n := int(dim%4) + 1
+		obj := pathologicalND(shape, a, b, n)
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = start
+		}
+		x, v := NelderMead(obj, x0, NelderMeadOpts{MaxIter: 500})
+		if len(x) != n {
+			t.Fatalf("result dimension %d, want %d", len(x), n)
+		}
+		// The reported value must be what the objective says at x, unless
+		// both are NaN (a NaN-only region is an acceptable fixpoint). In
+		// particular -Inf may only be reported when the objective is
+		// genuinely unbounded at the returned point.
+		got := obj(x)
+		if math.IsInf(v, -1) && !math.IsInf(got, -1) {
+			t.Fatalf("fabricated -Inf minimum at %v (objective says %v)", x, got)
+		}
+		if !math.IsNaN(v) && !math.IsNaN(got) && v > got+1e-6*(1+math.Abs(got)) {
+			t.Fatalf("reported %v but objective at x is %v", v, got)
+		}
+	})
+}

@@ -16,6 +16,40 @@ import (
 // budget without meeting the tolerance.
 var ErrNoConvergence = errors.New("solve: no convergence")
 
+// ConvergenceError is the structured diagnostic attached to every
+// non-convergence failure: which solver gave up, after how many
+// iterations, at what residual, and why. It wraps ErrNoConvergence, so
+// errors.Is(err, ErrNoConvergence) keeps working; callers that want the
+// numbers use Diagnose (or errors.As).
+type ConvergenceError struct {
+	// Method names the solver: "newton1d", "newton-system", "broyden".
+	Method string
+	// Iterations is how many iterations ran before giving up.
+	Iterations int
+	// Residual is |f| (scalar) or ‖f‖ (system) at the final iterate.
+	Residual float64
+	// Reason describes the failure: "zero derivative", "singular
+	// jacobian", "iteration budget exhausted", ...
+	Reason string
+}
+
+// Error implements error.
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("solve: %s did not converge: %s (iterations=%d, residual=%.6g)",
+		e.Method, e.Reason, e.Iterations, e.Residual)
+}
+
+// Unwrap ties the diagnostic to the ErrNoConvergence sentinel.
+func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
+
+// Diagnose extracts the structured diagnostic from a solver error, when
+// present.
+func Diagnose(err error) (*ConvergenceError, bool) {
+	var ce *ConvergenceError
+	ok := errors.As(err, &ce)
+	return ce, ok
+}
+
 // Func is a scalar function of one variable.
 type Func func(x float64) float64
 
@@ -44,7 +78,8 @@ func Newton1D(f Func, x0 float64, tol float64, maxIter int) (float64, int, error
 		h := 1e-7 * (1 + math.Abs(x))
 		d := (f(x+h) - f(x-h)) / (2 * h)
 		if d == 0 || math.IsNaN(d) {
-			return x, i, fmt.Errorf("%w: zero derivative at x=%v", ErrNoConvergence, x)
+			return x, i, &ConvergenceError{Method: "newton1d", Iterations: i, Residual: math.Abs(fx),
+				Reason: fmt.Sprintf("zero or undefined derivative at x=%v", x)}
 		}
 		step := fx / d
 		// Damping: halve the step until |f| decreases or the step dies.
@@ -64,7 +99,8 @@ func Newton1D(f Func, x0 float64, tol float64, maxIter int) (float64, int, error
 	if math.Abs(f(x)) < math.Sqrt(tol) {
 		return x, maxIter, nil
 	}
-	return x, maxIter, fmt.Errorf("%w: |f|=%v after %d iterations", ErrNoConvergence, math.Abs(f(x)), maxIter)
+	return x, maxIter, &ConvergenceError{Method: "newton1d", Iterations: maxIter, Residual: math.Abs(f(x)),
+		Reason: "iteration budget exhausted"}
 }
 
 // Bisect finds a root of f on [a,b], requiring f(a) and f(b) to have
@@ -196,7 +232,8 @@ func NewtonSystem(f VecFunc, x0 []float64, tol float64, maxIter int) ([]float64,
 		}
 		dx, err := solveLinear(jac, rhs)
 		if err != nil {
-			return x, i, fmt.Errorf("%w: %v", ErrNoConvergence, err)
+			return x, i, &ConvergenceError{Method: "newton-system", Iterations: i, Residual: norm(fx),
+				Reason: err.Error()}
 		}
 		// Damped update with Armijo-style backtracking on ‖f‖.
 		base := norm(fx)
@@ -219,7 +256,8 @@ func NewtonSystem(f VecFunc, x0 []float64, tol float64, maxIter int) ([]float64,
 	if norm(fx) < math.Sqrt(tol) {
 		return x, maxIter, nil
 	}
-	return x, maxIter, fmt.Errorf("%w: ‖f‖=%v after %d iterations", ErrNoConvergence, norm(fx), maxIter)
+	return x, maxIter, &ConvergenceError{Method: "newton-system", Iterations: maxIter, Residual: norm(fx),
+		Reason: "iteration budget exhausted"}
 }
 
 // Broyden solves f(x) = 0 with Broyden's rank-one quasi-Newton updates,
@@ -262,7 +300,8 @@ func Broyden(f VecFunc, x0 []float64, tol float64, maxIter int) ([]float64, int,
 			}
 			dx, err = solveLinear(a, rhs)
 			if err != nil {
-				return x, i, fmt.Errorf("%w: %v", ErrNoConvergence, err)
+				return x, i, &ConvergenceError{Method: "broyden", Iterations: i, Residual: norm(fx),
+					Reason: err.Error()}
 			}
 		}
 		xn := make([]float64, n)
@@ -301,7 +340,8 @@ func Broyden(f VecFunc, x0 []float64, tol float64, maxIter int) ([]float64, int,
 	if norm(fx) < math.Sqrt(tol) {
 		return x, maxIter, nil
 	}
-	return x, maxIter, fmt.Errorf("%w: ‖f‖=%v", ErrNoConvergence, norm(fx))
+	return x, maxIter, &ConvergenceError{Method: "broyden", Iterations: maxIter, Residual: norm(fx),
+		Reason: "iteration budget exhausted"}
 }
 
 // GoldenSection minimizes a unimodal scalar function on [a,b] and returns

@@ -263,3 +263,52 @@ func TestNelderMeadOptsDefaults(t *testing.T) {
 		t.Fatalf("defaults: %v %v", x, f)
 	}
 }
+
+func TestConvergenceDiagnostics(t *testing.T) {
+	// Flat function: Newton1D dies on a zero derivative at the start.
+	_, _, err := Newton1D(func(float64) float64 { return 1 }, 0, 1e-12, 50)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("flat Newton1D: %v", err)
+	}
+	ce, ok := Diagnose(err)
+	if !ok {
+		t.Fatalf("no diagnostics attached: %v", err)
+	}
+	if ce.Method != "newton1d" || ce.Reason == "" {
+		t.Fatalf("diagnostics = %+v", ce)
+	}
+	if ce.Residual != 1 {
+		t.Fatalf("residual = %v, want 1", ce.Residual)
+	}
+
+	// Iteration budget: a root that needs more steps than allowed.
+	_, _, err = Newton1D(func(x float64) float64 { return x*x*x - 2 }, 100, 1e-14, 2)
+	ce, ok = Diagnose(err)
+	if !ok || ce.Iterations != 2 {
+		t.Fatalf("budget diagnostics = %+v (err %v)", ce, err)
+	}
+
+	// Singular Jacobian in the system solver.
+	f := func(x []float64) []float64 { return []float64{x[0] + x[1], x[0] + x[1]} }
+	_, _, err = NewtonSystem(f, []float64{1, 1}, 1e-12, 50)
+	ce, ok = Diagnose(err)
+	if !ok || ce.Method != "newton-system" {
+		t.Fatalf("singular-system diagnostics = %+v (err %v)", ce, err)
+	}
+
+	// Broyden on the same singular system.
+	_, _, err = Broyden(f, []float64{1, 1}, 1e-12, 50)
+	if err != nil {
+		if ce, ok = Diagnose(err); !ok || ce.Method != "broyden" {
+			t.Fatalf("broyden diagnostics = %+v (err %v)", ce, err)
+		}
+	}
+
+	// Diagnose rejects unrelated errors.
+	if _, ok := Diagnose(errors.New("unrelated")); ok {
+		t.Fatal("Diagnose matched an unrelated error")
+	}
+	if _, ok := Diagnose(nil); ok {
+		t.Fatal("Diagnose matched nil")
+	}
+}

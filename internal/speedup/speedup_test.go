@@ -1,6 +1,7 @@
 package speedup
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -216,5 +217,40 @@ func TestAmdahlGustafsonSanity(t *testing.T) {
 	}
 	if got := Amdahl(0, 64); !almostEq(got, 64, 1e-12) {
 		t.Errorf("Amdahl(f=0) = %v, want N", got)
+	}
+}
+
+func TestCheckedLawsRejectBadArgs(t *testing.T) {
+	bad := []struct {
+		fseq, n float64
+	}{
+		{math.NaN(), 4}, {-0.1, 4}, {1.1, 4},
+		{0.1, 0}, {0.1, -3}, {0.1, math.NaN()}, {0.1, math.Inf(1)},
+	}
+	for _, tc := range bad {
+		if _, err := AmdahlChecked(tc.fseq, tc.n); !errors.Is(err, ErrBadParam) {
+			t.Errorf("AmdahlChecked(%v, %v): err = %v, want ErrBadParam", tc.fseq, tc.n, err)
+		}
+		if _, err := GustafsonChecked(tc.fseq, tc.n); !errors.Is(err, ErrBadParam) {
+			t.Errorf("GustafsonChecked(%v, %v): err = %v", tc.fseq, tc.n, err)
+		}
+		if _, err := SunNiChecked(tc.fseq, Linear(), tc.n); !errors.Is(err, ErrBadParam) {
+			t.Errorf("SunNiChecked(%v, %v): err = %v", tc.fseq, tc.n, err)
+		}
+	}
+	if _, err := SunNiChecked(0.1, nil, 4); !errors.Is(err, ErrBadParam) {
+		t.Errorf("nil g accepted: %v", err)
+	}
+	if _, err := SunNiChecked(0.1, func(float64) float64 { return math.NaN() }, 4); !errors.Is(err, ErrBadParam) {
+		t.Error("NaN-returning g accepted")
+	}
+	// Checked variants agree with the unchecked laws on valid input.
+	v, err := AmdahlChecked(0.25, 8)
+	if err != nil || v != Amdahl(0.25, 8) {
+		t.Fatalf("AmdahlChecked diverged: %v, %v", v, err)
+	}
+	v, err = SunNiChecked(0.25, PowerLaw(1.5), 8)
+	if err != nil || v != SunNi(0.25, PowerLaw(1.5), 8) {
+		t.Fatalf("SunNiChecked diverged: %v, %v", v, err)
 	}
 }

@@ -82,13 +82,18 @@ type Interleave struct {
 	next int
 }
 
-// NewInterleave builds an interleaving generator. It panics on an empty
-// generator list, which is a programming error.
-func NewInterleave(gens ...Generator) *Interleave {
+// NewInterleave builds an interleaving generator. It returns an error on
+// an empty generator list.
+func NewInterleave(gens ...Generator) (*Interleave, error) {
 	if len(gens) == 0 {
-		panic("trace: NewInterleave needs at least one generator")
+		return nil, fmt.Errorf("trace: NewInterleave needs at least one generator")
 	}
-	return &Interleave{gens: gens}
+	for i, g := range gens {
+		if g == nil {
+			return nil, fmt.Errorf("trace: NewInterleave generator %d is nil", i)
+		}
+	}
+	return &Interleave{gens: gens}, nil
 }
 
 // Name implements Generator.
@@ -120,13 +125,21 @@ type PhaseSwitch struct {
 	idx    int
 }
 
-// NewPhaseSwitch builds a phase-alternating generator. It panics on an
-// empty generator list or non-positive period (programming errors).
-func NewPhaseSwitch(period int, gens ...Generator) *PhaseSwitch {
-	if len(gens) == 0 || period < 1 {
-		panic("trace: NewPhaseSwitch needs ≥1 generator and a positive period")
+// NewPhaseSwitch builds a phase-alternating generator. It returns an
+// error on an empty generator list or non-positive period.
+func NewPhaseSwitch(period int, gens ...Generator) (*PhaseSwitch, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("trace: NewPhaseSwitch needs at least one generator")
 	}
-	return &PhaseSwitch{gens: gens, period: period}
+	if period < 1 {
+		return nil, fmt.Errorf("trace: NewPhaseSwitch period %d below 1", period)
+	}
+	for i, g := range gens {
+		if g == nil {
+			return nil, fmt.Errorf("trace: NewPhaseSwitch generator %d is nil", i)
+		}
+	}
+	return &PhaseSwitch{gens: gens, period: period}, nil
 }
 
 // Name implements Generator.

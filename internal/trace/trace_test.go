@@ -209,7 +209,10 @@ func TestFluidanimatePhases(t *testing.T) {
 func TestInterleaveTagsStreams(t *testing.T) {
 	g1 := genHelper{t}.must(NewStream(1<<16, 0, 1))
 	g2 := genHelper{t}.must(NewRandom(1<<16, 0, 0, 2))
-	iv := NewInterleave(g1, g2)
+	iv, err := NewInterleave(g1, g2)
+	if err != nil {
+		t.Fatalf("NewInterleave: %v", err)
+	}
 	refs := Take(iv, 100)
 	for i, r := range refs {
 		wantTag := uint64(i%2+1) << 56
@@ -229,13 +232,14 @@ func TestInterleaveTagsStreams(t *testing.T) {
 	}
 }
 
-func TestInterleavePanicsEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewInterleave() with no generators did not panic")
-		}
-	}()
-	NewInterleave()
+func TestInterleaveRejectsBadArgs(t *testing.T) {
+	if _, err := NewInterleave(); err == nil {
+		t.Fatal("NewInterleave() with no generators accepted")
+	}
+	g := genHelper{t}.must(NewStream(1<<16, 0, 1))
+	if _, err := NewInterleave(g, nil); err == nil {
+		t.Fatal("NewInterleave with a nil generator accepted")
+	}
 }
 
 func TestConstructorErrors(t *testing.T) {
@@ -331,7 +335,10 @@ func TestPhaseSwitchAlternates(t *testing.T) {
 	h := genHelper{t}
 	a := h.must(NewStream(1<<16, 0, 1))
 	b := h.must(NewRandom(1<<16, 0, 0, 2))
-	ps := NewPhaseSwitch(100, a, b)
+	ps, err := NewPhaseSwitch(100, a, b)
+	if err != nil {
+		t.Fatalf("NewPhaseSwitch: %v", err)
+	}
 	refs := Take(ps, 400)
 	// First 100 refs from phase 0, next 100 from phase 1, etc., with the
 	// phase tag in the top bits.
@@ -357,18 +364,25 @@ func TestPhaseSwitchAlternates(t *testing.T) {
 	}
 }
 
-func TestPhaseSwitchPanicsOnBadArgs(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewPhaseSwitch with no generators did not panic")
-		}
-	}()
-	NewPhaseSwitch(10)
+func TestPhaseSwitchRejectsBadArgs(t *testing.T) {
+	if _, err := NewPhaseSwitch(10); err == nil {
+		t.Fatal("NewPhaseSwitch with no generators accepted")
+	}
+	g := genHelper{t}.must(NewStream(1<<16, 0, 1))
+	if _, err := NewPhaseSwitch(0, g); err == nil {
+		t.Fatal("NewPhaseSwitch with non-positive period accepted")
+	}
+	if _, err := NewPhaseSwitch(10, nil); err == nil {
+		t.Fatal("NewPhaseSwitch with a nil generator accepted")
+	}
 }
 
 func TestPhaseSwitchSingleGenerator(t *testing.T) {
 	g := genHelper{t}.must(NewStream(1<<16, 0, 1))
-	ps := NewPhaseSwitch(50, g)
+	ps, err := NewPhaseSwitch(50, g)
+	if err != nil {
+		t.Fatalf("NewPhaseSwitch: %v", err)
+	}
 	refs := Take(ps, 200)
 	for i, r := range refs {
 		if r.Addr>>56 != 1 {
@@ -380,9 +394,12 @@ func TestPhaseSwitchSingleGenerator(t *testing.T) {
 func TestPhaseSwitchInSimulator(t *testing.T) {
 	// A phase-switching trace is a valid simulator input end to end.
 	h := genHelper{t}
-	ps := NewPhaseSwitch(500,
+	ps, err := NewPhaseSwitch(500,
 		h.must(NewTiledMM(32, 8, 2, 1)),
 		h.must(NewRandom(8<<20, 2, 0.3, 2)))
+	if err != nil {
+		t.Fatalf("NewPhaseSwitch: %v", err)
+	}
 	refs := Take(ps, 3000)
 	if len(refs) != 3000 {
 		t.Fatal("short trace")
