@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench figures figures-full examples cover clean
+.PHONY: all build vet test test-short race check bench bench-json figures figures-full examples cover clean
 
 all: build vet test
 
@@ -27,6 +27,10 @@ check: build vet test race
 # One iteration of every figure/table benchmark with its headline metric.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run XXX .
+
+# Engine throughput (cold vs warm memo cache) as JSON for trend tracking.
+bench-json:
+	$(GO) run ./cmd/enginebench -out BENCH_engine.json
 
 figures:
 	$(GO) run ./cmd/figures

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/dse"
+	"repro/internal/engine"
 	"repro/internal/robust"
 	"repro/internal/sim"
 	"repro/internal/speedup"
@@ -233,6 +234,26 @@ type (
 	// checkpointed sweeps.
 	SweepCheckpoint = dse.Checkpoint
 )
+
+// Evaluation engine: the shared memoizing, metered evaluation service.
+type (
+	// Engine owns the worker pool, the LRU memo cache, in-flight
+	// deduplication and the retry/panic-isolation machinery. One engine
+	// can serve the analytic optimizer, DSE sweeps and APS concurrently;
+	// OptimizeOptions.Engine, SweepOptions.Engine and APSOptions.Engine
+	// attach it.
+	Engine = engine.Engine
+	// EngineOptions configures a new engine (workers, cache capacity,
+	// retry policy).
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of the engine's counters: requests, raw
+	// evaluations, cache hits, dedups, retries, panics and evaluator wall
+	// time.
+	EngineStats = engine.Stats
+)
+
+// NewEngine builds an evaluation engine.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
 // AdaptEvaluator lifts a plain Evaluator to the context-aware interface.
 func AdaptEvaluator(e Evaluator) CtxEvaluator { return dse.WithContext(e) }

@@ -9,12 +9,20 @@
 //
 //	aps [-workload name] [-ws bytes] [-refs n] [-per k] [-fseq f]
 //	    [-radius r] [-truth] [-timeout d] [-checkpoint file] [-resume]
+//	    [-workers n] [-cache n]
 //
 // With -truth the full design space is also swept to ground-truth the APS
 // design (expensive: per^6 simulations). -timeout bounds the whole run;
 // when it fires, whatever was evaluated so far is reported (and saved to
 // the -checkpoint file, if given, from where a later -resume run picks the
 // sweep back up).
+//
+// One evaluation engine serves the whole command: the analytic optimizer,
+// the APS slice and the -truth sweep share its memo cache, so every slice
+// configuration APS already simulated is served from cache during the
+// truth sweep. -workers bounds the engine's parallelism and -cache its
+// memo capacity (0 = default, negative = disable); an engine statistics
+// line is printed on exit.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -43,6 +52,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	checkpoint := flag.String("checkpoint", "", "periodically save sweep state to this JSON file")
 	resume := flag.Bool("resume", false, "skip configurations already recorded in -checkpoint")
+	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "engine memo-cache capacity (0 = default, negative = disable)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -85,9 +96,14 @@ func main() {
 		log.Fatalf("evaluator: %v", err)
 	}
 
+	// One engine for the whole command: APS and the optional truth sweep
+	// share its cache, so -truth never re-simulates the APS slice.
+	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	defer func() { fmt.Println(eng.Stats()) }()
+
 	// Steps 2-3: analytic optimization + simulated slice.
 	fmt.Printf("[2/3] solving the C²-Bound optimization and snapping onto the %d-point grid...\n", space.Size())
-	opts := aps.Options{Radius: *radius, Optimize: core.Options{MaxN: 64}}
+	opts := aps.Options{Engine: eng, Radius: *radius, Optimize: core.Options{MaxN: 64}}
 	opts.Sweep.CheckpointPath = *checkpoint
 	opts.Sweep.Resume = *resume
 	res, err := aps.RunCtx(ctx, m, space, eval, opts)
@@ -113,7 +129,7 @@ func main() {
 
 	if *truth {
 		fmt.Printf("\nbrute-forcing all %d configurations for ground truth...\n", space.Size())
-		truthOpts := dse.SweepOptions{Resume: *resume}
+		truthOpts := dse.SweepOptions{Engine: eng, Resume: *resume}
 		if *checkpoint != "" {
 			truthOpts.CheckpointPath = *checkpoint + ".truth"
 		}
@@ -138,9 +154,9 @@ func reportSweep(rep dse.SweepReport) {
 	if rep.Total == 0 {
 		return
 	}
-	if rep.Retries > 0 || rep.Resumed > 0 || len(rep.Failed) > 0 || rep.Canceled {
-		fmt.Printf("      sweep: %d/%d evaluated (%d resumed, %d retries, %d failed, %d pending)\n",
-			len(rep.Completed), rep.Total, rep.Resumed, rep.Retries, len(rep.Failed), len(rep.Pending))
+	if rep.Retries > 0 || rep.Resumed > 0 || rep.CacheHits > 0 || len(rep.Failed) > 0 || rep.Canceled {
+		fmt.Printf("      sweep: %d/%d evaluated (%d resumed, %d from cache, %d retries, %d failed, %d pending)\n",
+			len(rep.Completed), rep.Total, rep.Resumed, rep.CacheHits, rep.Retries, len(rep.Failed), len(rep.Pending))
 	}
 	for _, f := range rep.Failed {
 		fmt.Printf("      index %d failed after %d attempts: %s\n", f.Index, f.Attempts, f.Err)

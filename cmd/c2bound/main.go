@@ -8,6 +8,7 @@
 //	c2bound [-app fluidanimate|tmm|stencil|fft] [-area mm2] [-fseq f]
 //	        [-fmem f] [-conc C] [-gorder b] [-maxn n] [-timeout d]
 //	        [-sweep per] [-checkpoint file] [-resume]
+//	        [-workers n] [-cache n]
 //
 // Flags override the preset profile's fields, so one command answers
 // "what if this application had concurrency 8?" style questions.
@@ -16,6 +17,11 @@
 // dimension reduced design space with the analytic evaluator; -checkpoint
 // and -resume make that sweep restartable, and -timeout bounds the whole
 // run (a timed-out sweep saves its partial state before exiting).
+//
+// The optimizer and the sweep share one evaluation engine: objective
+// probes and sweep points are memoized together. -workers bounds the
+// engine's parallelism, -cache its memo capacity (0 = default, negative =
+// disable); an engine statistics line is printed on exit.
 package main
 
 import (
@@ -43,6 +49,8 @@ func main() {
 	sweepPer := flag.Int("sweep", 0, "also sweep the reduced space with this many values per dimension")
 	checkpoint := flag.String("checkpoint", "", "save sweep state to this JSON file")
 	resume := flag.Bool("resume", false, "skip points already recorded in -checkpoint")
+	workers := flag.Int("workers", 0, "evaluation parallelism (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "engine memo-cache capacity (0 = default, negative = disable)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -90,8 +98,13 @@ func main() {
 		cfg.TotalArea = *area
 	}
 
+	// One engine serves the optimizer and the optional sweep: objective
+	// probes and sweep points share its memo cache and worker pool.
+	eng := c2bound.NewEngine(c2bound.EngineOptions{Workers: *workers, CacheSize: *cacheSize})
+	defer func() { fmt.Println(eng.Stats()) }()
+
 	m := c2bound.Model{Chip: cfg, App: app}
-	res, err := m.OptimizeCtx(ctx, c2bound.OptimizeOptions{MaxN: *maxn})
+	res, err := m.OptimizeCtx(ctx, c2bound.OptimizeOptions{MaxN: *maxn, Engine: eng})
 	if err != nil {
 		log.Fatalf("optimize: %v", err)
 	}
@@ -113,13 +126,13 @@ func main() {
 	fmt.Printf("solver            : %s after %d objective evaluations\n", res.Method, res.Evaluations)
 
 	if *sweepPer > 0 {
-		runSweep(ctx, m, cfg, *sweepPer, *checkpoint, *resume)
+		runSweep(ctx, m, cfg, eng, *sweepPer, *checkpoint, *resume)
 	}
 }
 
 // runSweep brute-forces the reduced design space with the analytic
 // evaluator, optionally checkpointing so an interrupted run can resume.
-func runSweep(ctx context.Context, m c2bound.Model, cfg c2bound.ChipConfig, per int, checkpoint string, resume bool) {
+func runSweep(ctx context.Context, m c2bound.Model, cfg c2bound.ChipConfig, eng *c2bound.Engine, per int, checkpoint string, resume bool) {
 	space, err := dse.ReducedSpace(cfg, per)
 	if err != nil {
 		log.Fatalf("sweep space: %v", err)
@@ -127,11 +140,12 @@ func runSweep(ctx context.Context, m c2bound.Model, cfg c2bound.ChipConfig, per 
 	fmt.Printf("\nsweeping %d analytic design points...\n", space.Size())
 	start := time.Now()
 	values, rep, err := dse.SweepCtx(ctx, &dse.ModelEvaluator{Model: m}, space, nil, dse.SweepOptions{
+		Engine:         eng,
 		CheckpointPath: checkpoint,
 		Resume:         resume,
 	})
-	fmt.Printf("sweep: %d/%d evaluated (%d resumed, %d retries, %d failed, %d pending) in %v\n",
-		len(rep.Completed), rep.Total, rep.Resumed, rep.Retries, len(rep.Failed), len(rep.Pending),
+	fmt.Printf("sweep: %d/%d evaluated (%d resumed, %d from cache, %d retries, %d failed, %d pending) in %v\n",
+		len(rep.Completed), rep.Total, rep.Resumed, rep.CacheHits, rep.Retries, len(rep.Failed), len(rep.Pending),
 		time.Since(start).Round(time.Millisecond))
 	if err != nil {
 		if checkpoint != "" {

@@ -1,0 +1,99 @@
+// Command enginebench measures the evaluation engine's throughput with a
+// cold and a warm memo cache and writes the result as JSON (for CI trend
+// tracking). The workload is the deterministic analytic ModelEvaluator
+// over a reduced design space: the cold pass computes every point, the
+// warm pass re-requests the same points and should be served almost
+// entirely from cache.
+//
+// Usage:
+//
+//	enginebench [-out file] [-per k] [-rounds n] [-workers n]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/engine"
+)
+
+// report is the JSON document written to -out.
+type report struct {
+	Space        int          `json:"space_points"`
+	Rounds       int          `json:"rounds"`
+	Workers      int          `json:"workers"`
+	ColdEvalsSec float64      `json:"cold_evals_per_sec"`
+	WarmEvalsSec float64      `json:"warm_evals_per_sec"`
+	Speedup      float64      `json:"warm_over_cold"`
+	Cold         engine.Stats `json:"cold_stats"`
+	Warm         engine.Stats `json:"warm_stats"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_engine.json", "output JSON path")
+	per := flag.Int("per", 4, "design-space values per dimension")
+	rounds := flag.Int("rounds", 3, "warm passes over the space")
+	workers := flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	m := core.Model{Chip: chip.DefaultConfig(), App: core.FluidanimateApp()}
+	space, err := dse.ReducedSpace(m.Chip, *per)
+	if err != nil {
+		log.Fatalf("space: %v", err)
+	}
+	eval := &dse.ModelEvaluator{Model: m}
+	eng := engine.New(engine.Options{Workers: *workers})
+	ctx := context.Background()
+
+	sweep := func() {
+		if _, _, err := dse.SweepCtx(ctx, eval, space, nil, dse.SweepOptions{Engine: eng}); err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+	}
+
+	// Cold pass: every point computed.
+	start := time.Now()
+	sweep()
+	coldDur := time.Since(start)
+	coldStats := eng.Stats()
+
+	// Warm passes: the same points, served from cache.
+	start = time.Now()
+	for i := 0; i < *rounds; i++ {
+		sweep()
+	}
+	warmDur := time.Since(start)
+	warmStats := eng.Stats().Delta(coldStats)
+
+	rep := report{
+		Space:        space.Size(),
+		Rounds:       *rounds,
+		Workers:      eng.Workers(),
+		ColdEvalsSec: float64(space.Size()) / coldDur.Seconds(),
+		WarmEvalsSec: float64(space.Size()**rounds) / warmDur.Seconds(),
+		Cold:         coldStats,
+		Warm:         warmStats,
+	}
+	if rep.ColdEvalsSec > 0 {
+		rep.Speedup = rep.WarmEvalsSec / rep.ColdEvalsSec
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("cold: %.0f evals/s, warm: %.0f evals/s (%.1fx), %s → %s\n",
+		rep.ColdEvalsSec, rep.WarmEvalsSec, rep.Speedup, warmStats, *out)
+}

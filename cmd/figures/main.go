@@ -6,6 +6,7 @@
 // Usage:
 //
 //	figures [-only fig8,fig12,...] [-csv] [-full] [-refs n] [-per k]
+//	        [-workers n] [-cache n]
 package main
 
 import (
@@ -26,9 +27,11 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale DSE (10 values per dimension → 10^6 configurations)")
 	refs := flag.Int("refs", 0, "workload references per simulation (0: default)")
 	per := flag.Int("per", 0, "design-space values per dimension (0: default 3; -full forces 10)")
+	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "engine memo-cache capacity (0 = default, negative = disable)")
 	flag.Parse()
 
-	sc := experiments.Scale{TotalRefs: *refs, SpacePer: *per}
+	sc := experiments.Scale{TotalRefs: *refs, SpacePer: *per, Workers: *workers, CacheSize: *cacheSize}
 	if *full {
 		sc.SpacePer = 10
 		if sc.TotalRefs == 0 {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/engine"
 )
 
 // Metric selects the analytic objective used to pick the grid point —
@@ -37,11 +38,20 @@ const (
 
 // Options tunes the APS run.
 type Options struct {
+	// Engine is the shared evaluation service. The analytic optimizer,
+	// the grid snap and the simulated slice all route through it, so an
+	// APS run following a ground-truth sweep on the same engine reuses
+	// every overlapping simulation from the cache (Fig. 6's
+	// neighborhoods overlap prior sweeps by construction). Nil builds a
+	// private engine for this run — the optimizer and the slice still
+	// share one cache within the run.
+	Engine *engine.Engine
 	// Radius widens the simulated neighborhood around the analytic
 	// solution in the A0/A1/A2/N dimensions; 0 reproduces the paper's
 	// flow (only issue width and ROB are swept, 10×10 = 100 simulations).
 	Radius int
-	// Workers bounds sweep parallelism (≤0: GOMAXPROCS).
+	// Workers bounds sweep parallelism (≤0: GOMAXPROCS). Ignored when
+	// Engine is set (the engine's pool wins).
 	Workers int
 	// Metric is the optimization target shared by the analytic and
 	// simulated phases (default MetricTime).
@@ -61,16 +71,24 @@ type Result struct {
 	BestIdx   int         // flat index of the best simulated configuration
 	BestPoint []float64
 	BestValue float64
-	// Simulations is the number of simulator invocations APS spent — the
-	// quantity Fig. 12 compares (≈10² vs 613 vs 10⁶).
+	// Simulations is the number of fresh simulator invocations APS spent
+	// — the quantity Fig. 12 compares (≈10² vs 613 vs 10⁶). Slice points
+	// served from the engine's cache or restored from a checkpoint do not
+	// count: they cost no simulation.
 	Simulations int
 	// AnalyticPoints counts analytic-model evaluations during the grid
 	// optimization; these are microseconds each, not simulations.
 	AnalyticPoints int
 	SpaceSize      int
 	// Report is the resilience accounting of the simulated phase:
-	// completed/failed/pending indices, retries and wall time.
+	// completed/failed/pending indices, retries, cache hits and wall
+	// time.
 	Report dse.SweepReport
+	// Engine is the engine's counter delta across this run: raw
+	// evaluations, cache hits, retries, panics and evaluator wall time.
+	// (On a shared engine with concurrent users the delta includes their
+	// traffic too.)
+	Engine engine.Stats
 }
 
 // Run executes APS for the model over the given space using eval as the
@@ -94,6 +112,14 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 		dims[name] = d
 	}
 
+	// One engine serves the whole run: the analytic optimizer's probes,
+	// the grid snap and the simulated slice share its cache and pool.
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(engine.Options{Workers: opts.Workers, Retry: opts.Sweep.Retry})
+	}
+	stats0 := eng.Stats()
+
 	// Step 1+2: analytic optimization (characterization is assumed done:
 	// the model's App already carries measured parameters). The
 	// unconstrained solve is kept for reporting; the snap onto the grid
@@ -101,11 +127,13 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 	// (A0, A1, A2, N) combinations — still pure analysis, zero
 	// simulations — because the continuous optimum may sit between grid
 	// values (especially its tight area constraint).
-	analytic, err := m.OptimizeCtx(ctx, opts.Optimize)
+	optOpts := opts.Optimize
+	optOpts.Engine = eng
+	analytic, err := m.OptimizeCtx(ctx, optOpts)
 	if err != nil {
 		return Result{}, err
 	}
-	center, analyticPoints, err := gridOptimum(ctx, m, space, dims, opts.Metric)
+	center, analyticPoints, err := gridOptimum(ctx, m, eng, space, dims, opts.Metric)
 	if err != nil {
 		return Result{}, err
 	}
@@ -137,6 +165,7 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 	if sweepOpts.Workers == 0 {
 		sweepOpts.Workers = opts.Workers
 	}
+	sweepOpts.Engine = eng
 	values, report, sweepErr := dse.SweepCtx(ctx, eval, space, indices, sweepOpts)
 	bestIdx, bestVal := dse.Best(values)
 	res := Result{
@@ -144,9 +173,10 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 		Snapped:        center,
 		BestIdx:        bestIdx,
 		AnalyticPoints: analyticPoints,
-		Simulations:    len(report.Completed) - report.Resumed + len(report.Failed),
+		Simulations:    len(report.Completed) - report.Resumed - report.CacheHits + len(report.Failed),
 		SpaceSize:      space.Size(),
 		Report:         report,
+		Engine:         eng.Stats().Delta(stats0),
 	}
 	if bestIdx >= 0 {
 		res.BestPoint = space.Point(bestIdx)
@@ -165,9 +195,25 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 // gridOptimum scans the representable (A0, A1, A2, N) grid combinations
 // with the *analytic* objective (no simulation) and returns the best
 // feasible coordinates, with the issue/ROB dimensions left at zero for
-// the subsequent simulated slice.
-func gridOptimum(ctx context.Context, m core.Model, space dse.Space, dims map[string]int, metric Metric) ([]int, int, error) {
+// the subsequent simulated slice. Scores route through the engine under
+// a metric-specific fingerprint: a repeated APS run on a shared engine
+// re-reads the whole scan from cache. Infeasible grid points score +Inf
+// (a cacheable value, excluded from the analytic-point count).
+func gridOptimum(ctx context.Context, m core.Model, eng *engine.Engine, space dse.Space, dims map[string]int, metric Metric) ([]int, int, error) {
 	dA0, dA1, dA2, dN := dims[dse.DimA0], dims[dse.DimA1], dims[dse.DimA2], dims[dse.DimN]
+	score := engine.Func{
+		FP: fmt.Sprintf("aps.gridScore{metric=%d %s}", metric, m.Fingerprint()),
+		F: func(_ context.Context, p []float64) (float64, error) {
+			e, err := m.Evaluate(chip.Design{N: int(p[3] + 0.5), CoreArea: p[0], L1Area: p[1], L2Area: p[2]})
+			if err != nil {
+				return math.Inf(1), nil
+			}
+			if metric == MetricTimePerWork {
+				return e.Time / e.Work, nil
+			}
+			return e.Time, nil
+		},
+	}
 	best := make([]int, space.Dims())
 	found := false
 	bestScore := math.Inf(1)
@@ -183,17 +229,13 @@ func gridOptimum(ctx context.Context, m core.Model, space dse.Space, dims map[st
 					coords[dA0], coords[dA1], coords[dA2], coords[dN] = i0, i1, i2, in
 					p := space.PointAt(coords)
 					d := designFromPoint(p, dims)
-					e, err := m.Evaluate(d)
-					if err != nil {
+					s, err := eng.Evaluate(ctx, score, []float64{d.CoreArea, d.L1Area, d.L2Area, float64(d.N)})
+					if err != nil || math.IsInf(s, 1) {
 						continue
 					}
 					points++
-					score := e.Time
-					if metric == MetricTimePerWork {
-						score = e.Time / e.Work
-					}
-					if score < bestScore {
-						bestScore = score
+					if s < bestScore {
+						bestScore = s
 						copy(best, coords)
 						found = true
 					}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a canonical identity of the model for engine
+// memoization: it covers the chip configuration and every App parameter
+// the Eq. 7-10 objective reads. The scale function g(N) cannot be hashed
+// directly (it is code), so it is characterized by its values on a fixed
+// probe grid together with GOrder; two apps whose g agree on the grid and
+// in growth order are treated as equal, which holds for every g used in
+// the repository (power laws and complexity-derived ratios are determined
+// by far fewer samples).
+func (m Model) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core.Model{chip=%+v app=%q fseq=%x fmem=%x ov=%x ch=%x cm=%x pmr=%x pamp=%x l1=%+v l2=%+v gorder=%x ic0=%x g=[",
+		m.Chip, m.App.Name, m.App.Fseq, m.App.Fmem, m.App.Overlap,
+		m.App.CH, m.App.CM, m.App.PMRRatio, m.App.PAMPRatio,
+		m.App.L1Miss, m.App.L2Miss, m.App.GOrder, m.App.IC0)
+	if m.App.G != nil {
+		for _, n := range []float64{1, 2, 3, 5, 8, 16, 32, 64, 128} {
+			fmt.Fprintf(&b, "%x,", m.App.G(n))
+		}
+	}
+	b.WriteString("]}")
+	return b.String()
+}

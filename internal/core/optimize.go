@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/chip"
+	"repro/internal/engine"
 	"repro/internal/solve"
 )
 
@@ -57,6 +58,13 @@ type Options struct {
 	MaxN       int     // largest core count considered (default: area-derived)
 	MinPerCore float64 // smallest per-core area; sets the N upper bound (default 0.5 mm²)
 	MinArea    float64 // lower bound for each area component (default 0.05 mm²)
+
+	// Engine, when set, routes every objective probe (Nelder-Mead
+	// vertices, KKT gradient stencils, candidate scoring) through the
+	// shared evaluation engine, so repeated probes of one design are
+	// memoized and the optimizer shares a cache with any sweep running on
+	// the same engine. Nil keeps direct evaluation.
+	Engine *engine.Engine
 }
 
 func (o *Options) fill(c chip.Config) {
@@ -74,15 +82,44 @@ func (o *Options) fill(c chip.Config) {
 	}
 }
 
-// evalCounter wraps the model's time objective and counts evaluations.
+// evalCounter wraps the model's time objective and counts evaluation
+// requests. When an engine is attached, probes are memoized under the
+// model's fingerprint (the count still reflects requests, not raw
+// evaluations — engine.Stats carries the raw figure).
 type evalCounter struct {
 	m     Model
+	ctx   context.Context
+	eng   *engine.Engine
+	probe engine.Func
 	count int
+}
+
+func newEvalCounter(ctx context.Context, m Model, eng *engine.Engine) *evalCounter {
+	ec := &evalCounter{m: m, ctx: ctx, eng: eng}
+	if eng != nil {
+		ec.probe = engine.Func{
+			FP: "core.TimeAt{" + m.Fingerprint() + "}",
+			F: func(_ context.Context, p []float64) (float64, error) {
+				return m.TimeAt(chip.Design{N: int(p[3] + 0.5), CoreArea: p[0], L1Area: p[1], L2Area: p[2]}), nil
+			},
+		}
+	}
+	return ec
 }
 
 func (ec *evalCounter) time(d chip.Design) float64 {
 	ec.count++
-	return ec.m.TimeAt(d)
+	if ec.eng == nil {
+		return ec.m.TimeAt(d)
+	}
+	v, err := ec.eng.Evaluate(ec.ctx, ec.probe, []float64{d.CoreArea, d.L1Area, d.L2Area, float64(d.N)})
+	if err != nil {
+		// Cancellation (or an isolated panic) surfaces as an unattractive
+		// objective; OptimizeCtx's per-candidate ctx poll turns the
+		// cancellation into the caller-visible error.
+		return math.Inf(1)
+	}
+	return v
 }
 
 // OptimizeAreas finds the area split (A0, A1, A2) minimizing J_D for a
@@ -93,12 +130,18 @@ func (ec *evalCounter) time(d chip.Design) float64 {
 // search in the constrained subspace; the better of the two is returned
 // together with the solver label.
 func (m Model) OptimizeAreas(n int, opts Options) (chip.Design, string, int, error) {
+	return m.optimizeAreas(context.Background(), n, opts)
+}
+
+// optimizeAreas is OptimizeAreas with the context threaded through to the
+// engine-routed probes.
+func (m Model) optimizeAreas(ctx context.Context, n int, opts Options) (chip.Design, string, int, error) {
 	opts.fill(m.Chip)
 	budget := (m.Chip.TotalArea - m.Chip.FixedArea) / float64(n)
 	if budget < 3*opts.MinArea {
 		return chip.Design{}, "", 0, fmt.Errorf("core: %d cores leave only %.3g mm² per core", n, budget)
 	}
-	ec := &evalCounter{m: m}
+	ec := newEvalCounter(ctx, m, opts.Engine)
 
 	// Simplex parameterization of the constrained subspace: two free
 	// variables (u0, u1) map through softmax weights onto the fixed
@@ -228,7 +271,7 @@ func (m Model) OptimizeCtx(ctx context.Context, opts Options) (Result, error) {
 		if n < 1 || n > opts.MaxN {
 			return
 		}
-		d, method, cnt, err := m.OptimizeAreas(n, opts)
+		d, method, cnt, err := m.optimizeAreas(ctx, n, opts)
 		evals += cnt
 		if err != nil {
 			return

@@ -151,14 +151,48 @@ func clampKB(kb float64) int {
 	return v
 }
 
-// Evaluate implements Evaluator: the simulated makespan in cycles, or
-// +Inf for infeasible configurations.
+// Evaluate implements Evaluator: the simulated makespan in cycles, +Inf
+// for infeasible configurations, or NaN when the simulator faulted.
+// Infeasible and faulted are distinct outcomes on purpose: +Inf is a
+// legitimate score ("this design does not fit"), while NaN marks a
+// swallowed error, which Best skips so a faulty run can never be selected
+// as the optimum.
 func (e *SimEvaluator) Evaluate(point []float64) float64 {
 	v, err := e.EvaluateCtx(context.Background(), point)
 	if err != nil {
-		return math.Inf(1)
+		return math.NaN()
 	}
 	return v
+}
+
+// Fingerprint implements engine.Fingerprinter: it covers every field the
+// simulated score depends on (chip constants, workload, working set,
+// reference budget, seed and the hardware templates), so two evaluators
+// share memoized values only when they compute the same function.
+func (e *SimEvaluator) Fingerprint() string {
+	return fmt.Sprintf("dse.SimEvaluator{chip=%+v workload=%q ws=%d gap=%x refs=%d seed=%d l1=%+v l2=%+v base=%+v}",
+		e.Chip, e.Workload, e.WSBytes, e.MeanGap, e.TotalRefs, e.Seed,
+		e.L1Template, e.L2Template, e.Base)
+}
+
+// SplitRefs distributes total references across cores with no remainder
+// loss: every core receives total/cores, and the first total%cores cores
+// one extra, so the summed workload is invariant in the core count (a
+// truncating division here would shrink the simulated work as N grows and
+// bias cross-N comparisons).
+func SplitRefs(total, cores int) []int {
+	refs := make([]int, cores)
+	if cores < 1 || total < 0 {
+		return refs
+	}
+	base, rem := total/cores, total%cores
+	for i := range refs {
+		refs[i] = base
+		if i < rem {
+			refs[i]++
+		}
+	}
+	return refs
 }
 
 // EvaluateCtx implements CtxEvaluator. Infeasible configurations score
@@ -170,11 +204,7 @@ func (e *SimEvaluator) EvaluateCtx(ctx context.Context, point []float64) (float6
 	if err != nil {
 		return math.Inf(1), nil
 	}
-	refsPerCore := e.TotalRefs / cfg.Cores
-	if refsPerCore < 1 {
-		refsPerCore = 1
-	}
-	res, err := sim.RunWorkloadCtx(ctx, cfg, e.Workload, e.WSBytes, e.MeanGap, refsPerCore, e.Seed)
+	res, err := sim.RunWorkloadCountsCtx(ctx, cfg, e.Workload, e.WSBytes, e.MeanGap, SplitRefs(e.TotalRefs, cfg.Cores), e.Seed)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return math.NaN(), cerr
@@ -198,6 +228,12 @@ func (e *ModelEvaluator) EvaluateCtx(ctx context.Context, point []float64) (floa
 		return math.NaN(), err
 	}
 	return e.Evaluate(point), nil
+}
+
+// Fingerprint implements engine.Fingerprinter via the model's canonical
+// identity.
+func (e *ModelEvaluator) Fingerprint() string {
+	return "dse.ModelEvaluator{" + e.Model.Fingerprint() + "}"
 }
 
 // Evaluate implements Evaluator.

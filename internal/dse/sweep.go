@@ -6,11 +6,10 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/robust"
 )
 
@@ -19,10 +18,38 @@ import (
 // Evaluators adapt through WithContext.
 type CtxEvaluator = robust.Evaluator
 
+// ctxAdapter lifts a plain Evaluator to CtxEvaluator, forwarding the
+// inner evaluator's fingerprint (when it has one) so adapted evaluators
+// still participate in engine memoization.
+type ctxAdapter struct {
+	inner Evaluator
+}
+
+func (a ctxAdapter) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return math.NaN(), err
+	}
+	return a.inner.Evaluate(point), nil
+}
+
+// Fingerprint implements engine.Fingerprinter when the wrapped evaluator
+// does; otherwise it returns "" (and the engine treats the adapter as
+// anonymous — metered but uncached).
+func (a ctxAdapter) Fingerprint() string {
+	if f, ok := a.inner.(engine.Fingerprinter); ok {
+		return "dse.ctx{" + f.Fingerprint() + "}"
+	}
+	return ""
+}
+
 // WithContext adapts a plain Evaluator to the CtxEvaluator interface:
 // cancellation is honoured between evaluations and the score is returned
-// with a nil error.
+// with a nil error. If the inner evaluator carries an engine fingerprint,
+// the adapter forwards it so memoization still applies.
 func WithContext(e Evaluator) CtxEvaluator {
+	if f, ok := e.(engine.Fingerprinter); ok && f.Fingerprint() != "" {
+		return ctxAdapter{inner: e}
+	}
 	return robust.EvaluatorFunc(func(ctx context.Context, point []float64) (float64, error) {
 		if err := ctx.Err(); err != nil {
 			return math.NaN(), err
@@ -33,11 +60,17 @@ func WithContext(e Evaluator) CtxEvaluator {
 
 // SweepOptions tunes the resilient sweep.
 type SweepOptions struct {
-	// Workers bounds parallelism (≤0: GOMAXPROCS).
+	// Engine routes every evaluation through a shared memoizing engine.
+	// When set, the engine's worker bound and retry policy win over the
+	// Workers and Retry fields below, and results already memoized by
+	// earlier work on the same engine are served from its cache.
+	Engine *engine.Engine
+	// Workers bounds parallelism (≤0: GOMAXPROCS). Ignored when Engine is
+	// set.
 	Workers int
 	// Retry governs re-attempts of failing or panicking evaluations; the
 	// zero value selects robust.DefaultRetry (3 attempts, exponential
-	// backoff with jitter).
+	// backoff with jitter). Ignored when Engine is set.
 	Retry robust.RetryPolicy
 	// Timeout bounds the whole sweep's wall time (0: none). It stacks
 	// with whatever deadline the caller's context already carries.
@@ -84,6 +117,10 @@ type SweepReport struct {
 	// Resumed is how many completed indices were restored from the
 	// checkpoint instead of evaluated.
 	Resumed int `json:"resumed"`
+	// CacheHits is how many completed indices were served from the
+	// engine's memoization cache (or a concurrent in-flight computation)
+	// instead of raw evaluation.
+	CacheHits int `json:"cache_hits,omitempty"`
 	// Canceled reports whether the sweep stopped on context cancellation
 	// or deadline.
 	Canceled bool `json:"canceled"`
@@ -91,20 +128,13 @@ type SweepReport struct {
 	WallTime time.Duration `json:"wall_time_ns"`
 }
 
-// sweepResult is one worker's outcome for one index.
-type sweepResult struct {
-	idx      int
-	value    float64
-	attempts int
-	err      error
-}
-
 // SweepCtx evaluates the listed flat indices (all of them when indices is
-// nil) with a worker pool hardened against cancellation, panicking
-// evaluators and transient failures. It returns a dense slice indexed by
-// flat index (NaN for unevaluated entries), the structured report, and
-// the context's error when the sweep was cut short. The values slice is
-// valid in every case.
+// nil) through the evaluation engine: a worker pool hardened against
+// cancellation, panicking evaluators and transient failures, with
+// memoization and in-flight deduplication when opts.Engine is shared
+// across sweeps. It returns a dense slice indexed by flat index (NaN for
+// unevaluated entries), the structured report, and the context's error
+// when the sweep was cut short. The values slice is valid in every case.
 func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts SweepOptions) ([]float64, SweepReport, error) {
 	start := time.Now()
 	size := s.Size()
@@ -161,55 +191,23 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 		}
 	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pending) {
-		workers = len(pending)
-	}
-	if workers < 1 {
-		workers = 1
+	eng := opts.Engine
+	if eng == nil {
+		// Ephemeral engine for this sweep only: same pool/guard/retry
+		// machinery, but no memoization (indices within one sweep are
+		// unique, so a private cache could never hit).
+		eng = engine.New(engine.Options{
+			Workers:   opts.Workers,
+			CacheSize: -1,
+			Retry:     opts.Retry,
+			Seed:      0x5eed ^ uint64(len(indices)),
+		})
 	}
 
-	guarded := robust.Guard(e)
-	rng := robust.NewRNG(0x5eed ^ uint64(len(indices)))
-	work := make(chan int)
-	results := make(chan sweepResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				if ctx.Err() != nil {
-					return
-				}
-				point := s.Point(idx)
-				var v float64
-				attempts, err := opts.Retry.Do(ctx, rng, func(ctx context.Context) error {
-					var e2 error
-					v, e2 = guarded.EvaluateCtx(ctx, point)
-					return e2
-				})
-				results <- sweepResult{idx: idx, value: v, attempts: attempts, err: err}
-			}
-		}()
+	points := make([][]float64, len(pending))
+	for i, idx := range pending {
+		points[i] = s.Point(idx)
 	}
-	go func() {
-		defer close(work)
-		for _, idx := range pending {
-			select {
-			case work <- idx:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
 
 	every := opts.CheckpointEvery
 	if every <= 0 {
@@ -224,29 +222,35 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 		}
 		ckErr = SaveCheckpoint(opts.CheckpointPath, s, values, rep.Completed)
 	}
-	for r := range results {
-		if r.attempts > 1 {
-			rep.Retries += r.attempts - 1
+	// yield runs on EvaluateStream's single collector goroutine, so the
+	// report and values need no locking.
+	_ = eng.EvaluateStream(ctx, e, points, func(i int, o engine.Outcome) {
+		idx := pending[i]
+		if o.Attempts > 1 {
+			rep.Retries += o.Attempts - 1
 		}
-		if r.err != nil {
-			if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+		if o.Err != nil {
+			if errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded) {
 				// Interrupted, not failed: the index counts as pending so a
 				// resumed sweep picks it up again.
-				continue
+				return
 			}
-			saw[r.idx] = true
-			rep.Failed = append(rep.Failed, IndexFailure{Index: r.idx, Attempts: r.attempts, Err: r.err.Error()})
-			continue
+			saw[idx] = true
+			rep.Failed = append(rep.Failed, IndexFailure{Index: idx, Attempts: o.Attempts, Err: o.Err.Error()})
+			return
 		}
-		saw[r.idx] = true
-		values[r.idx] = r.value
-		rep.Completed = append(rep.Completed, r.idx)
+		saw[idx] = true
+		if o.CacheHit || o.Shared {
+			rep.CacheHits++
+		}
+		values[idx] = o.Value
+		rep.Completed = append(rep.Completed, idx)
 		sinceCk++
 		if sinceCk >= every {
 			sinceCk = 0
 			save()
 		}
-	}
+	})
 	for _, idx := range pending {
 		if !saw[idx] {
 			rep.Pending = append(rep.Pending, idx)

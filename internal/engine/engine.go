@@ -1,0 +1,340 @@
+// Package engine is the shared evaluation service behind every consumer
+// of "design point → objective value" in the repository: the brute-force
+// sweep (dse.SweepCtx), the APS flow (aps.RunCtx), the analytic optimizer
+// (core.OptimizeCtx) and the CLIs. One Engine owns
+//
+//   - the worker pool (a global concurrency bound shared by every batch
+//     submitted to the engine, so two concurrent sweeps cannot
+//     oversubscribe the machine),
+//   - an LRU memoization cache keyed on a canonical
+//     (evaluator fingerprint, design point) encoding, so overlapping
+//     explorations — APS re-simulating a neighborhood a ground-truth
+//     sweep already covered, the optimizer re-probing a design — pay for
+//     each distinct evaluation once,
+//   - in-flight deduplication (singleflight): concurrent requests for the
+//     same key wait for the first computation instead of repeating it,
+//   - the resilience machinery of package robust (panic isolation and
+//     retry with exponential backoff), applied uniformly so no caller has
+//     to wire it separately,
+//   - and counters (requests, raw evaluations, cache hits, panics,
+//     retries, failures, evaluator wall time) exposed as a Stats
+//     snapshot.
+//
+// Caching requires a fingerprint: an evaluator that implements
+// Fingerprinter (or an engine.Func with an explicit FP) is memoized;
+// anonymous evaluators are still guarded, retried and metered, but never
+// cached, because two distinct closures of one type would collide.
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/robust"
+)
+
+// Fingerprinter gives an evaluator a canonical identity for memoization.
+// Two evaluators must return equal fingerprints only if they compute the
+// same function; the fingerprint therefore has to cover every parameter
+// the evaluation depends on (configuration, workload, seed, ...).
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// Func is a fingerprinted evaluator built from a closure: the way ad-hoc
+// objectives (the optimizer's time probe, a figure sweep's scoring rule)
+// participate in memoization.
+type Func struct {
+	// FP is the canonical fingerprint of F.
+	FP string
+	// F computes the objective at a point.
+	F func(ctx context.Context, point []float64) (float64, error)
+}
+
+// EvaluateCtx implements robust.Evaluator.
+func (f Func) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	return f.F(ctx, point)
+}
+
+// Fingerprint implements Fingerprinter.
+func (f Func) Fingerprint() string { return f.FP }
+
+// Options configures a new Engine.
+type Options struct {
+	// Workers bounds the number of concurrently running evaluations
+	// across all batches submitted to the engine (≤0: GOMAXPROCS).
+	Workers int
+	// CacheSize is the memoization capacity in entries. Zero selects
+	// DefaultCacheSize; a negative value disables caching (and with it
+	// in-flight deduplication).
+	CacheSize int
+	// Retry governs re-attempts of failing or panicking evaluations; the
+	// zero value selects robust.DefaultRetry.
+	Retry robust.RetryPolicy
+	// Seed drives the retry jitter (0: fixed default).
+	Seed uint64
+}
+
+// DefaultCacheSize is the memoization capacity when Options.CacheSize is
+// zero. An entry costs ~100 bytes (key bytes + value + list node), so the
+// default stays well under 100 MB even when full.
+const DefaultCacheSize = 1 << 18
+
+// Outcome is the full result of one evaluation request.
+type Outcome struct {
+	// Value is the objective value (NaN when Err is non-nil).
+	Value float64
+	// Attempts is the number of evaluator invocations spent on this
+	// request (0 when the value came from the cache or a shared
+	// in-flight computation).
+	Attempts int
+	// CacheHit reports that the value was served from the memo cache.
+	CacheHit bool
+	// Shared reports that the request waited on a concurrent computation
+	// of the same key instead of evaluating.
+	Shared bool
+	// Err is the final error after retries (nil for +Inf "infeasible"
+	// results, which are legitimate values).
+	Err error
+}
+
+// call is one in-flight computation other requests can wait on.
+type call struct {
+	done chan struct{}
+	out  Outcome
+}
+
+// Engine is the memoizing, metered evaluation service. Safe for
+// concurrent use.
+type Engine struct {
+	workers int
+	retry   robust.RetryPolicy
+	rng     *robust.RNG
+	sem     chan struct{}
+
+	mu       sync.Mutex
+	cache    *lruCache // nil when caching is disabled
+	inflight map[string]*call
+
+	counters counters
+}
+
+// New builds an engine. The zero Options value gives GOMAXPROCS workers,
+// the default cache size and the default retry policy.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers:  workers,
+		retry:    opts.Retry,
+		rng:      robust.NewRNG(opts.Seed),
+		sem:      make(chan struct{}, workers),
+		inflight: make(map[string]*call),
+	}
+	if opts.CacheSize >= 0 {
+		size := opts.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		e.cache = newLRU(size)
+	}
+	return e
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Evaluate runs one evaluation request through the full pipeline —
+// cache, in-flight dedup, panic guard, retry — and returns the value and
+// final error. Infeasible configurations are values (+Inf, nil error);
+// errors mark faults or cancellation.
+func (e *Engine) Evaluate(ctx context.Context, ev robust.Evaluator, point []float64) (float64, error) {
+	o := e.Do(ctx, ev, point)
+	return o.Value, o.Err
+}
+
+// Do is Evaluate with the full Outcome (attempt count, cache/shared
+// provenance).
+func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) Outcome {
+	e.counters.requests.Add(1)
+	fp := ""
+	cacheable := false
+	if e.cache != nil {
+		if f, ok := ev.(Fingerprinter); ok {
+			fp = f.Fingerprint()
+			cacheable = true
+		}
+	}
+	if !cacheable {
+		return e.compute(ctx, ev, point)
+	}
+	key := cacheKey(fp, point)
+	for {
+		e.mu.Lock()
+		if v, ok := e.cache.get(key); ok {
+			e.mu.Unlock()
+			e.counters.cacheHits.Add(1)
+			return Outcome{Value: v, CacheHit: true}
+		}
+		if c, ok := e.inflight[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return Outcome{Value: math.NaN(), Err: ctx.Err()}
+			case <-c.done:
+			}
+			if isContextErr(c.out.Err) {
+				// The owner was cancelled, not the computation refuted:
+				// compete for the key again.
+				continue
+			}
+			e.counters.dedups.Add(1)
+			return Outcome{Value: c.out.Value, Shared: true, Err: c.out.Err}
+		}
+		c := &call{done: make(chan struct{})}
+		e.inflight[key] = c
+		e.mu.Unlock()
+
+		e.counters.cacheMisses.Add(1)
+		out := e.compute(ctx, ev, point)
+		c.out = out
+		e.mu.Lock()
+		if out.Err == nil {
+			if e.cache.add(key, out.Value) {
+				e.counters.evictions.Add(1)
+			}
+		}
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(c.done)
+		return out
+	}
+}
+
+// compute runs the guarded, retried evaluation and meters it.
+func (e *Engine) compute(ctx context.Context, ev robust.Evaluator, point []float64) Outcome {
+	guarded := robust.Guard(ev)
+	var v float64
+	start := time.Now()
+	attempts, err := e.retry.Do(ctx, e.rng, func(ctx context.Context) error {
+		e.counters.evaluations.Add(1)
+		var err2 error
+		v, err2 = guarded.EvaluateCtx(ctx, point)
+		var pe *robust.PanicError
+		if errors.As(err2, &pe) {
+			e.counters.panics.Add(1)
+		}
+		return err2
+	})
+	e.counters.wallNanos.Add(uint64(time.Since(start)))
+	if attempts > 1 {
+		e.counters.retries.Add(uint64(attempts - 1))
+	}
+	if err != nil {
+		if !isContextErr(err) {
+			e.counters.failures.Add(1)
+		}
+		return Outcome{Value: math.NaN(), Attempts: attempts, Err: err}
+	}
+	return Outcome{Value: v, Attempts: attempts}
+}
+
+// EvaluateStream evaluates every point on the engine's worker pool and
+// invokes yield(i, outcome) from a single goroutine (no locking needed in
+// yield) as results complete, in completion order. Points never started
+// because ctx was cancelled produce no yield call. EvaluateStream returns
+// ctx.Err() after all in-flight evaluations have finished — no worker
+// goroutine outlives the call.
+func (e *Engine) EvaluateStream(ctx context.Context, ev robust.Evaluator, points [][]float64, yield func(i int, o Outcome)) error {
+	n := len(points)
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	type res struct {
+		i int
+		o Outcome
+	}
+	work := make(chan int)
+	results := make(chan res, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				// Acquire a global slot so concurrent batches on one
+				// engine share the same concurrency bound.
+				select {
+				case e.sem <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				o := e.Do(ctx, ev, points[i])
+				<-e.sem
+				results <- res{i: i, o: o}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for i := range points {
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		if yield != nil {
+			yield(r.i, r.o)
+		}
+	}
+	return ctx.Err()
+}
+
+// CacheLen returns the current number of memoized entries.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}
+
+// isContextErr reports whether err marks cancellation or a deadline
+// rather than an evaluation fault.
+func isContextErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// cacheKey builds the canonical (fingerprint, point) key: the fingerprint
+// bytes followed by a separator and each coordinate's IEEE-754 bits. The
+// encoding is exact — no hashing — so distinct keys can never collide.
+func cacheKey(fp string, point []float64) string {
+	b := make([]byte, 0, len(fp)+1+8*len(point))
+	b = append(b, fp...)
+	b = append(b, 0)
+	for _, v := range point {
+		bits := math.Float64bits(v)
+		b = append(b,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	return string(b)
+}

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/robust"
+)
+
+// countingEval is a fingerprinted evaluator that counts raw invocations.
+type countingEval struct {
+	fp    string
+	calls atomic.Int64
+	fn    func(p []float64) (float64, error)
+}
+
+func (c *countingEval) Fingerprint() string { return c.fp }
+
+func (c *countingEval) EvaluateCtx(_ context.Context, p []float64) (float64, error) {
+	c.calls.Add(1)
+	if c.fn != nil {
+		return c.fn(p)
+	}
+	return p[0] * 2, nil
+}
+
+func TestEvaluateMemoizes(t *testing.T) {
+	ev := &countingEval{fp: "double"}
+	e := New(Options{Workers: 2})
+	ctx := context.Background()
+	v1, err := e.Evaluate(ctx, ev, []float64{3})
+	if err != nil || v1 != 6 {
+		t.Fatalf("first evaluate = %v, %v", v1, err)
+	}
+	v2, err := e.Evaluate(ctx, ev, []float64{3})
+	if err != nil || v2 != 6 {
+		t.Fatalf("second evaluate = %v, %v", v2, err)
+	}
+	if got := ev.calls.Load(); got != 1 {
+		t.Fatalf("raw calls = %d, want 1 (memoized)", got)
+	}
+	st := e.Stats()
+	if st.Requests != 2 || st.Evaluations != 1 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	o := e.Do(ctx, ev, []float64{3})
+	if !o.CacheHit || o.Value != 6 || o.Attempts != 0 {
+		t.Fatalf("outcome = %+v, want cache hit", o)
+	}
+}
+
+func TestFingerprintsSeparateCaches(t *testing.T) {
+	e := New(Options{})
+	ctx := context.Background()
+	a := Func{FP: "a", F: func(_ context.Context, p []float64) (float64, error) { return p[0] + 1, nil }}
+	b := Func{FP: "b", F: func(_ context.Context, p []float64) (float64, error) { return p[0] + 2, nil }}
+	va, _ := e.Evaluate(ctx, a, []float64{1})
+	vb, _ := e.Evaluate(ctx, b, []float64{1})
+	if va != 2 || vb != 3 {
+		t.Fatalf("fingerprint collision: a=%v b=%v", va, vb)
+	}
+	if e.CacheLen() != 2 {
+		t.Fatalf("cache entries = %d, want 2", e.CacheLen())
+	}
+}
+
+func TestAnonymousEvaluatorNotCached(t *testing.T) {
+	var calls atomic.Int64
+	ev := robust.EvaluatorFunc(func(_ context.Context, p []float64) (float64, error) {
+		calls.Add(1)
+		return p[0], nil
+	})
+	e := New(Options{})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if v, err := e.Evaluate(ctx, ev, []float64{7}); err != nil || v != 7 {
+			t.Fatalf("evaluate = %v, %v", v, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("anonymous evaluator calls = %d, want 3 (uncached)", calls.Load())
+	}
+	if e.CacheLen() != 0 {
+		t.Fatalf("cache entries = %d for anonymous evaluator", e.CacheLen())
+	}
+	st := e.Stats()
+	if st.Evaluations != 3 || st.CacheHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	ev := &countingEval{fp: "x"}
+	e := New(Options{CacheSize: -1})
+	ctx := context.Background()
+	e.Evaluate(ctx, ev, []float64{1})
+	e.Evaluate(ctx, ev, []float64{1})
+	if ev.calls.Load() != 2 {
+		t.Fatalf("calls = %d with disabled cache, want 2", ev.calls.Load())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	ev := &countingEval{fp: "lru"}
+	e := New(Options{CacheSize: 2})
+	ctx := context.Background()
+	e.Evaluate(ctx, ev, []float64{1})
+	e.Evaluate(ctx, ev, []float64{2})
+	e.Evaluate(ctx, ev, []float64{1}) // refresh 1 → 2 is now LRU
+	e.Evaluate(ctx, ev, []float64{3}) // evicts 2
+	e.Evaluate(ctx, ev, []float64{1}) // still cached
+	e.Evaluate(ctx, ev, []float64{2}) // recompute
+	if got := ev.calls.Load(); got != 4 {
+		t.Fatalf("raw calls = %d, want 4 (points 1,2,3 + re-computed 2)", got)
+	}
+	st := e.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if e.CacheLen() != 2 {
+		t.Fatalf("cache len = %d, want 2", e.CacheLen())
+	}
+}
+
+func TestCacheKeyExactness(t *testing.T) {
+	// Distinct points and fingerprints must produce distinct keys, and
+	// negative zero must not alias zero away (bit encoding is exact).
+	keys := map[string]bool{
+		cacheKey("a", []float64{1, 2}):                 true,
+		cacheKey("a", []float64{2, 1}):                 true,
+		cacheKey("b", []float64{1, 2}):                 true,
+		cacheKey("a", []float64{1}):                    true,
+		cacheKey("a", []float64{math.Inf(1)}):          true,
+		cacheKey("a", []float64{math.Copysign(0, -1)}): true,
+		cacheKey("a", []float64{0}):                    true,
+	}
+	if len(keys) != 7 {
+		t.Fatalf("key collisions: %d distinct of 7", len(keys))
+	}
+}
+
+func TestSingleflightDeduplicates(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	ev := &countingEval{fp: "slow"}
+	ev.fn = func(p []float64) (float64, error) {
+		started <- struct{}{}
+		<-release
+		return p[0] * 10, nil
+	}
+	e := New(Options{Workers: 8})
+	ctx := context.Background()
+	const callers = 6
+	var wg sync.WaitGroup
+	results := make([]Outcome, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Do(ctx, ev, []float64{4})
+		}(i)
+	}
+	<-started // first computation is running
+	// Give the other callers a moment to park on the in-flight entry.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := ev.calls.Load(); got != 1 {
+		t.Fatalf("raw calls = %d, want 1 (singleflight)", got)
+	}
+	shared := 0
+	for _, o := range results {
+		if o.Err != nil || o.Value != 40 {
+			t.Fatalf("outcome = %+v", o)
+		}
+		if o.Shared {
+			shared++
+		}
+	}
+	if shared != callers-1 {
+		t.Fatalf("shared outcomes = %d, want %d", shared, callers-1)
+	}
+	if st := e.Stats(); st.Dedups != callers-1 {
+		t.Fatalf("dedups = %d, want %d", st.Dedups, callers-1)
+	}
+}
+
+func TestPanicIsolatedAndCounted(t *testing.T) {
+	ev := &countingEval{fp: "panicky"}
+	ev.fn = func(p []float64) (float64, error) { panic("boom") }
+	e := New(Options{Retry: robust.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond}})
+	o := e.Do(context.Background(), ev, []float64{1})
+	if o.Err == nil {
+		t.Fatal("panic swallowed")
+	}
+	var pe *robust.PanicError
+	if !errors.As(o.Err, &pe) {
+		t.Fatalf("err = %v, want PanicError", o.Err)
+	}
+	st := e.Stats()
+	if st.Panics != 2 || st.Retries != 1 || st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if e.CacheLen() != 0 {
+		t.Fatal("failed outcome was cached")
+	}
+}
+
+func TestTransientFailureRetriedThenCached(t *testing.T) {
+	var calls atomic.Int64
+	ev := &countingEval{fp: "flaky"}
+	ev.fn = func(p []float64) (float64, error) {
+		if calls.Add(1) < 3 {
+			return math.NaN(), errors.New("transient")
+		}
+		return 99, nil
+	}
+	e := New(Options{Retry: robust.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond}})
+	o := e.Do(context.Background(), ev, []float64{1})
+	if o.Err != nil || o.Value != 99 || o.Attempts != 3 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	// Second request: memoized, no further raw calls.
+	o2 := e.Do(context.Background(), ev, []float64{1})
+	if !o2.CacheHit || o2.Value != 99 {
+		t.Fatalf("outcome2 = %+v", o2)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("raw calls = %d", calls.Load())
+	}
+	if st := e.Stats(); st.Retries != 2 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCancelledRequestNotCached(t *testing.T) {
+	ev := &countingEval{fp: "blocky"}
+	ev.fn = func(p []float64) (float64, error) { return p[0], nil }
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(Options{})
+	o := e.Do(ctx, ev, []float64{5})
+	if !errors.Is(o.Err, context.Canceled) {
+		t.Fatalf("err = %v", o.Err)
+	}
+	if e.CacheLen() != 0 {
+		t.Fatal("cancelled outcome cached")
+	}
+	// A fresh context must still compute the value.
+	v, err := e.Evaluate(context.Background(), ev, []float64{5})
+	if err != nil || v != 5 {
+		t.Fatalf("post-cancel evaluate = %v, %v", v, err)
+	}
+}
+
+func TestInfeasibleInfIsCachedValue(t *testing.T) {
+	ev := &countingEval{fp: "inf"}
+	ev.fn = func(p []float64) (float64, error) { return math.Inf(1), nil }
+	e := New(Options{})
+	ctx := context.Background()
+	v1, err1 := e.Evaluate(ctx, ev, []float64{1})
+	v2, err2 := e.Evaluate(ctx, ev, []float64{1})
+	if err1 != nil || err2 != nil || !math.IsInf(v1, 1) || !math.IsInf(v2, 1) {
+		t.Fatalf("inf results: %v/%v %v/%v", v1, err1, v2, err2)
+	}
+	if ev.calls.Load() != 1 {
+		t.Fatalf("+Inf not memoized: %d calls", ev.calls.Load())
+	}
+}
+
+func TestEvaluateStreamCompletesAll(t *testing.T) {
+	ev := &countingEval{fp: "stream"}
+	e := New(Options{Workers: 4})
+	points := make([][]float64, 50)
+	for i := range points {
+		points[i] = []float64{float64(i)}
+	}
+	got := make([]float64, len(points))
+	seen := 0
+	err := e.EvaluateStream(context.Background(), ev, points, func(i int, o Outcome) {
+		if o.Err != nil {
+			t.Errorf("point %d: %v", i, o.Err)
+		}
+		got[i] = o.Value
+		seen++
+	})
+	if err != nil {
+		t.Fatalf("stream err = %v", err)
+	}
+	if seen != len(points) {
+		t.Fatalf("yielded %d of %d", seen, len(points))
+	}
+	for i := range points {
+		if got[i] != float64(i)*2 {
+			t.Fatalf("point %d = %v", i, got[i])
+		}
+	}
+}
+
+func TestStatsDeltaAndString(t *testing.T) {
+	ev := &countingEval{fp: "d"}
+	e := New(Options{})
+	ctx := context.Background()
+	e.Evaluate(ctx, ev, []float64{1})
+	s0 := e.Stats()
+	e.Evaluate(ctx, ev, []float64{1})
+	e.Evaluate(ctx, ev, []float64{2})
+	d := e.Stats().Delta(s0)
+	if d.Requests != 2 || d.Evaluations != 1 || d.CacheHits != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.String() == "" {
+		t.Fatal("empty stats string")
+	}
+	if hr := d.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v", hr)
+	}
+}

@@ -1,0 +1,57 @@
+package engine
+
+import "container/list"
+
+// lruCache is a classic map + doubly-linked-list LRU. It is not
+// goroutine-safe; the engine serializes access under its mutex.
+type lruCache struct {
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val float64
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached value and marks the entry most-recently used.
+func (c *lruCache) get(key string) (float64, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes an entry and reports whether another entry was
+// evicted to make room.
+func (c *lruCache) add(key string, val float64) (evicted bool) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return false
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		return true
+	}
+	return false
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/speedup"
 	"repro/internal/tablefmt"
@@ -37,6 +38,13 @@ type Fig12Data struct {
 	APSShareOfANN   float64
 	TruthBestCycles float64
 	APSBestCycles   float64
+	// TruthEngine and APSEngine expose the evaluation engines' counter
+	// deltas for the two phases (raw simulations, cache hits, retries).
+	// The phases run on separate engines on purpose: Fig. 12 compares
+	// cold simulation budgets, so APS must not be warmed by the truth
+	// sweep here.
+	TruthEngine engine.Stats
+	APSEngine   engine.Stats
 }
 
 // Fig12SimulationCounts runs the full §IV comparison on a design space
@@ -56,12 +64,20 @@ func Fig12SimulationCounts(sc Scale) (*tablefmt.Table, Fig12Data, error) {
 		return nil, Fig12Data{}, err
 	}
 
-	// Ground truth: the brute-force full sweep.
-	truth := dse.Sweep(context.Background(), eval, space, sc.Workers)
+	// Ground truth: the brute-force full sweep, metered by its own engine.
+	truthEng := engine.New(engine.Options{Workers: sc.Workers, CacheSize: sc.CacheSize})
+	truth, _, err := dse.SweepCtx(context.Background(), eval, space, nil,
+		dse.SweepOptions{Engine: truthEng})
+	if err != nil {
+		return nil, Fig12Data{}, err
+	}
 	_, trueBest := dse.Best(truth)
 
-	// APS.
-	apsRes, err := aps.Run(m, space, eval, aps.Options{
+	// APS on a fresh engine: the comparison needs APS's cold simulation
+	// budget, so the truth sweep's cache must not leak into it.
+	apsEng := engine.New(engine.Options{Workers: sc.Workers, CacheSize: sc.CacheSize})
+	apsRes, err := aps.RunCtx(context.Background(), m, space, eval, aps.Options{
+		Engine:   apsEng,
 		Workers:  sc.Workers,
 		Optimize: core.Options{MaxN: 64},
 	})
@@ -95,6 +111,8 @@ func Fig12SimulationCounts(sc Scale) (*tablefmt.Table, Fig12Data, error) {
 		ANNReachedAPS:   annErr == nil,
 		TruthBestCycles: trueBest,
 		APSBestCycles:   apsRes.BestValue,
+		TruthEngine:     truthEng.Stats(),
+		APSEngine:       apsRes.Engine,
 	}
 	if d.ANNSims > 0 {
 		d.APSShareOfANN = float64(d.APSSims) / float64(d.ANNSims)

@@ -15,6 +15,9 @@ type Scale struct {
 	WSBytes uint64
 	// Workers bounds sweep parallelism.
 	Workers int
+	// CacheSize bounds the evaluation engine's memo cache (0: engine
+	// default, <0: disable memoization).
+	CacheSize int
 	// Seed drives every deterministic generator.
 	Seed uint64
 }

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestRunWorkloadCountsValidation(t *testing.T) {
+	cfg := DefaultConfig(4)
+	ctx := context.Background()
+	if _, err := RunWorkloadCountsCtx(ctx, cfg, "stream", 1<<20, 2, []int{100, 100}, 7); err == nil {
+		t.Fatal("count/core mismatch accepted")
+	}
+	if _, err := RunWorkloadCountsCtx(ctx, cfg, "stream", 1<<20, 2, []int{100, -1, 100, 100}, 7); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestRunWorkloadCountsEvenSplitMatchesRunWorkload(t *testing.T) {
+	// An even refs slice must reproduce RunWorkloadCtx bit for bit: same
+	// per-core seeding, same traces, same result.
+	cfg := DefaultConfig(3)
+	ctx := context.Background()
+	a, err := RunWorkloadCtx(ctx, cfg, "stencil", 1<<20, 2, 1500, 7)
+	if err != nil {
+		t.Fatalf("RunWorkloadCtx: %v", err)
+	}
+	b, err := RunWorkloadCountsCtx(ctx, cfg, "stencil", 1<<20, 2, []int{1500, 1500, 1500}, 7)
+	if err != nil {
+		t.Fatalf("RunWorkloadCountsCtx: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("even split diverged from RunWorkloadCtx")
+	}
+}
+
+func TestRunWorkloadCountsUnevenTotalInvariance(t *testing.T) {
+	// The uneven-split form exists so a fixed workload total survives any
+	// core count; the simulated access count must equal the sum exactly,
+	// including zero-work cores.
+	cfg := DefaultConfig(4)
+	refs := []int{1001, 1000, 1000, 0}
+	res, err := RunWorkloadCountsCtx(context.Background(), cfg, "stream", 1<<20, 2, refs, 7)
+	if err != nil {
+		t.Fatalf("RunWorkloadCountsCtx: %v", err)
+	}
+	total := uint64(0)
+	for _, r := range refs {
+		total += uint64(r)
+	}
+	if res.MemAccesses != total {
+		t.Fatalf("MemAccesses = %d, want %d", res.MemAccesses, total)
+	}
+	if res.CoreStats[3].MemAccesses != 0 {
+		t.Fatalf("idle core simulated %d accesses", res.CoreStats[3].MemAccesses)
+	}
+}

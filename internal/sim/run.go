@@ -174,13 +174,32 @@ func RunWorkloadCtx(ctx context.Context, cfg Config, workload string, wsBytes ui
 	if refsPerCore < 1 {
 		return nil, fmt.Errorf("sim: refsPerCore %d below 1", refsPerCore)
 	}
+	refs := make([]int, cfg.Cores)
+	for i := range refs {
+		refs[i] = refsPerCore
+	}
+	return RunWorkloadCountsCtx(ctx, cfg, workload, wsBytes, meanGap, refs, seed)
+}
+
+// RunWorkloadCountsCtx runs refs[i] references of the named workload on
+// core i — the uneven-split form used when a fixed total workload is
+// distributed across cores without losing the remainder. A zero count
+// leaves that core idle; per-core generators stay seeded exactly as in
+// RunWorkloadCtx, so an even refs slice reproduces it bit for bit.
+func RunWorkloadCountsCtx(ctx context.Context, cfg Config, workload string, wsBytes uint64, meanGap float64, refs []int, seed uint64) (*Result, error) {
+	if len(refs) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d per-core reference counts for %d cores", len(refs), cfg.Cores)
+	}
 	traces := make([][]trace.Ref, cfg.Cores)
 	for i := range traces {
+		if refs[i] < 0 {
+			return nil, fmt.Errorf("sim: core %d has negative reference count %d", i, refs[i])
+		}
 		g, err := trace.ByName(workload, wsBytes, meanGap, seed+uint64(i)*0x9e37)
 		if err != nil {
 			return nil, err
 		}
-		traces[i] = trace.Take(g, refsPerCore)
+		traces[i] = trace.Take(g, refs[i])
 	}
 	return RunCtx(ctx, cfg, traces)
 }
