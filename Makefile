@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench bench-json figures figures-full examples cover clean
+.PHONY: all build vet lint test test-short race check bench bench-json figures figures-full examples cover fuzz-short clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis (see DESIGN.md §8): floatguard, errwrap,
+# ctxflow, enginepath and paramdomain over every package.
+lint:
+	$(GO) run ./cmd/c2vet ./...
 
 test:
 	$(GO) test ./...
@@ -21,8 +26,9 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The full pre-merge gate: build, vet, tests, and the race detector.
-check: build vet test race
+# The full pre-merge gate: build, vet, the c2vet analyzers, tests, and
+# the race detector.
+check: build vet lint test race
 
 # One iteration of every figure/table benchmark with its headline metric.
 bench:
@@ -49,7 +55,15 @@ examples:
 	$(GO) run ./examples/dse
 
 cover:
-	$(GO) test -short -cover ./internal/...
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# A quick shake of every fuzz target (one target per go test invocation).
+fuzz-short:
+	$(GO) test -run XXX -fuzz FuzzNewton1D -fuzztime 10s ./internal/solve
+	$(GO) test -run XXX -fuzz FuzzNelderMead -fuzztime 10s ./internal/solve
+	$(GO) test -run XXX -fuzz FuzzAnalyze -fuzztime 10s ./internal/camat
+	$(GO) test -run XXX -fuzz FuzzSerializeIdempotent -fuzztime 10s ./internal/camat
 
 clean:
 	$(GO) clean ./...

@@ -208,6 +208,7 @@ func NewSimEvaluator(cfg ChipConfig, workload string, wsBytes uint64, meanGap fl
 
 // SweepSpace brute-forces a space in parallel (the ground-truth path).
 func SweepSpace(e Evaluator, s DesignSpace, workers int) []float64 {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper; use dse.SweepCtx for cancellation
 	return dse.Sweep(context.Background(), e, s, workers)
 }
 

@@ -1,0 +1,94 @@
+// Command c2vet is the repository's domain-aware static-analysis suite:
+// a multichecker over the five analyzers under internal/analysis that
+// encode C²-Bound's cross-cutting invariants — floating-point hygiene
+// (floatguard), error-chain wrapping and no library panics (errwrap),
+// the cancellation contract (ctxflow), engine-routed evaluation
+// (enginepath) and documented parameter domains (paramdomain).
+//
+// Usage:
+//
+//	c2vet [-disable name[,name]] [-list] [packages]
+//
+// Packages default to ./..., findings print as file:line:col: [analyzer]
+// message, and the exit status is 1 when any finding survives the
+// `//lint:allow <analyzer> <reason>` suppressions. `make lint` (and CI)
+// run it alongside go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/enginepath"
+	"repro/internal/analysis/errwrap"
+	"repro/internal/analysis/floatguard"
+	"repro/internal/analysis/paramdomain"
+)
+
+// suite is every analyzer c2vet runs, in output order.
+var suite = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	enginepath.Analyzer,
+	errwrap.Analyzer,
+	floatguard.Analyzer,
+	paramdomain.Analyzer,
+}
+
+func main() {
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	skip := map[string]bool{}
+	for _, name := range strings.Split(*disable, ",") {
+		if name != "" {
+			skip[name] = true
+		}
+	}
+	var active []*analysis.Analyzer
+	for _, a := range suite {
+		if !skip[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(active, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	analysis.Print(os.Stdout, pkgs, diags)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "c2vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// fatal prints the error and exits with a status distinct from "findings
+// present", so CI can tell a broken run from a failing one.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "c2vet:", err)
+	os.Exit(2)
+}

@@ -69,8 +69,8 @@ func (pd *PhaseDetector) Observe(w WindowStats) bool {
 		return true
 	}
 	drift := func(now, ref float64) float64 {
-		if ref == 0 {
-			if now == 0 {
+		if ref == 0 { //lint:allow floatguard exact zero guards the division below
+			if now == 0 { //lint:allow floatguard exact zero distinguishes 0/0 from x/0
 				return 0
 			}
 			return math.Inf(1)

@@ -1,0 +1,106 @@
+// Package analysis is a self-contained static-analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, built only on the standard
+// library so the repository stays dependency-free. It provides
+//
+//   - the Analyzer / Pass / Diagnostic vocabulary shared by every
+//     domain-specific checker under internal/analysis/...,
+//   - an offline package loader (loader.go) that type-checks the module
+//     with export data obtained from `go list -export`, so no network or
+//     third-party importer is needed,
+//   - the `//lint:allow <analyzer> <reason>` suppression convention
+//     (suppress.go), applied uniformly by the driver and the fixture
+//     runner, and
+//   - a driver (run.go) used by cmd/c2vet to run every analyzer over the
+//     loaded packages and render findings as file:line:col diagnostics.
+//
+// Fixture-based tests for individual analyzers use the companion package
+// internal/analysis/analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named, documented check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression comments.
+	Name string
+	// Doc is a short description of what the analyzer enforces.
+	Doc string
+	// Run performs the check on one package and reports findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files are the package's parsed compilation units (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's fact tables for the files.
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos anchors the finding in the file set.
+	Pos token.Pos
+	// Message describes the violation and, ideally, the fix.
+	Message string
+	// Analyzer is the reporting analyzer's name (filled by the driver).
+	Analyzer string
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn
+// for each node; fn returning false prunes the subtree.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// IsFloat reports whether t's underlying type is a floating-point kind.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes (method or
+// package-level function), or nil for indirect calls through values,
+// builtins and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgCall reports whether call invokes the package-level function
+// pkgPath.name (e.g. "context".Background).
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,137 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only. A fixture lives under <testdata>/src/<pkg>/ and is type-checked
+// with the same offline export-data importer as the real driver, so it
+// may import both standard-library and repository packages.
+//
+// Expectation syntax: a comment anywhere on a line of the form
+//
+//	// want "first regexp" "second regexp"
+//
+// declares that the analyzer must report, on that line, one diagnostic
+// matching each regexp. Lines without a want comment must produce no
+// diagnostics. `//lint:allow` suppressions are honoured before matching,
+// so fixtures can also assert that a documented suppression silences a
+// finding (an allowed line simply carries no want comment).
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return dir
+}
+
+// wantRx extracts the quoted expectations from a want comment.
+var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one unmatched want on one line.
+type expectation struct {
+	rx   *regexp.Regexp
+	line int
+	file string
+}
+
+// Run loads <testdata>/src/<pkg>, runs the analyzer, applies the
+// suppression convention, and reports any mismatch between diagnostics
+// and want comments as test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	moduleDir := moduleRoot(t)
+	loaded, err := analysis.CheckFixtureDir(moduleDir, dir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	diags, err := analysis.RunPackage(a, loaded)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	diags = analysis.NewSuppressor(loaded.Fset, loaded.Files).Filter(diags)
+
+	expects := collectWants(t, loaded.Fset, loaded)
+	for _, d := range diags {
+		pos := loaded.Fset.Position(d.Pos)
+		if !match(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if e.rx != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
+// collectWants scans every comment of the fixture for want expectations.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRx.FindAllStringSubmatch(text[len("want "):], -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					out = append(out, &expectation{rx: rx, line: pos.Line, file: pos.Filename})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// match consumes the first unmatched expectation covering (file, line)
+// whose pattern matches msg.
+func match(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if e.rx != nil && e.line == pos.Line && e.file == pos.Filename && e.rx.MatchString(msg) {
+			e.rx = nil
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("analysistest: getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("analysistest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,102 @@
+// Package ctxflow enforces the cancellation contract from PR 1: every
+// long-running path is context-aware (`SweepCtx`, `RunCtx`,
+// `OptimizeCtx`, ...), so a library function that conjures its own
+// context.Background() silently detaches its callees from the caller's
+// deadline and cancel signal. The analyzer flags
+//
+//  1. context.Background() / context.TODO() in any non-main package —
+//     library code receives its context, it does not invent one (the
+//     deliberate non-ctx compat wrappers carry
+//     `//lint:allow ctxflow <reason>`),
+//  2. the aggravated form: a fresh context created inside a function
+//     that already has a context.Context parameter, and
+//  3. exported functions named *Ctx that do not take a context.Context —
+//     the suffix is the library's contract marker and must not lie.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background/TODO in library code and *Ctx functions without a context parameter",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxSuffix(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			hasCtx := hasContextParam(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, name := range []string{"Background", "TODO"} {
+					if analysis.IsPkgCall(pass.TypesInfo, call, "context", name) {
+						if hasCtx {
+							pass.Reportf(call.Pos(),
+								"context.%s inside a function that already receives a context.Context; thread the ctx parameter instead", name)
+						} else {
+							pass.Reportf(call.Pos(),
+								"context.%s detaches library code from the caller's cancellation; accept a context.Context (or suppress with a reason)", name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCtxSuffix flags exported *Ctx functions without a context
+// parameter.
+func checkCtxSuffix(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !fd.Name.IsExported() || !strings.HasSuffix(name, "Ctx") || len(name) == len("Ctx") {
+		return
+	}
+	if !hasContextParam(pass, fd) {
+		pass.Reportf(fd.Name.Pos(),
+			"exported %s carries the Ctx suffix but takes no context.Context; the suffix is the cancellation contract marker", name)
+	}
+}
+
+// hasContextParam reports whether fd declares a context.Context
+// parameter.
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,35 @@
+// Package flow is a ctxflow fixture: a library package, so the
+// Background/TODO and *Ctx-suffix rules both apply.
+package flow
+
+import "context"
+
+// SweepCtx lies about its cancellation contract.
+func SweepCtx(n int) int { // want "exported SweepCtx carries the Ctx suffix but takes no context.Context"
+	return n
+}
+
+// RunCtx honours the contract.
+func RunCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func detached() context.Context {
+	return context.Background() // want "context.Background detaches library code from the caller's cancellation"
+}
+
+func ignoresItsParameter(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO() // want "context.TODO inside a function that already receives a context.Context"
+}
+
+func compatWrapper() context.Context {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper for the fixture
+	return context.Background()
+}
+
+type small struct{}
+
+// ctxless is unexported, so the suffix rule ignores it.
+func (small) ctxlessCtx() {}

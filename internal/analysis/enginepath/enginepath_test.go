@@ -1,0 +1,12 @@
+package enginepath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/enginepath"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), enginepath.Analyzer, "dse")
+}

@@ -1,0 +1,40 @@
+// Package dse is an enginepath fixture; its name places it in the
+// analyzer's guarded-package set.
+package dse
+
+// Evaluator mirrors the exploration packages' evaluator interfaces.
+type Evaluator interface {
+	Evaluate(x float64) (float64, error)
+	EvaluateCtx(x float64) (float64, error)
+}
+
+// engine is a concrete evaluator standing in for internal/engine.
+type engine struct{}
+
+func (engine) Evaluate(x float64) (float64, error)    { return x, nil }
+func (engine) EvaluateCtx(x float64) (float64, error) { return x, nil }
+
+func bypasses(ev Evaluator) (float64, error) {
+	return ev.Evaluate(1) // want "Evaluate through the Evaluator interface bypasses internal/engine"
+}
+
+func bypassesCtx(ev Evaluator) (float64, error) {
+	return ev.EvaluateCtx(1) // want "EvaluateCtx through the Evaluator interface bypasses internal/engine"
+}
+
+func sanctionedConcrete(e engine) (float64, error) {
+	return e.Evaluate(1)
+}
+
+func sanctionedPointer(e *engine) (float64, error) {
+	return e.Evaluate(1)
+}
+
+func documentedAdapter(ev Evaluator) (float64, error) {
+	//lint:allow enginepath the fixture adapter is the engine's own entry bridge
+	return ev.Evaluate(2)
+}
+
+func otherMethodsAreFine(ev interface{ Reset() }) {
+	ev.Reset()
+}

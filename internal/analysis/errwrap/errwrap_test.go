@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errwrap"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errwrap.Analyzer, "wrap")
+}

@@ -1,0 +1,35 @@
+// Package wrap is an errwrap fixture: a library package (neither main
+// nor robust), so both the %w rule and the panic rule apply.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func cutsTheChain(err error) error {
+	return fmt.Errorf("analysis failed: %v", err) // want "error argument formatted without %w cuts the errors.Is/As chain"
+}
+
+func keepsTheChain(err error) error {
+	return fmt.Errorf("analysis failed: %w", err)
+}
+
+func noErrorArgIsFine(n int) error {
+	return fmt.Errorf("bad core count %d", n)
+}
+
+func libraryPanic() {
+	panic("invariant violated") // want "panic in library code defeats the robust/engine guard"
+}
+
+func documentedPanic() {
+	//lint:allow errwrap fixture exercises the deliberate-panic escape hatch
+	panic("by design")
+}
+
+func dynamicFormatIsFine(format string) error {
+	return fmt.Errorf(format, errBase)
+}

@@ -1,0 +1,159 @@
+// Package floatguard enforces the library's floating-point hygiene: the
+// C-AMAT / Sun-Ni quantities (Eq. 2 and 4 of the paper) are ratios of
+// measured cycle counts, so a NaN or Inf that escapes unvalidated
+// propagates through every downstream bound silently. The analyzer flags
+//
+//  1. `==` / `!=` between floating-point expressions (bit-exact equality
+//     is almost never the intended numeric predicate),
+//  2. comparisons against math.NaN(), which are vacuously false (use
+//     math.IsNaN), and
+//  3. exported float-returning functions in the numeric packages (camat,
+//     core, speedup) that call range-restricted math functions
+//     (Log/Sqrt/Pow/Exp/...) without any NaN/Inf validation in the same
+//     function body — the shared `finite`/`Validate*`/`math.IsNaN`
+//     helpers those packages already define.
+//
+// Intentional bit-exact comparisons (zero sentinels guarding a division,
+// IEEE-754 fixtures) carry `//lint:allow floatguard <reason>`.
+package floatguard
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floatguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatguard",
+	Doc:  "flag float equality, math.NaN() comparisons, and unvalidated range-restricted math in exported numeric APIs",
+	Run:  run,
+}
+
+// numericPackages are the packages whose exported float APIs must
+// validate range-restricted math results (rule 3).
+var numericPackages = map[string]bool{"camat": true, "core": true, "speedup": true}
+
+// riskyMath are math functions whose result is NaN or Inf on part of
+// their domain.
+var riskyMath = map[string]bool{
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Sqrt": true, "Pow": true, "Exp": true, "Expm1": true,
+	"Acos": true, "Asin": true, "Atanh": true,
+}
+
+// validators are math functions whose presence marks a function body as
+// NaN/Inf-aware.
+var validators = map[string]bool{"IsNaN": true, "IsInf": true}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			checkComparison(pass, be)
+		}
+		return true
+	})
+	if numericPackages[pass.Pkg.Name()] {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					checkValidation(pass, fd)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkComparison flags ==/!= on floats and any comparison with
+// math.NaN().
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if !be.Op.IsOperator() {
+		return
+	}
+	switch be.Op.String() {
+	case "==", "!=", "<", "<=", ">", ">=":
+	default:
+		return
+	}
+	for _, operand := range []ast.Expr{be.X, be.Y} {
+		if call, ok := ast.Unparen(operand).(*ast.CallExpr); ok &&
+			analysis.IsPkgCall(pass.TypesInfo, call, "math", "NaN") {
+			pass.Reportf(be.OpPos, "comparison with math.NaN() is always %v; use math.IsNaN",
+				be.Op.String() == "!=")
+			return
+		}
+	}
+	if be.Op.String() != "==" && be.Op.String() != "!=" {
+		return
+	}
+	tx, ty := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+	if tx.Type == nil || ty.Type == nil {
+		return
+	}
+	// A comparison with an untyped constant still has float static types
+	// on both sides after conversion, so checking both catches `x == 0`
+	// with x float64 while ignoring int comparisons.
+	if analysis.IsFloat(tx.Type) && analysis.IsFloat(ty.Type) {
+		pass.Reportf(be.OpPos,
+			"floating-point %s comparison; use an epsilon, math.Float64bits, or suppress with a reason", be.Op)
+	}
+}
+
+// checkValidation flags exported float-returning functions that use
+// range-restricted math with no NaN/Inf validation anywhere in the body.
+func checkValidation(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !fd.Name.IsExported() || !returnsFloat(pass, fd) {
+		return
+	}
+	var firstRisky *ast.CallExpr
+	riskyName := ""
+	validated := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		name := fn.Name()
+		if fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+			if validators[name] {
+				validated = true
+			} else if riskyMath[name] && firstRisky == nil {
+				firstRisky = call
+				riskyName = name
+			}
+			return true
+		}
+		// Any call into the package's own validation vocabulary counts:
+		// finite(), Validate*, CheckFeasible-style helpers.
+		lower := strings.ToLower(name)
+		if strings.Contains(lower, "finite") || strings.Contains(lower, "valid") || strings.Contains(lower, "check") {
+			validated = true
+		}
+		return true
+	})
+	if firstRisky != nil && !validated {
+		pass.Reportf(firstRisky.Pos(),
+			"math.%s result escapes exported %s without NaN/Inf validation; guard with math.IsNaN/IsInf or a package validation helper",
+			riskyName, fd.Name.Name)
+	}
+}
+
+// returnsFloat reports whether fd declares at least one floating-point
+// result.
+func returnsFloat(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && tv.Type != nil && analysis.IsFloat(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package floatguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatguard"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floatguard.Analyzer, "camat")
+}

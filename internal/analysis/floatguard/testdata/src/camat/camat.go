@@ -1,0 +1,67 @@
+// Package camat is a floatguard fixture; its name places it in the
+// analyzer's numeric-package set so the validation rule applies.
+package camat
+
+import "math"
+
+func equalFloats(a, b float64) bool {
+	return a == b // want "floating-point == comparison; use an epsilon"
+}
+
+func notEqualFloats(a, b float32) bool {
+	return a != b // want "floating-point != comparison; use an epsilon"
+}
+
+func vacuousNaN(x float64) bool {
+	return x == math.NaN() // want "comparison with math.NaN\(\) is always false; use math.IsNaN"
+}
+
+func orderedNaN(x float64) bool {
+	return x < math.NaN() // want "comparison with math.NaN\(\) is always false; use math.IsNaN"
+}
+
+func intComparisonIsFine(a, b int) bool {
+	return a == b
+}
+
+func orderedFloatsAreFine(a, b float64) bool {
+	return a < b
+}
+
+// Ratio lets a possible NaN escape an exported float API.
+func Ratio(x float64) float64 {
+	return math.Log(x) // want "math.Log result escapes exported Ratio without NaN/Inf validation"
+}
+
+// SafeRatio validates with math.IsNaN, so the risky call passes.
+func SafeRatio(x float64) float64 {
+	v := math.Log(x)
+	if math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+// CheckedRatio delegates validation to a package helper whose name marks
+// it as part of the validation vocabulary.
+func CheckedRatio(x float64) float64 {
+	return finiteOr(math.Sqrt(x), -1)
+}
+
+func finiteOr(v, fallback float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fallback
+	}
+	return v
+}
+
+func sentinel(x float64) float64 {
+	if x == 0 { //lint:allow floatguard exact zero is the unset-field sentinel
+		return 1
+	}
+	return x
+}
+
+func unexportedEscapeIsFine(x float64) float64 {
+	return math.Log2(x)
+}

@@ -1,0 +1,228 @@
+// Package paramdomain guards the model-parameter domains the paper's
+// equations assume: miss ratios, write fractions and injection
+// probabilities live in [0,1], rates are non-negative. A constant
+// assigned outside the documented domain is a bug that no test may
+// catch until a silently-wrong bound ships, so the analyzer rejects it
+// at vet time. Two sources define the domain:
+//
+//  1. doc comments — a struct field whose comment mentions
+//     "probability", "fraction" or "[0,1]" is a unit-interval field; a
+//     comment with the word "rate" marks a non-negative field (visible
+//     for same-package declarations, where the AST carries comments);
+//  2. a builtin table for the library's cross-package parameter structs
+//     (robust.FaultyEvaluator's injection probabilities, camat.Params'
+//     miss ratios), whose declarations other packages only see through
+//     export data.
+//
+// Flagged sites are keyed composite literals and field assignments with
+// out-of-domain constant values.
+package paramdomain
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the paramdomain check.
+var Analyzer = &analysis.Analyzer{
+	Name: "paramdomain",
+	Doc:  "flag constants outside the documented domain of probability/rate model parameters",
+	Run:  run,
+}
+
+// domain is a value range a parameter must respect.
+type domain int
+
+const (
+	unitInterval domain = iota // [0,1]
+	nonNegative                // [0,∞)
+)
+
+// String names the domain in diagnostics.
+func (d domain) String() string {
+	if d == unitInterval {
+		return "[0,1]"
+	}
+	return "[0,∞)"
+}
+
+// contains reports whether v lies in the domain.
+func (d domain) contains(v float64) bool {
+	if v < 0 {
+		return false
+	}
+	return d == nonNegative || v <= 1
+}
+
+// builtin lists cross-package parameter fields as pkgname.Type.Field.
+var builtin = map[string]domain{
+	"robust.FaultyEvaluator.PFail":  unitInterval,
+	"robust.FaultyEvaluator.PPanic": unitInterval,
+	"robust.FaultyEvaluator.PStall": unitInterval,
+	"camat.Params.MR":               unitInterval,
+	"camat.Params.PMR":              unitInterval,
+}
+
+var (
+	unitRx    = regexp.MustCompile(`(?i)probabilit|fraction|\[0, ?1\]`)
+	nonNegRx  = regexp.MustCompile(`(?i)\brates?\b`)
+	docDomain = func(text string) (domain, bool) {
+		switch {
+		case unitRx.MatchString(text):
+			return unitInterval, true
+		case nonNegRx.MatchString(text):
+			return nonNegative, true
+		}
+		return 0, false
+	}
+)
+
+func run(pass *analysis.Pass) error {
+	commented := collectCommented(pass)
+
+	// fieldDomain resolves the domain of a field object, if any.
+	fieldDomain := func(obj types.Object) (domain, bool) {
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return 0, false
+		}
+		if d, ok := commented[v]; ok {
+			return d, true
+		}
+		if v.Pkg() == nil {
+			return 0, false
+		}
+		// Builtin entries are keyed by the owning struct; scan the table
+		// by package and field name (small, exact-match table).
+		for key, d := range builtin {
+			if key == v.Pkg().Name()+"."+ownerName(pass, v)+"."+v.Name() {
+				return d, true
+			}
+		}
+		return 0, false
+	}
+
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[key]
+				if obj == nil {
+					continue
+				}
+				if d, ok := fieldDomain(obj); ok {
+					checkValue(pass, kv.Value, key.Name, d)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil {
+					continue
+				}
+				if d, ok := fieldDomain(obj); ok {
+					checkValue(pass, n.Rhs[i], sel.Sel.Name, d)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// collectCommented maps same-package struct fields to domains declared in
+// their doc or line comments.
+func collectCommented(pass *analysis.Pass) map[*types.Var]domain {
+	out := make(map[*types.Var]domain)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += " " + field.Comment.Text()
+				}
+				d, ok := docDomain(text)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = d
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ownerName returns the name of the named struct type declaring field v,
+// or "" when unknown.
+func ownerName(pass *analysis.Pass, v *types.Var) string {
+	// The field's position is inside its struct declaration; walking the
+	// package scope for a named struct containing exactly this field
+	// object identifies the owner without extra bookkeeping.
+	pkg := v.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// checkValue flags expr when it is a numeric constant outside d.
+func checkValue(pass *analysis.Pass, expr ast.Expr, field string, d domain) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil {
+		return
+	}
+	val := constant.ToFloat(tv.Value)
+	if val.Kind() != constant.Float {
+		return
+	}
+	v, _ := constant.Float64Val(val)
+	if !d.contains(v) {
+		pass.Reportf(expr.Pos(), "%s is documented as %s but gets constant %v", field, d, v)
+	}
+}

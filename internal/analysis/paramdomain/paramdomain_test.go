@@ -1,0 +1,12 @@
+package paramdomain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/paramdomain"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), paramdomain.Analyzer, "params")
+}

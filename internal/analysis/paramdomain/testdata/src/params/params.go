@@ -1,0 +1,56 @@
+// Package params is a paramdomain fixture exercising both domain
+// sources: comment-declared fields in this package and the builtin
+// cross-package table (camat.Params), which the fixture reaches by
+// importing the real repository package.
+package params
+
+import "repro/internal/camat"
+
+// Knobs carries documented model parameters.
+type Knobs struct {
+	// PDrop is the probability of dropping a sample, in [0,1].
+	PDrop float64
+	// Arrival is the request rate per cycle.
+	Arrival float64
+	// Label has no domain vocabulary in its comment.
+	Label float64
+}
+
+func outOfDomainLiteral() Knobs {
+	return Knobs{
+		PDrop:   1.5, // want "PDrop is documented as \[0,1\] but gets constant 1.5"
+		Arrival: 3,
+	}
+}
+
+func negativeRateLiteral() Knobs {
+	return Knobs{Arrival: -2} // want "Arrival is documented as \[0,∞\) but gets constant -2"
+}
+
+func outOfDomainAssign(k *Knobs) {
+	k.PDrop = 2 // want "PDrop is documented as \[0,1\] but gets constant 2"
+}
+
+func inDomainIsFine() Knobs {
+	k := Knobs{PDrop: 0.25, Arrival: 0}
+	k.PDrop = 1
+	k.Label = -40
+	return k
+}
+
+func builtinTableCatchesImports() camat.Params {
+	var p camat.Params
+	p.MR = 1.25 // want "MR is documented as \[0,1\] but gets constant 1.25"
+	return p
+}
+
+func documentedStressValue() camat.Params {
+	var p camat.Params
+	//lint:allow paramdomain deliberate out-of-range stress input for the fixture
+	p.PMR = 2
+	return p
+}
+
+func nonConstantIsFine(v float64) Knobs {
+	return Knobs{PDrop: v}
+}

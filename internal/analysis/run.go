@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RunPackage applies one analyzer to one loaded package and returns its
+// raw (unsuppressed) diagnostics, each stamped with the analyzer name.
+func RunPackage(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	return diags, nil
+}
+
+// Run applies every analyzer to every package, honours `//lint:allow`
+// suppressions, and returns the surviving diagnostics sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sup := NewSuppressor(pkg.Fset, pkg.Files)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			diags, err := RunPackage(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			pkgDiags = append(pkgDiags, diags...)
+		}
+		all = append(all, sup.Filter(pkgDiags)...)
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(all, func(i, j int) bool {
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return pi.Column < pj.Column
+		})
+	}
+	return all, nil
+}
+
+// Print renders diagnostics as file:line:col: [analyzer] message, one per
+// line, using the file set of the packages they came from.
+func Print(w io.Writer, pkgs []*Package, diags []Diagnostic) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowDirective is the suppression marker: a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it silences that
+// analyzer there. The reason is mandatory — an allow without a
+// justification is itself reported — so every suppression documents why
+// the invariant does not apply (e.g. a compat wrapper that must call
+// context.Background, or the fault injector whose panic is the feature).
+const AllowDirective = "//lint:allow"
+
+// allowKey locates one allow comment: the file and line it governs.
+type allowKey struct {
+	file string
+	line int
+}
+
+// Suppressor filters diagnostics against the allow comments of a file set.
+type Suppressor struct {
+	fset *token.FileSet
+	// allows maps (file, governed line) to the analyzer names allowed there.
+	allows map[allowKey]map[string]bool
+	// malformed collects allow comments with no reason, reported as
+	// diagnostics in their own right so suppressions cannot rot silently.
+	malformed []Diagnostic
+}
+
+// NewSuppressor scans the comments of files for allow directives. A
+// directive governs its own line and the line below it (so it works both
+// as a trailing comment and as a lead-in line above the flagged
+// statement).
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{fset: fset, allows: make(map[allowKey]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.scan(c)
+			}
+		}
+	}
+	return s
+}
+
+// scan parses one comment for an allow directive.
+func (s *Suppressor) scan(c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	if !strings.HasPrefix(text, AllowDirective) {
+		return
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, AllowDirective))
+	if len(fields) < 2 {
+		s.malformed = append(s.malformed, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: "lint",
+			Message:  "lint:allow needs an analyzer name and a reason: //lint:allow <analyzer> <reason>",
+		})
+		return
+	}
+	pos := s.fset.Position(c.Pos())
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		key := allowKey{file: pos.Filename, line: line}
+		if s.allows[key] == nil {
+			s.allows[key] = make(map[string]bool)
+		}
+		s.allows[key][fields[0]] = true
+	}
+}
+
+// Allowed reports whether the named analyzer is suppressed at pos.
+func (s *Suppressor) Allowed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	return s.allows[allowKey{file: p.Filename, line: p.Line}][analyzer]
+}
+
+// Filter drops suppressed diagnostics and appends one diagnostic per
+// malformed (reason-less) allow directive.
+func (s *Suppressor) Filter(diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !s.Allowed(d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, s.malformed...)
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() {
+	_ = 1 //lint:allow demo trailing-comment form
+	_ = 2
+	//lint:allow demo lead-in form governs the next line
+	_ = 3
+	_ = 4
+	//lint:allow demo
+	_ = 5
+}
+`
+
+func parseSuppressSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+// posAtLine fabricates a Pos on the given 1-based line of the parsed file.
+func posAtLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	return fset.File(f.Pos()).LineStart(line)
+}
+
+func TestSuppressorScopes(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	s := NewSuppressor(fset, []*ast.File{f})
+
+	cases := []struct {
+		line    int
+		allowed bool
+	}{
+		{4, true},  // trailing comment governs its own line
+		{5, true},  // ... and the line below it
+		{6, true},  // lead-in comment's own line
+		{7, true},  // line below the lead-in comment
+		{8, false}, // out of every directive's reach
+	}
+	for _, c := range cases {
+		if got := s.Allowed("demo", posAtLine(fset, f, c.line)); got != c.allowed {
+			t.Errorf("line %d: Allowed = %v, want %v", c.line, got, c.allowed)
+		}
+	}
+	if s.Allowed("other", posAtLine(fset, f, 4)) {
+		t.Error("directive for analyzer demo suppressed analyzer other")
+	}
+}
+
+func TestSuppressorFilterAndMalformed(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	s := NewSuppressor(fset, []*ast.File{f})
+
+	diags := []Diagnostic{
+		{Pos: posAtLine(fset, f, 4), Analyzer: "demo", Message: "suppressed"},
+		{Pos: posAtLine(fset, f, 8), Analyzer: "demo", Message: "kept"},
+		// Line 10 sits below the reason-less directive on line 9, which
+		// must NOT register an allow.
+		{Pos: posAtLine(fset, f, 10), Analyzer: "demo", Message: "kept too"},
+	}
+	got := s.Filter(diags)
+
+	var kept, malformed int
+	for _, d := range got {
+		if d.Analyzer == "lint" {
+			malformed++
+			if !strings.Contains(d.Message, "needs an analyzer name and a reason") {
+				t.Errorf("malformed-directive message: %q", d.Message)
+			}
+			continue
+		}
+		kept++
+		if d.Message == "suppressed" {
+			t.Error("allowed diagnostic survived Filter")
+		}
+	}
+	if kept != 2 {
+		t.Errorf("kept %d diagnostics, want 2", kept)
+	}
+	if malformed != 1 {
+		t.Errorf("reported %d malformed directives, want 1", malformed)
+	}
+}

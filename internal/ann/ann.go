@@ -95,7 +95,7 @@ func (n *Network) uniform() float64 {
 func (n *Network) normIn(x []float64, dst []float64) {
 	for i, v := range x {
 		span := n.inMax[i] - n.inMin[i]
-		if span == 0 {
+		if span == 0 { //lint:allow floatguard exact zero marks a degenerate (constant) input range
 			dst[i] = 0
 			continue
 		}
@@ -153,7 +153,7 @@ func (n *Network) Train(X [][]float64, y []float64) error {
 		}
 	}
 	outSpan := n.outMax - n.outMin
-	if outSpan == 0 {
+	if outSpan == 0 { //lint:allow floatguard exact zero marks a degenerate (constant) output range
 		outSpan = 1
 	}
 

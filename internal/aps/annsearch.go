@@ -83,6 +83,7 @@ func (s *ANNSearch) Run(targetErr float64) (ANNResult, error) {
 	simulate := func(idx int) float64 {
 		sims++
 		if s.Eval != nil {
+			//lint:allow enginepath the ANN baseline meters raw simulator invocations; memoization would distort the paper's Fig. 12 budget comparison
 			return s.Eval.Evaluate(s.Space.Point(idx))
 		}
 		return s.Truth[idx]

@@ -95,6 +95,7 @@ type Result struct {
 // simulator. The space must carry the six paper dimensions (dse.DimA0 …
 // dse.DimROB).
 func Run(m core.Model, space dse.Space, eval dse.Evaluator, opts Options) (Result, error) {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper over RunCtx
 	return RunCtx(context.Background(), m, space, dse.WithContext(eval), opts)
 }
 
@@ -265,7 +266,7 @@ func RelativeError(got float64, truth []float64) (float64, error) {
 	if idx < 0 {
 		return 0, fmt.Errorf("aps: ground truth has no finite entries")
 	}
-	if trueBest == 0 {
+	if trueBest == 0 { //lint:allow floatguard exact zero optimum would make the relative error undefined
 		return 0, fmt.Errorf("aps: degenerate ground-truth optimum 0")
 	}
 	return (got - trueBest) / trueBest, nil

@@ -47,7 +47,7 @@ func Characterize(opts CharacterizeOptions) (core.App, error) {
 	if opts.Cores <= 0 {
 		opts.Cores = 4
 	}
-	if opts.Fseq == 0 {
+	if opts.Fseq == 0 { //lint:allow floatguard exact zero is the unset-field sentinel
 		opts.Fseq = 0.05
 	}
 	if opts.MeanGap <= 0 {
@@ -104,7 +104,7 @@ func Characterize(opts CharacterizeOptions) (core.App, error) {
 	app.L2Miss = fitOrFlat(256, smallL2.L2Stats.MissRate(), 2048, base.L2Stats.MissRate())
 
 	order := opts.GOrder
-	if order == 0 {
+	if order == 0 { //lint:allow floatguard exact zero is the unset-field sentinel
 		order = defaultGOrder(opts.Workload)
 	}
 	app.G = speedup.PowerLaw(order)

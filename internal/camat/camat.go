@@ -57,11 +57,11 @@ func (p Params) AMAT() float64 { return p.H + p.MR*p.AMP }
 // corresponding term is needed; use Validate to check a Params first.
 func (p Params) CAMAT() float64 {
 	hit := 0.0
-	if p.H != 0 {
+	if p.H != 0 { //lint:allow floatguard exact zero guards the division by CH
 		hit = p.H / p.CH
 	}
 	miss := 0.0
-	if p.PMR != 0 && p.PAMP != 0 {
+	if p.PMR != 0 && p.PAMP != 0 { //lint:allow floatguard exact zeros guard the division by CM
 		miss = p.PMR * p.PAMP / p.CM
 	}
 	return hit + miss
@@ -72,7 +72,7 @@ func (p Params) CAMAT() float64 {
 // equals 1 exactly when accesses are serialized.
 func (p Params) Concurrency() float64 {
 	c := p.CAMAT()
-	if c == 0 {
+	if c == 0 { //lint:allow floatguard exact zero guards the division below
 		return 1
 	}
 	return p.AMAT() / c
@@ -82,7 +82,7 @@ func (p Params) Concurrency() float64 {
 // C-AMAT (Wang & Sun, IEEE ToC 2014; §V of the C²-Bound paper).
 func (p Params) APC() float64 {
 	c := p.CAMAT()
-	if c == 0 {
+	if c == 0 { //lint:allow floatguard exact zero guards the division below
 		return 0
 	}
 	return 1 / c

@@ -130,7 +130,7 @@ func (c Config) CPIExe(d Design) float64 { return c.Pollack.CPIExe(d.CoreArea) }
 // knee and keeps the objective smooth for the optimizer; the trace-driven
 // simulator models queueing exactly.
 func (c Config) LoadedMemLatency(demand float64) float64 {
-	if c.MemBandwidth <= 0 || c.QueueSensitivity == 0 || demand <= 0 {
+	if c.MemBandwidth <= 0 || c.QueueSensitivity == 0 || demand <= 0 { //lint:allow floatguard exact zero is the unset-field sentinel
 		return c.MemLatency
 	}
 	rho := demand / c.MemBandwidth
@@ -161,7 +161,7 @@ func (m MissRateCurve) At(sizeKB float64) float64 {
 		return capRate
 	}
 	r := m.Base
-	if m.RefKB > 0 && m.Alpha != 0 {
+	if m.RefKB > 0 && m.Alpha != 0 { //lint:allow floatguard exact zero is the unset-field sentinel
 		r = m.Base * math.Pow(sizeKB/m.RefKB, -m.Alpha)
 	}
 	if r < m.Floor {
@@ -178,7 +178,7 @@ func (m MissRateCurve) At(sizeKB float64) float64 {
 // It returns an error when the points cannot determine a nonincreasing
 // power law.
 func FitMissRate(size1, mr1, size2, mr2 float64) (MissRateCurve, error) {
-	if size1 <= 0 || size2 <= 0 || size1 == size2 || mr1 <= 0 || mr2 <= 0 {
+	if size1 <= 0 || size2 <= 0 || size1 == size2 || mr1 <= 0 || mr2 <= 0 { //lint:allow floatguard identical sizes make the log-ratio fit singular
 		return MissRateCurve{}, fmt.Errorf("chip: cannot fit miss-rate curve from (%v,%v),(%v,%v)", size1, mr1, size2, mr2)
 	}
 	alpha := -math.Log(mr2/mr1) / math.Log(size2/size1)

@@ -103,7 +103,7 @@ func (a App) WithConcurrency(c float64) App {
 // growthOrder returns the app's g(N) growth order, deriving it from G when
 // GOrder is unset.
 func (a App) growthOrder() float64 {
-	if a.GOrder != 0 {
+	if a.GOrder != 0 { //lint:allow floatguard exact zero is the unset-field sentinel
 		return a.GOrder
 	}
 	return speedup.GrowthOrder(a.G, 64)

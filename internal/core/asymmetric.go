@@ -279,5 +279,9 @@ func (m AsymModel) DynamicEval(d chip.Design) (float64, error) {
 	fseq := m.App.Fseq
 	seqTime := m.App.IC0 * seqCPI * fseq
 	parTime := m.App.IC0 * e.CPI * e.G * (1 - fseq) / float64(d.N)
-	return seqTime + parTime, nil
+	total := seqTime + parTime
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return 0, fmt.Errorf("core: dynamic-CMP time is not finite for %+v (seq=%v par=%v)", d, seqTime, parTime)
+	}
+	return total, nil
 }

@@ -216,7 +216,7 @@ func (m Model) ParetoFrontier(pm PowerModel, opts Options) ([]ParetoPoint, error
 	}
 	// Extract the non-dominated set.
 	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].Time != pts[j].Time {
+		if pts[i].Time != pts[j].Time { //lint:allow floatguard exact tie-break keeps the Pareto sort deterministic
 			return pts[i].Time < pts[j].Time
 		}
 		return pts[i].Energy < pts[j].Energy

@@ -68,7 +68,7 @@ func (m Model) TimeGeneralized(d chip.Design, profile []DOPPhase) (float64, erro
 		if deg > d.N {
 			deg = d.N
 		}
-		if ph.Fraction == 0 {
+		if ph.Fraction == 0 { //lint:allow floatguard exact zero skips empty phases
 			continue
 		}
 		g := 1.0

@@ -130,6 +130,7 @@ func (ec *evalCounter) time(d chip.Design) float64 {
 // search in the constrained subspace; the better of the two is returned
 // together with the solver label.
 func (m Model) OptimizeAreas(n int, opts Options) (chip.Design, string, int, error) {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper over the ctx-aware optimizer
 	return m.optimizeAreas(context.Background(), n, opts)
 }
 
@@ -241,6 +242,7 @@ func (m Model) solveKKT(n int, seed chip.Design, opts Options, ec *evalCounter) 
 // split at each N, and select by the regime rule of §III-C — minimum T
 // when g(N) < O(N), maximum W/T when g(N) ≥ O(N).
 func (m Model) Optimize(opts Options) (Result, error) {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper over OptimizeCtx
 	return m.OptimizeCtx(context.Background(), opts)
 }
 

@@ -110,15 +110,18 @@ func (d *Detector) LateRecords() uint64 { return d.lateRecords }
 // Observe implements the cpu.AccessObserver interface: it converts a cache
 // access result into a (start, hit-cycles, miss-penalty) record. The
 // simulator guarantees well-formed timings, so a malformed record here is
-// an internal invariant violation and panics.
-func (d *Detector) Observe(res cache.Result, hitLatency int) {
+// an internal invariant violation; it surfaces as a returned error (never
+// a panic), which the core propagates out of Step so the evaluation
+// engine's guard/retry machinery can handle it like any other fault.
+func (d *Detector) Observe(res cache.Result, hitLatency int) error {
 	penalty := res.Done - res.Start - int64(hitLatency)
 	if penalty < 0 {
 		penalty = 0
 	}
 	if err := d.Record(res.Start, hitLatency, penalty); err != nil {
-		panic(fmt.Sprintf("detector: simulator produced malformed timing: %v", err))
+		return fmt.Errorf("detector: simulator produced malformed timing: %w", err)
 	}
+	return nil
 }
 
 // Record registers one access: hit processing during

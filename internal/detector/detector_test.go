@@ -154,9 +154,13 @@ func TestMalformedRecordRejected(t *testing.T) {
 func TestObserveConvertsCacheResult(t *testing.T) {
 	d := New()
 	// A hit: start 10, done 13, hit latency 3 → no penalty.
-	d.Observe(cache.Result{Start: 10, Done: 13, Hit: true}, 3)
+	if err := d.Observe(cache.Result{Start: 10, Done: 13, Hit: true}, 3); err != nil {
+		t.Fatalf("Observe hit: %v", err)
+	}
 	// A miss: start 20, done 120 → penalty 97.
-	d.Observe(cache.Result{Start: 20, Done: 120, Hit: false}, 3)
+	if err := d.Observe(cache.Result{Start: 20, Done: 120, Hit: false}, 3); err != nil {
+		t.Fatalf("Observe miss: %v", err)
+	}
 	an := d.Finalize()
 	if an.Accesses != 2 || an.Misses != 1 {
 		t.Fatalf("analysis = %+v", an)
@@ -169,10 +173,26 @@ func TestObserveConvertsCacheResult(t *testing.T) {
 func TestObserveClampsNegativePenalty(t *testing.T) {
 	d := New()
 	// Done before start+hitLatency (merged miss returning early).
-	d.Observe(cache.Result{Start: 10, Done: 11}, 3)
+	if err := d.Observe(cache.Result{Start: 10, Done: 11}, 3); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
 	an := d.Finalize()
 	if an.Misses != 0 {
 		t.Fatalf("negative penalty counted as miss: %+v", an)
+	}
+}
+
+func TestObserveReturnsErrorNotPanic(t *testing.T) {
+	// A zero hit latency makes the record malformed (hitCycles must be
+	// positive); Observe must surface that as a returned, wrapped error —
+	// never a panic — and leave the detector untouched.
+	d := New()
+	err := d.Observe(cache.Result{Start: 10, Done: 20}, 0)
+	if err == nil {
+		t.Fatal("malformed timing accepted")
+	}
+	if an := d.Finalize(); an.Accesses != 0 {
+		t.Fatalf("rejected observation counted: %+v", an)
 	}
 }
 

@@ -158,6 +158,7 @@ func clampKB(kb float64) int {
 // swallowed error, which Best skips so a faulty run can never be selected
 // as the optimum.
 func (e *SimEvaluator) Evaluate(point []float64) float64 {
+	//lint:allow ctxflow the plain Evaluator interface carries no context by contract
 	v, err := e.EvaluateCtx(context.Background(), point)
 	if err != nil {
 		return math.NaN()

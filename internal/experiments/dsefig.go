@@ -51,8 +51,17 @@ type Fig12Data struct {
 // sized by sc: ground-truth brute-force sweep, APS, and the ANN baseline
 // driven to APS's error level. On sc.SpacePer = 10 this is the paper's
 // 10⁶-point experiment; the default reduced space preserves the ratios at
-// a laptop-friendly cost.
+// a laptop-friendly cost. Use Fig12SimulationCountsCtx to bound the
+// experiment with a deadline or cancel signal.
 func Fig12SimulationCounts(sc Scale) (*tablefmt.Table, Fig12Data, error) {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper over Fig12SimulationCountsCtx
+	return Fig12SimulationCountsCtx(context.Background(), sc)
+}
+
+// Fig12SimulationCountsCtx is Fig12SimulationCounts with cancellation:
+// both the ground-truth sweep and the APS run stop promptly when ctx is
+// cancelled or its deadline expires.
+func Fig12SimulationCountsCtx(ctx context.Context, sc Scale) (*tablefmt.Table, Fig12Data, error) {
 	sc.fill()
 	m := fluidanimateModel()
 	space, err := dse.ReducedSpace(m.Chip, sc.SpacePer)
@@ -66,7 +75,7 @@ func Fig12SimulationCounts(sc Scale) (*tablefmt.Table, Fig12Data, error) {
 
 	// Ground truth: the brute-force full sweep, metered by its own engine.
 	truthEng := engine.New(engine.Options{Workers: sc.Workers, CacheSize: sc.CacheSize})
-	truth, _, err := dse.SweepCtx(context.Background(), eval, space, nil,
+	truth, _, err := dse.SweepCtx(ctx, eval, space, nil,
 		dse.SweepOptions{Engine: truthEng})
 	if err != nil {
 		return nil, Fig12Data{}, err
@@ -76,7 +85,7 @@ func Fig12SimulationCounts(sc Scale) (*tablefmt.Table, Fig12Data, error) {
 	// APS on a fresh engine: the comparison needs APS's cold simulation
 	// budget, so the truth sweep's cache must not leak into it.
 	apsEng := engine.New(engine.Options{Workers: sc.Workers, CacheSize: sc.CacheSize})
-	apsRes, err := aps.RunCtx(context.Background(), m, space, eval, aps.Options{
+	apsRes, err := aps.RunCtx(ctx, m, space, eval, aps.Options{
 		Engine:   apsEng,
 		Workers:  sc.Workers,
 		Optimize: core.Options{MaxN: 64},

@@ -74,9 +74,12 @@ func (h *completionHeap) Pop() interface{} {
 }
 
 // AccessObserver receives the timing of every L1 access the core issues;
-// the C-AMAT detector implements it.
+// the C-AMAT detector implements it. A non-nil error marks a malformed
+// timing record — an internal invariant violation the core surfaces from
+// Step instead of panicking, so the engine's retry/guard machinery (and
+// not a crash) decides what happens to the run.
 type AccessObserver interface {
-	Observe(res cache.Result, hitLatency int)
+	Observe(res cache.Result, hitLatency int) error
 }
 
 // Core executes a reference stream against an L1 cache.
@@ -104,7 +107,7 @@ func NewCore(cfg Config, l1 *cache.Cache, obs AccessObserver) (*Core, error) {
 		return nil, fmt.Errorf("cpu: core needs an L1 cache")
 	}
 	cpi := cfg.ComputeCPI
-	if cpi == 0 {
+	if cpi == 0 { //lint:allow floatguard exact zero is the unset-field sentinel
 		cpi = 1
 	}
 	return &Core{cfg: cfg, l1: l1, obs: obs, computeCPI: cpi}, nil
@@ -124,7 +127,10 @@ func (c *Core) advanceIssue(n int, weight float64) {
 }
 
 // Step processes one memory reference (with its preceding compute gap).
-func (c *Core) Step(ref trace.Ref) {
+// The only error source is the observer rejecting a timing record, which
+// indicates a simulator invariant violation; the core's own state stays
+// consistent and the caller decides whether to abort the run.
+func (c *Core) Step(ref trace.Ref) error {
 	// Compute instructions before the reference.
 	gap := int(ref.Gap)
 	if gap > 0 {
@@ -155,8 +161,9 @@ func (c *Core) Step(ref trace.Ref) {
 	}
 
 	res := c.l1.AccessTimed(c.clock, ref.Addr, ref.Write)
+	var obsErr error
 	if c.obs != nil {
-		c.obs.Observe(res, c.l1.Config().HitLatency)
+		obsErr = c.obs.Observe(res, c.l1.Config().HitLatency)
 	}
 	heap.Push(&c.inflight, res.Done)
 	if len(c.inflight) > c.maxInFlightSeen {
@@ -166,6 +173,10 @@ func (c *Core) Step(ref trace.Ref) {
 	c.advanceIssue(1, 1)
 	c.stats.Instructions++
 	c.stats.MemAccesses++
+	if obsErr != nil {
+		return fmt.Errorf("cpu: access observer rejected timing record: %w", obsErr)
+	}
+	return nil
 }
 
 // Drain waits for all outstanding accesses and returns final statistics.

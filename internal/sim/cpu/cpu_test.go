@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/sim/cache"
@@ -156,9 +157,10 @@ type captureObserver struct {
 	lastDone int64
 }
 
-func (c *captureObserver) Observe(res cache.Result, hitLatency int) {
+func (c *captureObserver) Observe(res cache.Result, hitLatency int) error {
 	c.n++
 	c.lastDone = res.Done
+	return nil
 }
 
 func TestObserverSeesEveryAccess(t *testing.T) {
@@ -173,6 +175,29 @@ func TestObserverSeesEveryAccess(t *testing.T) {
 	}
 	if obs.lastDone <= 0 {
 		t.Fatal("observer got no completion times")
+	}
+}
+
+// failingObserver rejects every record, standing in for a detector that
+// spotted a malformed timing.
+type failingObserver struct{ err error }
+
+func (f *failingObserver) Observe(res cache.Result, hitLatency int) error { return f.err }
+
+func TestStepSurfacesObserverError(t *testing.T) {
+	sentinel := errors.New("malformed timing")
+	core := mustCore(t, DefaultConfig(), newL1(t, 8), &failingObserver{err: sentinel})
+	err := core.Step(trace.Ref{Addr: 0x40})
+	if err == nil {
+		t.Fatal("Step swallowed the observer error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Step error %v does not wrap the observer error", err)
+	}
+	// The core's own state must stay consistent: the access was issued.
+	st := core.Drain()
+	if st.MemAccesses != 1 {
+		t.Fatalf("mem accesses = %d, want 1", st.MemAccesses)
 	}
 }
 

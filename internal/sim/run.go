@@ -20,6 +20,7 @@ import (
 // in approximately arrival order. Run returns an error for invalid
 // configurations or a core count/trace count mismatch.
 func Run(cfg Config, traces [][]trace.Ref) (*Result, error) {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper over RunCtx
 	return RunCtx(context.Background(), cfg, traces)
 }
 
@@ -105,7 +106,9 @@ func RunCtx(ctx context.Context, cfg Config, traces [][]trace.Ref) (*Result, err
 				bestClock = cores[c].Clock()
 			}
 		}
-		cores[best].Step(traces[best][idx[best]])
+		if err := cores[best].Step(traces[best][idx[best]]); err != nil {
+			return nil, fmt.Errorf("sim: core %d at reference %d: %w", best, idx[best], err)
+		}
 		idx[best]++
 		remaining--
 		steps++
@@ -166,6 +169,7 @@ func RunCtx(ctx context.Context, cfg Config, traces [][]trace.Ref) (*Result, err
 // for the named workload (distinct seeds) and runs refsPerCore references
 // on each.
 func RunWorkload(cfg Config, workload string, wsBytes uint64, meanGap float64, refsPerCore int, seed uint64) (*Result, error) {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper over RunWorkloadCtx
 	return RunWorkloadCtx(context.Background(), cfg, workload, wsBytes, meanGap, refsPerCore, seed)
 }
 

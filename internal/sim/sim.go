@@ -108,11 +108,15 @@ type observerChain struct {
 	tracker *apc.Tracker
 }
 
-func (o *observerChain) Observe(res cache.Result, hitLatency int) {
+func (o *observerChain) Observe(res cache.Result, hitLatency int) error {
+	var firstErr error
 	for _, ob := range o.obs {
-		ob.Observe(res, hitLatency)
+		if err := ob.Observe(res, hitLatency); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	o.tracker.Add(res.Start, res.Done)
+	return firstErr
 }
 
 // Detector abstracts the per-core analyzer so callers can substitute their

@@ -1,0 +1,57 @@
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestConvergenceErrorUnwrapChain pins the error-chain contract the
+// robustness layer depends on: every non-convergence failure must satisfy
+// errors.Is(err, ErrNoConvergence) and expose its structured diagnostic
+// through errors.As — including after callers add their own %w layers.
+func TestConvergenceErrorUnwrapChain(t *testing.T) {
+	// A function with no root: Newton must exhaust its budget.
+	f := func(x float64) float64 { return x*x + 1 }
+	_, _, err := Newton1D(f, 3, 1e-12, 25)
+	if err == nil {
+		t.Fatal("Newton1D converged on a rootless function")
+	}
+
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("errors.Is(err, ErrNoConvergence) = false for %v", err)
+	}
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("errors.As failed to extract *ConvergenceError from %v", err)
+	}
+	if ce.Method != "newton1d" {
+		t.Fatalf("method = %q, want newton1d", ce.Method)
+	}
+	if ce.Iterations <= 0 || math.IsNaN(ce.Residual) {
+		t.Fatalf("diagnostic not populated: %+v", ce)
+	}
+
+	// One caller wrap layer must not cut the chain.
+	wrapped := fmt.Errorf("solving CPI fixed point: %w", err)
+	if !errors.Is(wrapped, ErrNoConvergence) {
+		t.Fatalf("wrapped error lost the ErrNoConvergence sentinel: %v", wrapped)
+	}
+	var ce2 *ConvergenceError
+	if !errors.As(wrapped, &ce2) || ce2 != ce {
+		t.Fatalf("wrapped error lost the structured diagnostic: %v", wrapped)
+	}
+	if got, ok := Diagnose(wrapped); !ok || got != ce {
+		t.Fatalf("Diagnose(wrapped) = %v, %v", got, ok)
+	}
+}
+
+func TestDiagnoseRejectsForeignErrors(t *testing.T) {
+	if _, ok := Diagnose(errors.New("unrelated")); ok {
+		t.Fatal("Diagnose extracted a diagnostic from a foreign error")
+	}
+	if _, ok := Diagnose(nil); ok {
+		t.Fatal("Diagnose extracted a diagnostic from nil")
+	}
+}

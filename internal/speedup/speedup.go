@@ -168,7 +168,14 @@ func GrowthOrder(g ScaleFunc, refN float64) float64 {
 	if !(glo > 0) || !(ghi > 0) {
 		return 0
 	}
-	return (math.Log(ghi) - math.Log(glo)) / (math.Log(hi) - math.Log(lo))
+	order := (math.Log(ghi) - math.Log(glo)) / (math.Log(hi) - math.Log(lo))
+	if math.IsNaN(order) || math.IsInf(order, 0) {
+		// A pathological scale function (overflowing or constant-zero
+		// slope at extreme refN) must not leak NaN/Inf into the regime
+		// classification; order 0 falls back to the sublinear branch.
+		return 0
+	}
+	return order
 }
 
 // Superlinear reports whether g grows at least linearly (g(N) ≥ O(N)) at

@@ -59,8 +59,8 @@ func Percentile(xs []float64, p float64) (float64, error) {
 
 // RelErr returns |got−want| / |want|; +Inf when want is 0 and got isn't.
 func RelErr(got, want float64) float64 {
-	if want == 0 {
-		if got == 0 {
+	if want == 0 { //lint:allow floatguard exact zero guards the division below
+		if got == 0 { //lint:allow floatguard exact zero distinguishes 0/0 from x/0
 			return 0
 		}
 		return math.Inf(1)
@@ -77,7 +77,7 @@ func MAPE(pred, ref []float64) (float64, error) {
 	var sum float64
 	n := 0
 	for i := range pred {
-		if ref[i] == 0 {
+		if ref[i] == 0 { //lint:allow floatguard exact zero references are excluded from MAPE by definition
 			continue
 		}
 		sum += math.Abs(pred[i]-ref[i]) / math.Abs(ref[i])
@@ -134,7 +134,7 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, len(xs))
 	for i := 0; i < len(sorted); {
 		j := i
-		for j < len(sorted) && sorted[j].v == sorted[i].v {
+		for j < len(sorted) && sorted[j].v == sorted[i].v { //lint:allow floatguard rank ties are bit-exact by definition
 			j++
 		}
 		avg := float64(i+j+1) / 2 // mean of 1-based ranks i+1..j
@@ -166,7 +166,7 @@ func Spearman(a, b []float64) (float64, error) {
 		va += da * da
 		vb += db * db
 	}
-	if va == 0 || vb == 0 {
+	if va == 0 || vb == 0 { //lint:allow floatguard exact zero variance marks constant ranks
 		return 0, fmt.Errorf("stats: Spearman with constant ranks")
 	}
 	return cov / math.Sqrt(va*vb), nil
