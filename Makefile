@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-json figures figures-full examples cover fuzz-short clean
+.PHONY: all build vet lint test test-short race check bench bench-json bench-obs figures figures-full examples cover fuzz-short clean
 
 all: build vet lint test
 
@@ -37,6 +37,11 @@ bench:
 # Engine throughput (cold vs warm memo cache) as JSON for trend tracking.
 bench-json:
 	$(GO) run ./cmd/enginebench -out BENCH_engine.json
+
+# Observability cost: the same benchmark with the tracer and metrics
+# registry disabled vs enabled, side by side (see DESIGN.md §9).
+bench-obs:
+	$(GO) run ./cmd/enginebench -per 5 -rounds 5 -obs BENCH_obs.json
 
 figures:
 	$(GO) run ./cmd/figures

@@ -3,7 +3,10 @@
 package c2bound_test
 
 import (
+	"bytes"
+	"context"
 	"math"
+	"strings"
 	"testing"
 
 	c2bound "repro"
@@ -141,20 +144,94 @@ func TestFacadeDSEAndAPS(t *testing.T) {
 	eval := c2bound.EvaluatorFunc(func(p []float64) float64 {
 		return 1000/p[3] + p[0] + 100/p[5] + 10/p[4] + 1/p[1] + 1/p[2]
 	})
-	values := c2bound.SweepSpace(eval, space, 2)
-	if len(values) != space.Size() {
-		t.Fatalf("sweep size = %d", len(values))
+	values, report, err := c2bound.Sweep(context.Background(), c2bound.AdaptEvaluator(eval), space, c2bound.WithWorkers(2))
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(values) != space.Size() || len(report.Completed) != space.Size() {
+		t.Fatalf("sweep size = %d, completed = %d", len(values), len(report.Completed))
+	}
+	// The deprecated wrapper must agree with the v2 path.
+	legacy := c2bound.SweepSpace(eval, space, 2)
+	for i := range values {
+		if values[i] != legacy[i] {
+			t.Fatalf("Sweep and SweepSpace disagree at %d: %v vs %v", i, values[i], legacy[i])
+		}
 	}
 	app := c2bound.FluidanimateApp()
 	app.G = c2bound.FixedSize()
 	app.GOrder = 0
 	m := c2bound.Model{Chip: chipCfg, App: app}
-	res, err := c2bound.RunAPS(m, space, eval, c2bound.APSOptions{Optimize: c2bound.OptimizeOptions{MaxN: 64}})
+	res, err := c2bound.RunAPS(context.Background(), m, space, c2bound.AdaptEvaluator(eval),
+		c2bound.WithOptimize(c2bound.OptimizeOptions{MaxN: 64}))
 	if err != nil {
 		t.Fatalf("RunAPS: %v", err)
 	}
 	if res.Simulations != 9 {
 		t.Fatalf("APS sims = %d, want 3x3", res.Simulations)
+	}
+}
+
+func TestFacadeV2Options(t *testing.T) {
+	chipCfg := c2bound.DefaultChip()
+	space, err := c2bound.ReducedSpace(chipCfg, 3)
+	if err != nil {
+		t.Fatalf("ReducedSpace: %v", err)
+	}
+	eval := c2bound.EvaluatorFunc(func(p []float64) float64 {
+		return 1000/p[3] + p[0] + 100/p[5] + 10/p[4] + 1/p[1] + 1/p[2]
+	})
+	app := c2bound.FluidanimateApp()
+	app.G = c2bound.FixedSize()
+	app.GOrder = 0
+	m := c2bound.Model{Chip: chipCfg, App: app}
+
+	tracer := c2bound.NewTracer(1 << 12)
+	metrics := c2bound.NewMetrics()
+	eng := c2bound.NewEngine(c2bound.EngineOptions{Workers: 2, Tracer: tracer, Metrics: metrics})
+	res, err := c2bound.RunAPS(context.Background(), m, space, c2bound.AdaptEvaluator(eval),
+		c2bound.WithEngine(eng),
+		c2bound.WithTracer(tracer),
+		c2bound.WithMetrics(metrics),
+		c2bound.WithOptimize(c2bound.OptimizeOptions{MaxN: 64}))
+	if err != nil {
+		t.Fatalf("RunAPS: %v", err)
+	}
+	if res.BestIdx < 0 {
+		t.Fatalf("no best point: %+v", res)
+	}
+
+	// The engine counters in the registry must match the engine's own
+	// stats, and the run must have produced the staged spans.
+	if got, want := metrics.Counter("engine_requests_total").Value(), eng.Stats().Requests; got != want {
+		t.Fatalf("engine_requests_total = %d, engine.Stats().Requests = %d", got, want)
+	}
+	names := map[string]bool{}
+	for _, sp := range tracer.Snapshot() {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"aps.run", "aps.optimize", "aps.grid-snap", "aps.slice", "dse.sweep", "engine.eval"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
+	}
+	var buf bytes.Buffer
+	if err := metrics.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "aps_runs_total 1") {
+		t.Fatalf("exposition missing aps_runs_total:\n%s", buf.String())
+	}
+
+	// Optimize v2 with a private caching engine.
+	optRes, err := c2bound.Optimize(context.Background(), m,
+		c2bound.WithCacheSize(1<<12),
+		c2bound.WithOptimize(c2bound.OptimizeOptions{MaxN: 64}))
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if optRes.Design.N < 1 {
+		t.Fatalf("degenerate optimize result %+v", optRes.Design)
 	}
 }
 

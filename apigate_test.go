@@ -1,0 +1,150 @@
+// The API surface gate: api.txt is the checked-in golden of the exported
+// façade, regenerated with `go test -run TestAPISurface -update-api .`,
+// and any unreviewed drift of the public API fails the build. The
+// surface is derived from the AST (bodies stripped, one normalized line
+// per exported declaration) so the golden is stable across toolchain
+// versions.
+package c2bound_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite api.txt from the current source")
+
+func TestAPISurface(t *testing.T) {
+	got, err := apiSurface(".")
+	if err != nil {
+		t.Fatalf("deriving the API surface: %v", err)
+	}
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatalf("writing api.txt: %v", err)
+		}
+		t.Logf("api.txt updated (%d lines)", strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("reading api.txt (regenerate with -update-api): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotSet := toSet(got)
+	wantSet := toSet(want)
+	for line := range wantSet {
+		if !gotSet[line] {
+			t.Errorf("removed from API: %s", line)
+		}
+	}
+	for line := range gotSet {
+		if !wantSet[line] {
+			t.Errorf("added to API (update api.txt if intended): %s", line)
+		}
+	}
+	if !t.Failed() {
+		t.Error("api.txt out of date (ordering changed); regenerate with -update-api")
+	}
+}
+
+func toSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if line != "" {
+			set[line] = true
+		}
+	}
+	return set
+}
+
+// apiSurface renders every exported package-level declaration of the
+// façade package in dir as one normalized line, sorted.
+func apiSurface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	pkg, ok := pkgs["c2bound"]
+	if !ok {
+		return "", fmt.Errorf("no c2bound package in %s (found %v)", dir, pkgs)
+	}
+	var lines []string
+	emit := func(node interface{}) error {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			return err
+		}
+		lines = append(lines, strings.Join(strings.Fields(buf.String()), " "))
+		return nil
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				fn := *d
+				fn.Doc = nil
+				fn.Body = nil
+				if err := emit(&fn); err != nil {
+					return "", err
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if !exportedSpec(spec) {
+						continue
+					}
+					one := &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{spec}}
+					if err := emit(one); err != nil {
+						return "", err
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// exportedRecv accepts plain functions and methods on exported types.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func exportedSpec(spec ast.Spec) bool {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		return s.Name.IsExported()
+	case *ast.ValueSpec:
+		for _, n := range s.Names {
+			if n.IsExported() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -207,14 +207,13 @@ func NewSimEvaluator(cfg ChipConfig, workload string, wsBytes uint64, meanGap fl
 }
 
 // SweepSpace brute-forces a space in parallel (the ground-truth path).
+//
+// Deprecated: use Sweep, the context-first form with retries,
+// checkpoint/resume and observability (adapt plain evaluators with
+// AdaptEvaluator).
 func SweepSpace(e Evaluator, s DesignSpace, workers int) []float64 {
-	//lint:allow ctxflow deliberate non-ctx convenience wrapper; use dse.SweepCtx for cancellation
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper; use Sweep for cancellation
 	return dse.Sweep(context.Background(), e, s, workers)
-}
-
-// RunAPS executes the Analysis-Plus-Simulation flow.
-func RunAPS(m Model, space DesignSpace, eval Evaluator, opts APSOptions) (APSResult, error) {
-	return aps.Run(m, space, eval, opts)
 }
 
 // Resilient exploration (cancellation, retries, checkpoint/resume).
@@ -262,13 +261,18 @@ func AdaptEvaluator(e Evaluator) CtxEvaluator { return dse.WithContext(e) }
 // SweepSpaceCtx is SweepSpace with cancellation, deadlines, retries,
 // panic isolation and optional checkpoint/resume. Partial results and
 // the report are valid even when the returned error is non-nil.
+//
+// Deprecated: use Sweep, the functional-options form of the same call.
 func SweepSpaceCtx(ctx context.Context, e CtxEvaluator, s DesignSpace, opts SweepOptions) ([]float64, SweepReport, error) {
 	return dse.SweepCtx(ctx, e, s, nil, opts)
 }
 
-// RunAPSCtx is RunAPS with the same resilience guarantees: cancellation
-// propagates into the analytic scan and every simulator invocation, and
-// the simulated slice retries transient failures per opts.Sweep.Retry.
+// RunAPSCtx executes the Analysis-Plus-Simulation flow with struct
+// options: cancellation propagates into the analytic scan and every
+// simulator invocation, and the simulated slice retries transient
+// failures per opts.Sweep.Retry.
+//
+// Deprecated: use RunAPS, the functional-options form of the same call.
 func RunAPSCtx(ctx context.Context, m Model, space DesignSpace, eval CtxEvaluator, opts APSOptions) (APSResult, error) {
 	return aps.RunCtx(ctx, m, space, eval, opts)
 }

@@ -9,7 +9,14 @@
 //
 //	aps [-workload name] [-ws bytes] [-refs n] [-per k] [-fseq f]
 //	    [-radius r] [-truth] [-timeout d] [-checkpoint file] [-resume]
-//	    [-workers n] [-cache n]
+//	    [-workers n] [-cache n] [-trace out.json] [-metrics]
+//	    [-cpuprofile out.pprof]
+//
+// Observability: -trace writes a Chrome trace_event JSON of the run's
+// span hierarchy (load it in chrome://tracing or Perfetto), -metrics
+// prints the metrics registry snapshot on exit (its engine_* counters
+// match the engine statistics line exactly), and -cpuprofile records a
+// pprof CPU profile.
 //
 // With -truth the full design space is also swept to ground-truth the APS
 // design (expensive: per^6 simulations). -timeout bounds the whole run;
@@ -39,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -54,10 +62,49 @@ func main() {
 	resume := flag.Bool("resume", false, "skip configurations already recorded in -checkpoint")
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "engine memo-cache capacity (0 = default, negative = disable)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	metricsOut := flag.Bool("metrics", false, "print the metrics registry snapshot on exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		ctx = obs.ContextWithTracer(ctx, tracer)
+		defer func() {
+			if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+				log.Printf("trace: %v", err)
+				return
+			}
+			fmt.Printf("trace: %d spans written to %s (%d dropped)\n",
+				tracer.Len(), *traceOut, tracer.Dropped())
+		}()
+	}
+	var metrics *obs.Registry
+	if *metricsOut {
+		metrics = obs.NewRegistry()
+		ctx = obs.ContextWithMetrics(ctx, metrics)
+		defer func() {
+			fmt.Println("\nmetrics:")
+			if err := metrics.WriteText(os.Stdout); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		}()
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -71,7 +118,7 @@ func main() {
 
 	// Step 1: characterization (Fig. 6 lines 1-3).
 	fmt.Printf("[1/3] characterizing %q with the C-AMAT detector...\n", *workload)
-	app, err := aps.Characterize(aps.CharacterizeOptions{
+	app, err := aps.CharacterizeCtx(ctx, aps.CharacterizeOptions{
 		Workload: *workload, WSBytes: *ws, Refs: *refs, Fseq: *fseq, Seed: 17,
 	})
 	if err != nil {
@@ -98,7 +145,7 @@ func main() {
 
 	// One engine for the whole command: APS and the optional truth sweep
 	// share its cache, so -truth never re-simulates the APS slice.
-	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize, Tracer: tracer, Metrics: metrics})
 	defer func() { fmt.Println(eng.Stats()) }()
 
 	// Steps 2-3: analytic optimization + simulated slice.

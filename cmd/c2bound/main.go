@@ -8,7 +8,12 @@
 //	c2bound [-app fluidanimate|tmm|stencil|fft] [-area mm2] [-fseq f]
 //	        [-fmem f] [-conc C] [-gorder b] [-maxn n] [-timeout d]
 //	        [-sweep per] [-checkpoint file] [-resume]
-//	        [-workers n] [-cache n]
+//	        [-workers n] [-cache n] [-trace out.json] [-metrics]
+//	        [-cpuprofile out.pprof]
+//
+// Observability: -trace writes a Chrome trace_event JSON of the run's
+// span hierarchy, -metrics prints the metrics registry snapshot on exit,
+// and -cpuprofile records a pprof CPU profile.
 //
 // Flags override the preset profile's fields, so one command answers
 // "what if this application had concurrency 8?" style questions.
@@ -35,6 +40,7 @@ import (
 
 	c2bound "repro"
 	"repro/internal/dse"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -51,10 +57,49 @@ func main() {
 	resume := flag.Bool("resume", false, "skip points already recorded in -checkpoint")
 	workers := flag.Int("workers", 0, "evaluation parallelism (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "engine memo-cache capacity (0 = default, negative = disable)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	metricsOut := flag.Bool("metrics", false, "print the metrics registry snapshot on exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var tracer *c2bound.Tracer
+	if *traceOut != "" {
+		tracer = c2bound.NewTracer(0)
+		ctx = obs.ContextWithTracer(ctx, tracer)
+		defer func() {
+			if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+				log.Printf("trace: %v", err)
+				return
+			}
+			fmt.Printf("trace: %d spans written to %s (%d dropped)\n",
+				tracer.Len(), *traceOut, tracer.Dropped())
+		}()
+	}
+	var metrics *c2bound.Metrics
+	if *metricsOut {
+		metrics = c2bound.NewMetrics()
+		ctx = obs.ContextWithMetrics(ctx, metrics)
+		defer func() {
+			fmt.Println("\nmetrics:")
+			if err := metrics.WriteText(os.Stdout); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		}()
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -100,11 +145,17 @@ func main() {
 
 	// One engine serves the optimizer and the optional sweep: objective
 	// probes and sweep points share its memo cache and worker pool.
-	eng := c2bound.NewEngine(c2bound.EngineOptions{Workers: *workers, CacheSize: *cacheSize})
+	eng := c2bound.NewEngine(c2bound.EngineOptions{
+		Workers: *workers, CacheSize: *cacheSize, Tracer: tracer, Metrics: metrics,
+	})
 	defer func() { fmt.Println(eng.Stats()) }()
 
 	m := c2bound.Model{Chip: cfg, App: app}
-	res, err := m.OptimizeCtx(ctx, c2bound.OptimizeOptions{MaxN: *maxn, Engine: eng})
+	res, err := c2bound.Optimize(ctx, m,
+		c2bound.WithEngine(eng),
+		c2bound.WithTracer(tracer),
+		c2bound.WithMetrics(metrics),
+		c2bound.WithOptimize(c2bound.OptimizeOptions{MaxN: *maxn}))
 	if err != nil {
 		log.Fatalf("optimize: %v", err)
 	}

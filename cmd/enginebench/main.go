@@ -8,6 +8,18 @@
 // Usage:
 //
 //	enginebench [-out file] [-per k] [-rounds n] [-workers n]
+//	            [-obs file] [-trace out.json] [-metrics]
+//	            [-cpuprofile out.pprof]
+//
+// With -obs the command instead runs the benchmark twice — once with
+// observability disabled (nil tracer and registry) and once with a live
+// tracer and metrics registry attached — and writes both reports plus
+// the relative overhead to the given JSON file. This is the
+// "observability is near-free when off" acceptance measurement.
+//
+// Observability of the benchmark itself: -trace writes a Chrome
+// trace_event JSON of the run, -metrics prints the registry snapshot on
+// exit, and -cpuprofile records a pprof CPU profile.
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // report is the JSON document written to -out.
@@ -37,21 +50,87 @@ type report struct {
 	Warm         engine.Stats `json:"warm_stats"`
 }
 
+// obsReport is the JSON document written by -obs: the same benchmark run
+// with observability off and on, and the relative cost of turning it on.
+type obsReport struct {
+	Disabled        report  `json:"disabled"`
+	Enabled         report  `json:"enabled"`
+	ColdOverheadPct float64 `json:"cold_overhead_pct"`
+	WarmOverheadPct float64 `json:"warm_overhead_pct"`
+	Spans           uint64  `json:"spans_recorded"`
+	SpansDropped    uint64  `json:"spans_dropped"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_engine.json", "output JSON path")
 	per := flag.Int("per", 4, "design-space values per dimension")
 	rounds := flag.Int("rounds", 3, "warm passes over the space")
 	workers := flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
+	obsOut := flag.String("obs", "", "run disabled-vs-enabled observability comparison and write it to this JSON file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	metricsOut := flag.Bool("metrics", false, "print the metrics registry snapshot on exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		}()
+	}
+
+	if *obsOut != "" {
+		runCompare(*obsOut, *per, *rounds, *workers)
+		return
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		defer func() {
+			if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+				log.Printf("trace: %v", err)
+				return
+			}
+			fmt.Printf("trace: %d spans written to %s (%d dropped)\n",
+				tracer.Len(), *traceOut, tracer.Dropped())
+		}()
+	}
+	var metrics *obs.Registry
+	if *metricsOut {
+		metrics = obs.NewRegistry()
+		defer func() {
+			fmt.Println("\nmetrics:")
+			if err := metrics.WriteText(os.Stdout); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+
+	rep := runBench(*per, *rounds, *workers, tracer, metrics)
+	writeJSON(*out, rep)
+	fmt.Printf("cold: %.0f evals/s, warm: %.0f evals/s (%.1fx), %s → %s\n",
+		rep.ColdEvalsSec, rep.WarmEvalsSec, rep.Speedup, rep.Warm, *out)
+}
+
+// runBench runs one cold pass and -rounds warm passes on a fresh engine
+// carrying the given (possibly nil) tracer and registry.
+func runBench(per, rounds, workers int, tracer *obs.Tracer, metrics *obs.Registry) report {
 	m := core.Model{Chip: chip.DefaultConfig(), App: core.FluidanimateApp()}
-	space, err := dse.ReducedSpace(m.Chip, *per)
+	space, err := dse.ReducedSpace(m.Chip, per)
 	if err != nil {
 		log.Fatalf("space: %v", err)
 	}
 	eval := &dse.ModelEvaluator{Model: m}
-	eng := engine.New(engine.Options{Workers: *workers})
+	eng := engine.New(engine.Options{Workers: workers, Tracer: tracer, Metrics: metrics})
 	ctx := context.Background()
+	ctx = obs.ContextWithTracer(ctx, tracer)
+	ctx = obs.ContextWithMetrics(ctx, metrics)
 
 	sweep := func() {
 		if _, _, err := dse.SweepCtx(ctx, eval, space, nil, dse.SweepOptions{Engine: eng}); err != nil {
@@ -67,7 +146,7 @@ func main() {
 
 	// Warm passes: the same points, served from cache.
 	start = time.Now()
-	for i := 0; i < *rounds; i++ {
+	for i := 0; i < rounds; i++ {
 		sweep()
 	}
 	warmDur := time.Since(start)
@@ -75,25 +154,57 @@ func main() {
 
 	rep := report{
 		Space:        space.Size(),
-		Rounds:       *rounds,
+		Rounds:       rounds,
 		Workers:      eng.Workers(),
 		ColdEvalsSec: float64(space.Size()) / coldDur.Seconds(),
-		WarmEvalsSec: float64(space.Size()**rounds) / warmDur.Seconds(),
+		WarmEvalsSec: float64(space.Size()*rounds) / warmDur.Seconds(),
 		Cold:         coldStats,
 		Warm:         warmStats,
 	}
 	if rep.ColdEvalsSec > 0 {
 		rep.Speedup = rep.WarmEvalsSec / rep.ColdEvalsSec
 	}
+	return rep
+}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+// runCompare measures the cost of observability: the same benchmark with
+// tracer and registry nil, then live, reported side by side.
+func runCompare(out string, per, rounds, workers int) {
+	fmt.Println("pass 1/2: observability disabled (nil tracer, nil registry)...")
+	disabled := runBench(per, rounds, workers, nil, nil)
+
+	fmt.Println("pass 2/2: observability enabled (live tracer + registry)...")
+	tracer := obs.NewTracer(0)
+	metrics := obs.NewRegistry()
+	enabled := runBench(per, rounds, workers, tracer, metrics)
+
+	cmp := obsReport{
+		Disabled:     disabled,
+		Enabled:      enabled,
+		Spans:        tracer.Recorded(),
+		SpansDropped: tracer.Dropped(),
+	}
+	if enabled.ColdEvalsSec > 0 {
+		cmp.ColdOverheadPct = 100 * (disabled.ColdEvalsSec/enabled.ColdEvalsSec - 1)
+	}
+	if enabled.WarmEvalsSec > 0 {
+		cmp.WarmOverheadPct = 100 * (disabled.WarmEvalsSec/enabled.WarmEvalsSec - 1)
+	}
+	writeJSON(out, cmp)
+	fmt.Printf("disabled: cold %.0f, warm %.0f evals/s\n", disabled.ColdEvalsSec, disabled.WarmEvalsSec)
+	fmt.Printf("enabled : cold %.0f, warm %.0f evals/s (%d spans, %d dropped)\n",
+		enabled.ColdEvalsSec, enabled.WarmEvalsSec, cmp.Spans, cmp.SpansDropped)
+	fmt.Printf("overhead: cold %+.1f%%, warm %+.1f%% → %s\n", cmp.ColdOverheadPct, cmp.WarmOverheadPct, out)
+}
+
+// writeJSON marshals v with indentation and writes it to path.
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		log.Fatalf("marshal: %v", err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatalf("write %s: %v", *out, err)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
 	}
-	fmt.Printf("cold: %.0f evals/s, warm: %.0f evals/s (%.1fx), %s → %s\n",
-		rep.ColdEvalsSec, rep.WarmEvalsSec, rep.Speedup, warmStats, *out)
 }

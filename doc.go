@@ -18,9 +18,10 @@
 //	an, _ := c2bound.Analyze(c2bound.Fig1Trace())
 //	fmt.Println(an.Params().CAMAT()) // 1.6
 //
-//	// Solve the C²-Bound optimization for an application profile.
+//	// Solve the C²-Bound optimization for an application profile
+//	// (context-first v2 API; options attach engines and observability).
 //	m := c2bound.Model{Chip: c2bound.DefaultChip(), App: c2bound.FluidanimateApp()}
-//	res, _ := m.Optimize(c2bound.OptimizeOptions{})
+//	res, _ := c2bound.Optimize(ctx, m)
 //	fmt.Println(res.Design, res.Regime)
 //
 //	// Run the many-core simulator and read back measured C-AMAT/APC.

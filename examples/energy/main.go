@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,8 @@ func main() {
 	m := c2bound.Model{Chip: c2bound.DefaultChip(), App: app}
 	pm := c2bound.DefaultPowerModel()
 
-	timeRes, err := m.Optimize(c2bound.OptimizeOptions{MaxN: 64})
+	timeRes, err := c2bound.Optimize(context.Background(), m,
+		c2bound.WithOptimize(c2bound.OptimizeOptions{MaxN: 64}))
 	if err != nil {
 		log.Fatalf("time optimize: %v", err)
 	}

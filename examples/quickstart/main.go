@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. C-AMAT on the paper's five-access demonstration trace.
 	an, err := c2bound.Analyze(c2bound.Fig1Trace())
 	if err != nil {
@@ -25,9 +27,9 @@ func main() {
 	fmt.Printf("C_H=%.2f C_M=%.2f pMR=%.2f pAMP=%.2f\n\n", p.CH, p.CM, p.PMR, p.PAMP)
 
 	// 2. Solve the C²-Bound design optimization for a fluidanimate-like
-	// application on a 400 mm² chip.
+	// application on a 400 mm² chip (the context-first v2 entry point).
 	m := c2bound.Model{Chip: c2bound.DefaultChip(), App: c2bound.FluidanimateApp()}
-	res, err := m.Optimize(c2bound.OptimizeOptions{})
+	res, err := c2bound.Optimize(ctx, m)
 	if err != nil {
 		log.Fatalf("optimize: %v", err)
 	}

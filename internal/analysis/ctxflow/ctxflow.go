@@ -11,7 +11,11 @@
 //  2. the aggravated form: a fresh context created inside a function
 //     that already has a context.Context parameter, and
 //  3. exported functions named *Ctx that do not take a context.Context —
-//     the suffix is the library's contract marker and must not lie.
+//     the suffix is the library's contract marker and must not lie, and
+//  4. in the public façade package only: a new exported entry point that
+//     wraps a context-aware callee but neither takes a context.Context
+//     itself nor carries a `// Deprecated:` marker — the v2 façade is
+//     context-first, and grandfathered wrappers must say so.
 package ctxflow
 
 import (
@@ -33,6 +37,7 @@ func run(pass *analysis.Pass) error {
 	if pass.Pkg.Name() == "main" {
 		return nil
 	}
+	facade := pass.Pkg.Path() == "repro" || pass.Pkg.Name() == "c2bound"
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -40,6 +45,9 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			checkCtxSuffix(pass, fd)
+			if facade {
+				checkFacadeEntry(pass, fd)
+			}
 			if fd.Body == nil {
 				continue
 			}
@@ -78,6 +86,69 @@ func checkCtxSuffix(pass *analysis.Pass, fd *ast.FuncDecl) {
 		pass.Reportf(fd.Name.Pos(),
 			"exported %s carries the Ctx suffix but takes no context.Context; the suffix is the cancellation contract marker", name)
 	}
+}
+
+// checkFacadeEntry flags exported façade functions that delegate to a
+// context-aware callee without being context-first themselves and
+// without the // Deprecated: marker that grandfathers the v1 wrappers.
+func checkFacadeEntry(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Recv != nil || fd.Body == nil {
+		return
+	}
+	if hasContextParam(pass, fd) || isDeprecated(fd.Doc) {
+		return
+	}
+	var callee *types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if callee != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && takesContext(fn) {
+			callee = fn
+			return false
+		}
+		return true
+	})
+	if callee != nil {
+		pass.Reportf(fd.Name.Pos(),
+			"exported façade function %s wraps the context-aware %s but neither takes a context.Context nor carries a // Deprecated: marker; v2 façade entry points are context-first",
+			fd.Name.Name, callee.Name())
+	}
+}
+
+// isDeprecated reports whether a doc comment carries the standard
+// "Deprecated:" paragraph marker.
+func isDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// takesContext reports whether fn's signature has a context.Context
+// parameter.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
 }
 
 // hasContextParam reports whether fd declares a context.Context

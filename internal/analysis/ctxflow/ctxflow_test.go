@@ -10,3 +10,7 @@ import (
 func TestFixture(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "flow")
 }
+
+func TestFacadeFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "facade")
+}

@@ -1,0 +1,35 @@
+// Package c2bound is a ctxflow fixture for the façade entry-point rule:
+// the package name triggers façade mode, where exported functions that
+// wrap context-aware callees must be context-first or deprecated.
+package c2bound
+
+import "context"
+
+// bg lives at package level so the body-scoped Background check stays
+// out of the way of the façade rule under test.
+var bg = context.Background()
+
+func sweepCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Sweep wraps a context-aware callee but hides the context.
+func Sweep(n int) int { // want "exported façade function Sweep wraps the context-aware sweepCtx"
+	return sweepCtx(bg, n)
+}
+
+// SweepLegacy is the grandfathered v1 form.
+//
+// Deprecated: use a context-first entry point.
+func SweepLegacy(n int) int {
+	return sweepCtx(bg, n)
+}
+
+// SweepV2 is context-first, the v2 contract.
+func SweepV2(ctx context.Context, n int) int {
+	return sweepCtx(ctx, n)
+}
+
+// Pure has no context-aware callee, so the rule leaves it alone.
+func Pure(n int) int { return n + 1 }

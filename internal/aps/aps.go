@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Metric selects the analytic objective used to pick the grid point —
@@ -113,11 +114,23 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 		dims[name] = d
 	}
 
+	tr := obs.TracerFrom(ctx)
+	obs.MetricsFrom(ctx).Counter("aps_runs_total").Add(1)
+	ctx, runSp := tr.Start(ctx, "aps.run",
+		obs.I("space_size", int64(space.Size())), obs.I("radius", int64(opts.Radius)))
+	defer runSp.Finish()
+
 	// One engine serves the whole run: the analytic optimizer's probes,
-	// the grid snap and the simulated slice share its cache and pool.
+	// the grid snap and the simulated slice share its cache and pool. A
+	// private engine inherits the context's observability.
 	eng := opts.Engine
 	if eng == nil {
-		eng = engine.New(engine.Options{Workers: opts.Workers, Retry: opts.Sweep.Retry})
+		eng = engine.New(engine.Options{
+			Workers: opts.Workers,
+			Retry:   opts.Sweep.Retry,
+			Tracer:  tr,
+			Metrics: obs.MetricsFrom(ctx),
+		})
 	}
 	stats0 := eng.Stats()
 
@@ -130,11 +143,16 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 	// values (especially its tight area constraint).
 	optOpts := opts.Optimize
 	optOpts.Engine = eng
-	analytic, err := m.OptimizeCtx(ctx, optOpts)
+	optCtx, optSp := tr.Start(ctx, "aps.optimize")
+	analytic, err := m.OptimizeCtx(optCtx, optOpts)
+	optSp.Finish()
 	if err != nil {
 		return Result{}, err
 	}
-	center, analyticPoints, err := gridOptimum(ctx, m, eng, space, dims, opts.Metric)
+	snapCtx, snapSp := tr.Start(ctx, "aps.grid-snap")
+	center, analyticPoints, err := gridOptimum(snapCtx, m, eng, space, dims, opts.Metric)
+	snapSp.Annotate(obs.I("analytic_points", int64(analyticPoints)))
+	snapSp.Finish()
 	if err != nil {
 		return Result{}, err
 	}
@@ -167,7 +185,9 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 		sweepOpts.Workers = opts.Workers
 	}
 	sweepOpts.Engine = eng
-	values, report, sweepErr := dse.SweepCtx(ctx, eval, space, indices, sweepOpts)
+	sliceCtx, sliceSp := tr.Start(ctx, "aps.slice", obs.I("indices", int64(len(indices))))
+	values, report, sweepErr := dse.SweepCtx(sliceCtx, eval, space, indices, sweepOpts)
+	sliceSp.Finish()
 	bestIdx, bestVal := dse.Best(values)
 	res := Result{
 		Analytic:       analytic,

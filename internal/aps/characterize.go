@@ -1,10 +1,12 @@
 package aps
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/speedup"
 )
@@ -35,6 +37,15 @@ type CharacterizeOptions struct {
 // analyzer, and two further runs at different cache capacities fit the
 // miss-rate-versus-capacity power law for each level.
 func Characterize(opts CharacterizeOptions) (core.App, error) {
+	//lint:allow ctxflow deliberate non-ctx convenience wrapper over CharacterizeCtx
+	return CharacterizeCtx(context.Background(), opts)
+}
+
+// CharacterizeCtx is Characterize with cancellation and observability:
+// the context's deadline propagates into each probe simulation, and a
+// context-carried tracer records an aps.characterize span with one
+// aps.probe child per measurement run.
+func CharacterizeCtx(ctx context.Context, opts CharacterizeOptions) (core.App, error) {
 	if opts.Workload == "" {
 		return core.App{}, fmt.Errorf("aps: characterize needs a workload")
 	}
@@ -54,11 +65,22 @@ func Characterize(opts CharacterizeOptions) (core.App, error) {
 		opts.MeanGap = 2
 	}
 
+	tr := obs.TracerFrom(ctx)
+	ctx, charSp := tr.Start(ctx, "aps.characterize", obs.S("workload", opts.Workload))
+	defer charSp.Finish()
+
 	run := func(l1KB, l2KB int) (*sim.Result, error) {
 		cfg := sim.DefaultConfig(opts.Cores)
 		cfg.L1.SizeKB = l1KB
 		cfg.L2.SizeKB = l2KB
-		return sim.RunWorkload(cfg, opts.Workload, opts.WSBytes, opts.MeanGap, opts.Refs, opts.Seed)
+		probeCtx, probeSp := tr.Start(ctx, "aps.probe",
+			obs.I("l1_kb", int64(l1KB)), obs.I("l2_kb", int64(l2KB)))
+		res, err := sim.RunWorkloadCtx(probeCtx, cfg, opts.Workload, opts.WSBytes, opts.MeanGap, opts.Refs, opts.Seed)
+		if err != nil {
+			probeSp.Annotate(obs.S("error", err.Error()))
+		}
+		probeSp.Finish()
+		return res, err
 	}
 
 	// Probe 1: reference configuration; source of the concurrency and

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/chip"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/solve"
 )
 
@@ -256,6 +257,10 @@ func (m Model) OptimizeCtx(ctx context.Context, opts Options) (Result, error) {
 	opts.fill(m.Chip)
 	regime := m.ClassifyRegime()
 
+	ctx, optSp := obs.TracerFrom(ctx).Start(ctx, "core.optimize",
+		obs.S("app", m.App.Name), obs.S("regime", regime.String()), obs.I("max_n", int64(opts.MaxN)))
+	defer optSp.Finish()
+
 	type cand struct {
 		d      chip.Design
 		e      Eval
@@ -330,6 +335,7 @@ func (m Model) OptimizeCtx(ctx context.Context, opts Options) (Result, error) {
 			break
 		}
 	}
+	optSp.Annotate(obs.I("n", int64(best.d.N)), obs.I("evaluations", int64(evals)))
 	return Result{
 		Design:      best.d,
 		Eval:        best.e,

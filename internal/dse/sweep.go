@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/robust"
 )
 
@@ -152,6 +153,26 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 	}
 	rep := SweepReport{Total: len(indices)}
 
+	// Observability rides in on the context: the sweep span wraps the
+	// whole call, and the ephemeral engine (below) inherits the same
+	// tracer/registry so engine.eval spans nest under dse.batch.
+	tr := obs.TracerFrom(ctx)
+	met := obs.MetricsFrom(ctx)
+	met.Counter("dse_sweeps_total").Add(1)
+	completedC := met.Counter("dse_points_completed_total")
+	failedC := met.Counter("dse_points_failed_total")
+	cacheHitC := met.Counter("dse_points_cache_hits_total")
+	checkpointC := met.Counter("dse_checkpoints_total")
+	ctx, sweepSp := tr.Start(ctx, "dse.sweep", obs.I("total", int64(len(indices))))
+	defer func() {
+		sweepSp.Annotate(
+			obs.I("completed", int64(len(rep.Completed))),
+			obs.I("failed", int64(len(rep.Failed))),
+			obs.I("resumed", int64(rep.Resumed)),
+			obs.I("cache_hits", int64(rep.CacheHits)))
+		sweepSp.Finish()
+	}()
+
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -161,15 +182,21 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 	// Resume: restore completed indices from the checkpoint.
 	done := make(map[int]bool)
 	if opts.Resume && opts.CheckpointPath != "" {
+		_, resumeSp := tr.Start(ctx, "dse.resume", obs.S("path", opts.CheckpointPath))
 		ck, err := LoadCheckpoint(opts.CheckpointPath)
 		switch {
 		case os.IsNotExist(err):
 			// Nothing to resume; a fresh sweep.
+			resumeSp.Finish()
 		case err != nil:
+			resumeSp.Annotate(obs.S("error", err.Error()))
+			resumeSp.Finish()
 			rep.WallTime = time.Since(start)
 			return values, rep, fmt.Errorf("dse: resume: %w", err)
 		default:
 			if ck.Signature != s.Signature() {
+				resumeSp.Annotate(obs.S("error", "signature mismatch"))
+				resumeSp.Finish()
 				rep.WallTime = time.Since(start)
 				return values, rep, fmt.Errorf("dse: resume: checkpoint %q belongs to a different space (signature %s, want %s)",
 					opts.CheckpointPath, ck.Signature, s.Signature())
@@ -180,6 +207,8 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 					done[idx] = true
 				}
 			}
+			resumeSp.Annotate(obs.I("restored", int64(len(done))))
+			resumeSp.Finish()
 		}
 	}
 
@@ -203,6 +232,8 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 			CacheSize: -1,
 			Retry:     opts.Retry,
 			Seed:      0x5eed ^ uint64(len(indices)),
+			Tracer:    tr,
+			Metrics:   met,
 		})
 	}
 
@@ -222,11 +253,19 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 		if opts.CheckpointPath == "" || ckErr != nil {
 			return
 		}
+		_, ckSp := tr.Start(ctx, "dse.checkpoint", obs.I("completed", int64(len(rep.Completed))))
 		ckErr = SaveCheckpoint(opts.CheckpointPath, s, values, rep.Completed)
+		if ckErr == nil {
+			checkpointC.Add(1)
+		} else {
+			ckSp.Annotate(obs.S("error", ckErr.Error()))
+		}
+		ckSp.Finish()
 	}
 	// yield runs on EvaluateStream's single collector goroutine, so the
 	// report and values need no locking.
-	_ = eng.EvaluateStream(ctx, e, points, func(i int, o engine.Outcome) {
+	batchCtx, batchSp := tr.Start(ctx, "dse.batch", obs.I("points", int64(len(pending))))
+	_ = eng.EvaluateStream(batchCtx, e, points, func(i int, o engine.Outcome) {
 		idx := pending[i]
 		if o.Attempts > 1 {
 			rep.Retries += o.Attempts - 1
@@ -238,13 +277,16 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 				return
 			}
 			saw[idx] = true
+			failedC.Add(1)
 			rep.Failed = append(rep.Failed, IndexFailure{Index: idx, Attempts: o.Attempts, Err: o.Err.Error()})
 			return
 		}
 		saw[idx] = true
 		if o.CacheHit || o.Shared {
 			rep.CacheHits++
+			cacheHitC.Add(1)
 		}
+		completedC.Add(1)
 		values[idx] = o.Value
 		rep.Completed = append(rep.Completed, idx)
 		sinceCk++
@@ -253,6 +295,7 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 			save()
 		}
 	})
+	batchSp.Finish()
 	for _, idx := range pending {
 		if !saw[idx] {
 			rep.Pending = append(rep.Pending, idx)

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/robust"
 )
 
@@ -77,6 +78,15 @@ type Options struct {
 	Retry robust.RetryPolicy
 	// Seed drives the retry jitter (0: fixed default).
 	Seed uint64
+	// Tracer records an engine.eval span per raw computation (nil:
+	// tracing disabled at a single branch's cost).
+	Tracer *obs.Tracer
+	// Metrics mirrors the engine's private counters into a shared
+	// registry (engine_*_total, engine_inflight, engine_eval_seconds).
+	// The instruments are resolved once here at construction, so the
+	// evaluation hot path never performs a registry or context lookup.
+	// Nil disables the mirror.
+	Metrics *obs.Registry
 }
 
 // DefaultCacheSize is the memoization capacity when Options.CacheSize is
@@ -121,6 +131,45 @@ type Engine struct {
 	inflight map[string]*call
 
 	counters counters
+
+	tracer *obs.Tracer
+	obs    instruments
+}
+
+// instruments are the engine's pre-resolved observability handles. They
+// mirror the private counters one-for-one at the exact same increment
+// sites, so a metrics snapshot and Stats always agree bit-for-bit. Every
+// field is a valid no-op when nil (disabled registry).
+type instruments struct {
+	requests    *obs.Counter
+	evaluations *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	dedups      *obs.Counter
+	panics      *obs.Counter
+	retries     *obs.Counter
+	failures    *obs.Counter
+	evictions   *obs.Counter
+	inflight    *obs.Gauge
+	evalSeconds *obs.Histogram
+}
+
+// newInstruments resolves the engine's instruments from r (all nil for a
+// nil registry).
+func newInstruments(r *obs.Registry) instruments {
+	return instruments{
+		requests:    r.Counter("engine_requests_total"),
+		evaluations: r.Counter("engine_evaluations_total"),
+		cacheHits:   r.Counter("engine_cache_hits_total"),
+		cacheMisses: r.Counter("engine_cache_misses_total"),
+		dedups:      r.Counter("engine_dedups_total"),
+		panics:      r.Counter("engine_panics_total"),
+		retries:     r.Counter("engine_retries_total"),
+		failures:    r.Counter("engine_failures_total"),
+		evictions:   r.Counter("engine_evictions_total"),
+		inflight:    r.Gauge("engine_inflight"),
+		evalSeconds: r.Histogram("engine_eval_seconds", obs.LatencyBuckets()),
+	}
 }
 
 // New builds an engine. The zero Options value gives GOMAXPROCS workers,
@@ -136,6 +185,8 @@ func New(opts Options) *Engine {
 		rng:      robust.NewRNG(opts.Seed),
 		sem:      make(chan struct{}, workers),
 		inflight: make(map[string]*call),
+		tracer:   opts.Tracer,
+		obs:      newInstruments(opts.Metrics),
 	}
 	if opts.CacheSize >= 0 {
 		size := opts.CacheSize
@@ -163,6 +214,7 @@ func (e *Engine) Evaluate(ctx context.Context, ev robust.Evaluator, point []floa
 // provenance).
 func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) Outcome {
 	e.counters.requests.Add(1)
+	e.obs.requests.Add(1)
 	fp := ""
 	cacheable := false
 	if e.cache != nil {
@@ -180,6 +232,7 @@ func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) O
 		if v, ok := e.cache.get(key); ok {
 			e.mu.Unlock()
 			e.counters.cacheHits.Add(1)
+			e.obs.cacheHits.Add(1)
 			return Outcome{Value: v, CacheHit: true}
 		}
 		if c, ok := e.inflight[key]; ok {
@@ -195,6 +248,7 @@ func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) O
 				continue
 			}
 			e.counters.dedups.Add(1)
+			e.obs.dedups.Add(1)
 			return Outcome{Value: c.out.Value, Shared: true, Err: c.out.Err}
 		}
 		c := &call{done: make(chan struct{})}
@@ -202,12 +256,14 @@ func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) O
 		e.mu.Unlock()
 
 		e.counters.cacheMisses.Add(1)
+		e.obs.cacheMisses.Add(1)
 		out := e.compute(ctx, ev, point)
 		c.out = out
 		e.mu.Lock()
 		if out.Err == nil {
 			if e.cache.add(key, out.Value) {
 				e.counters.evictions.Add(1)
+				e.obs.evictions.Add(1)
 			}
 		}
 		delete(e.inflight, key)
@@ -217,28 +273,51 @@ func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) O
 	}
 }
 
-// compute runs the guarded, retried evaluation and meters it.
+// compute wraps computeInner in the engine.eval span and the inflight
+// gauge; the wrapper costs two branches when observability is off.
 func (e *Engine) compute(ctx context.Context, ev robust.Evaluator, point []float64) Outcome {
+	ctx, sp := e.tracer.Start(ctx, "engine.eval")
+	e.obs.inflight.Add(1)
+	out := e.computeInner(ctx, ev, point)
+	e.obs.inflight.Add(-1)
+	if sp != nil {
+		sp.Annotate(obs.I("attempts", int64(out.Attempts)))
+		if out.Err != nil {
+			sp.Annotate(obs.S("error", out.Err.Error()))
+		}
+		sp.Finish()
+	}
+	return out
+}
+
+// computeInner runs the guarded, retried evaluation and meters it.
+func (e *Engine) computeInner(ctx context.Context, ev robust.Evaluator, point []float64) Outcome {
 	guarded := robust.Guard(ev)
 	var v float64
 	start := time.Now()
 	attempts, err := e.retry.Do(ctx, e.rng, func(ctx context.Context) error {
 		e.counters.evaluations.Add(1)
+		e.obs.evaluations.Add(1)
 		var err2 error
 		v, err2 = guarded.EvaluateCtx(ctx, point)
 		var pe *robust.PanicError
 		if errors.As(err2, &pe) {
 			e.counters.panics.Add(1)
+			e.obs.panics.Add(1)
 		}
 		return err2
 	})
-	e.counters.wallNanos.Add(uint64(time.Since(start)))
+	elapsed := time.Since(start)
+	e.counters.wallNanos.Add(uint64(elapsed))
+	e.obs.evalSeconds.Observe(elapsed.Seconds())
 	if attempts > 1 {
 		e.counters.retries.Add(uint64(attempts - 1))
+		e.obs.retries.Add(uint64(attempts - 1))
 	}
 	if err != nil {
 		if !isContextErr(err) {
 			e.counters.failures.Add(1)
+			e.obs.failures.Add(1)
 		}
 		return Outcome{Value: math.NaN(), Attempts: attempts, Err: err}
 	}

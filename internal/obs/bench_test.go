@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The disabled benchmarks prove the "near-zero when off" contract: a nil
+// tracer/registry costs one branch per call, no allocation.
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.Start(ctx, "engine.eval")
+		sp.Finish()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(1 << 10)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.Start(ctx, "engine.eval")
+		sp.Finish()
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("lat_seconds", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-4)
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("lat_seconds", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-4)
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric instruments. Instrument lookup
+// (Counter/Gauge/Histogram) takes a mutex and may allocate, so callers
+// resolve their instruments once at setup; the instruments themselves
+// are single atomic words (or a fixed bucket array) and their update
+// methods never allocate. A nil *Registry is a valid disabled registry:
+// every lookup returns nil, and nil instruments are no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the monotone counter registered under name, creating
+// it on first use. Nil receiver returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil receiver returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given ascending upper bounds on first use (later calls reuse
+// the existing instrument and ignore bounds). Nil receiver returns a nil
+// (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotone uint64 counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable signed instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta. No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Set pins the gauge to v. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current gauge reading (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed cumulative-style buckets
+// (bounds are inclusive upper edges; one implicit +Inf bucket catches
+// the rest) and tracks the running sum and count. Observe is
+// allocation-free: a binary search over the bounds plus three atomic
+// updates.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; counts[len(bounds)] is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // IEEE-754 bits, updated by CAS
+}
+
+// Observe records one sample. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the bucket upper bounds and their (non-cumulative)
+// counts; the final count belongs to the implicit +Inf bucket.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return append([]float64(nil), h.bounds...), counts
+}
+
+// LatencyBuckets returns the default exponential latency bounds in
+// seconds (1µs … ~16s, doubling), suitable for evaluation and
+// simulation timings.
+func LatencyBuckets() []float64 {
+	bounds := make([]float64, 0, 25)
+	for v := 1e-6; v < 20; v *= 2 {
+		bounds = append(bounds, v)
+	}
+	return bounds
+}
+
+// WriteText renders a snapshot of every instrument in a Prometheus-like
+// text exposition, sorted by metric name: counters and gauges as
+// `name value` lines, histograms as cumulative `name_bucket{le="…"}`
+// lines plus `name_sum` and `name_count`.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+8*len(r.histograms))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		bounds, counts := h.Buckets()
+		cum := uint64(0)
+		for i, b := range bounds {
+			cum += counts[i]
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", name, formatBound(b), cum))
+		}
+		cum += counts[len(bounds)]
+		lines = append(lines, fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", name, cum))
+		lines = append(lines, fmt.Sprintf("%s_sum %v", name, h.Sum()))
+		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count()))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	if _, err := io.WriteString(w, strings.Join(lines, "\n")+"\n"); err != nil {
+		return fmt.Errorf("obs: writing metrics snapshot: %w", err)
+	}
+	return nil
+}
+
+// formatBound renders a bucket edge compactly ("0.001", not
+// "0.001000").
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Add(3)
+	c.Add(2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("counter lookup not idempotent")
+	}
+	g := r.Gauge("inflight")
+	g.Add(4)
+	g.Add(-1)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge after Set = %d", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 105.65 {
+		t.Fatalf("sum = %v", got)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets %v %v", bounds, counts)
+	}
+	// SearchFloat64s: values equal to an edge land in the next bucket's
+	// half-open interval except exact-match returns the edge index.
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	c.Add(1)
+	if c.Value() != 0 {
+		t.Fatal("nil counter counted")
+	}
+	g := r.Gauge("b")
+	g.Add(1)
+	g.Set(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge moved")
+	}
+	h := r.Histogram("c", LatencyBuckets())
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram observed")
+	}
+	if b, ct := h.Buckets(); b != nil || ct != nil {
+		t.Fatal("nil histogram buckets non-nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry WriteText: %v %q", err, buf.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_requests_total").Add(12)
+	r.Gauge("engine_inflight").Set(2)
+	h := r.Histogram("eval_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"engine_requests_total 12",
+		"engine_inflight 2",
+		`eval_seconds_bucket{le="0.001"} 1`,
+		`eval_seconds_bucket{le="0.01"} 1`,
+		`eval_seconds_bucket{le="+Inf"} 2`,
+		"eval_seconds_sum 0.5005",
+		"eval_seconds_count 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !sortedLines(lines) {
+		t.Fatalf("exposition not sorted:\n%s", out)
+	}
+}
+
+func sortedLines(lines []string) bool {
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if TracerFrom(ctx) != nil || MetricsFrom(ctx) != nil {
+		t.Fatal("empty context carries observability")
+	}
+	if ContextWithTracer(ctx, nil) != ctx || ContextWithMetrics(ctx, nil) != ctx {
+		t.Fatal("nil attach changed the context")
+	}
+	tr, reg := NewTracer(8), NewRegistry()
+	ctx = ContextWithTracer(ctx, tr)
+	ctx = ContextWithMetrics(ctx, reg)
+	if TracerFrom(ctx) != tr || MetricsFrom(ctx) != reg {
+		t.Fatal("round-trip lost the instruments")
+	}
+}

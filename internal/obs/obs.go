@@ -1,0 +1,75 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a hierarchical span tracer with a lock-free ring buffer exportable as
+// Chrome trace_event JSON (trace.go), a metrics registry of atomic
+// counters, gauges and histograms with a text exposition (metrics.go),
+// and CPU/heap profile helpers for the CLIs (profile.go).
+//
+// Everything is built for a near-zero disabled cost: a nil *Tracer and a
+// nil *Registry are fully functional no-ops — every method checks its
+// receiver first — so instrumented hot paths pay a single predictable
+// branch when observability is off (see bench_test.go for the proof).
+//
+// # Propagation
+//
+// The tracer and the registry travel down the call stack inside the
+// context (ContextWithTracer / ContextWithMetrics), the same channel the
+// cancellation contract already uses, so every *Ctx entry point of the
+// library — dse.SweepCtx, aps.RunCtx, sim.RunCtx, core.OptimizeCtx — can
+// pick them up without new parameters. Long-lived components (the
+// evaluation engine) additionally accept them at construction so
+// per-request context lookups never appear on their hot path.
+//
+// # Naming scheme (see DESIGN.md §9)
+//
+// Metrics are snake_case, prefixed with the owning subsystem and
+// suffixed with the unit or _total for monotone counters
+// (engine_cache_hits_total, engine_eval_seconds, sim_steps_total).
+// Span names are dot-separated subsystem.operation pairs
+// (engine.eval, dse.sweep, aps.grid-snap, sim.run).
+package obs
+
+import "context"
+
+type tracerKey struct{}
+
+type metricsKey struct{}
+
+// ContextWithTracer returns a context carrying t. A nil tracer leaves
+// ctx unchanged, so callers can thread an optional tracer without
+// branching.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil (a valid no-op
+// tracer) when none is attached.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// ContextWithMetrics returns a context carrying r. A nil registry leaves
+// ctx unchanged.
+func ContextWithMetrics(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, metricsKey{}, r)
+}
+
+// MetricsFrom returns the registry carried by ctx, or nil (a valid
+// no-op registry) when none is attached.
+func MetricsFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(metricsKey{}).(*Registry)
+	return r
+}
+
+// CurrentSpan returns the innermost span started on ctx, or nil outside
+// any span.
+func CurrentSpan(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

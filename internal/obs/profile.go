@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// stop function the caller must invoke (typically deferred) to flush
+// and close the file. Used by the CLIs' -cpuprofile flag.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile output: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: closing cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile writes a garbage-collected heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile output: %w", err)
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: closing heap profile: %w", err)
+	}
+	return nil
+}

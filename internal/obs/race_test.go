@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestTracerConcurrent hammers the span ring from many goroutines while
+// snapshots and exports run concurrently; run under -race this proves
+// the publish-on-Finish protocol is sound.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < perWorker; i++ {
+				c, outer := tr.Start(ctx, "outer", I("worker", int64(w)))
+				_, inner := tr.Start(c, "inner")
+				inner.Annotate(I("i", int64(i)))
+				inner.Finish()
+				outer.Finish()
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Snapshot()
+			var buf bytes.Buffer
+			if err := tr.WriteChromeTrace(&buf); err != nil {
+				t.Errorf("concurrent export: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	want := uint64(workers * perWorker * 2)
+	if tr.Recorded() != want {
+		t.Fatalf("recorded %d spans, want %d", tr.Recorded(), want)
+	}
+	if tr.Dropped() != want-128 {
+		t.Fatalf("dropped %d, want %d", tr.Dropped(), want-128)
+	}
+	if tr.Len() != 128 {
+		t.Fatalf("ring holds %d", tr.Len())
+	}
+}
+
+// TestRegistryConcurrent updates every instrument kind from many
+// goroutines while WriteText snapshots run.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("ops_total")
+			g := r.Gauge("inflight")
+			h := r.Histogram("lat_seconds", LatencyBuckets())
+			for i := 0; i < per; i++ {
+				c.Add(1)
+				g.Add(1)
+				h.Observe(float64(i) * 1e-6)
+				g.Add(-1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WriteText(&buf); err != nil {
+				t.Errorf("concurrent WriteText: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := r.Counter("ops_total").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	h := r.Histogram("lat_seconds", nil)
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	_, counts := h.Buckets()
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket totals %d != count %d", sum, workers*per)
+	}
+}

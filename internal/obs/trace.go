@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanCapacity is the ring-buffer size NewTracer selects for
+// capacity ≤ 0: 64Ki finished spans (~6 MB of records) before the oldest
+// are overwritten.
+const DefaultSpanCapacity = 1 << 16
+
+// Attr is one key/value annotation on a span. Values are rendered into
+// the Chrome trace's args object, so any JSON-marshalable value works;
+// the S/I/F constructors cover the common cases.
+type Attr struct {
+	Key   string
+	Value interface{}
+}
+
+// S builds a string attribute.
+func S(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// I builds an integer attribute.
+func I(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// F builds a float attribute.
+func F(key string, value float64) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed, named, attributed interval. Spans form a hierarchy
+// through the context: a span started from a context that already
+// carries one records that span as its parent, and every span knows the
+// root of its chain (the Chrome export lays spans out one root per
+// track, so concurrent operations get separate rows).
+type Span struct {
+	// ID is the tracer-unique span identity (1-based).
+	ID uint64
+	// Parent is the enclosing span's ID, 0 for a root span.
+	Parent uint64
+	// Root is the ID of the outermost ancestor (the span's own ID for a
+	// root span).
+	Root uint64
+	// Name is the dot-separated subsystem.operation label.
+	Name string
+	// Start and End are offsets from the tracer's epoch. End is zero
+	// until Finish.
+	Start time.Duration
+	End   time.Duration
+	// Attrs are the span's annotations.
+	Attrs []Attr
+
+	tr *Tracer // publication target; nil after Finish (and for no-op spans)
+}
+
+type spanKey struct{}
+
+// Tracer records finished spans into a fixed-capacity lock-free ring
+// buffer: Finish claims a slot with one atomic add and publishes the
+// complete record with one atomic pointer store, so tracing never blocks
+// the traced code and a full ring overwrites the oldest spans instead of
+// growing. A nil *Tracer is a valid disabled tracer: Start returns the
+// context unchanged and a nil span whose methods are no-ops.
+type Tracer struct {
+	epoch time.Time
+	ids   atomic.Uint64
+	pos   atomic.Uint64
+	mask  uint64
+	slots []atomic.Pointer[Span]
+}
+
+// NewTracer builds a tracer with the given ring capacity, rounded up to
+// a power of two (capacity ≤ 0 selects DefaultSpanCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{
+		epoch: time.Now(),
+		mask:  uint64(n - 1),
+		slots: make([]atomic.Pointer[Span], n),
+	}
+}
+
+// Start begins a span named name and returns a derived context carrying
+// it (so child spans and the Chrome export see the hierarchy) together
+// with the span itself. The caller must call Finish exactly once; only
+// finished spans are recorded. On a nil tracer Start costs one branch
+// and returns (ctx, nil).
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	sp := &Span{
+		ID:    t.ids.Add(1),
+		Name:  name,
+		Start: time.Since(t.epoch),
+		Attrs: attrs,
+		tr:    t,
+	}
+	if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
+		sp.Parent = parent.ID
+		sp.Root = parent.Root
+	} else {
+		sp.Root = sp.ID
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// Annotate appends attributes to an unfinished span. No-op on nil and
+// on already-finished spans (a finished span is published and must not
+// be mutated).
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, attrs...)
+}
+
+// Finish stamps the end time and publishes the span into the tracer's
+// ring. Safe to call on a nil span; a second Finish is a no-op.
+func (s *Span) Finish() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	t := s.tr
+	s.End = time.Since(t.epoch)
+	s.tr = nil // all writes complete before the atomic publication below
+	idx := t.pos.Add(1) - 1
+	t.slots[idx&t.mask].Store(s)
+}
+
+// Recorded returns the total number of spans finished on this tracer,
+// including any the ring has since overwritten.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.pos.Load()
+}
+
+// Dropped returns how many finished spans were overwritten because the
+// ring wrapped.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	n := t.pos.Load()
+	if capacity := t.mask + 1; n > capacity {
+		return n - capacity
+	}
+	return 0
+}
+
+// Len returns the number of spans currently held in the ring.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := t.pos.Load()
+	if capacity := t.mask + 1; n > capacity {
+		n = capacity
+	}
+	return int(n)
+}
+
+// Snapshot copies the retained spans out of the ring, ordered by start
+// time (ties by ID). It is safe to call concurrently with Start/Finish;
+// spans finishing during the copy may or may not be included.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.slots))
+	for i := range t.slots {
+		if sp := t.slots[i].Load(); sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// chromeEvent is one trace_event record (the "X" complete-event form).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`  // microseconds since epoch
+	Dur  float64                `json:"dur"` // microseconds
+	Pid  int                    `json:"pid"`
+	Tid  uint64                 `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container chrome://tracing and
+// Perfetto load directly.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the retained spans as Chrome trace_event JSON
+// ("X" complete events; each root span chain gets its own track id, so
+// concurrent operations appear as separate rows with their children
+// nested by time).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Snapshot()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := map[string]interface{}{"id": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			Pid:  1,
+			Tid:  s.Root,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: encoding chrome trace: %w", err)
+	}
+	return nil
+}
+
+// WriteChromeTraceFile writes the Chrome trace JSON to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace output: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: closing trace output: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestSpanHierarchy(t *testing.T) {
+	tr := NewTracer(64)
+	ctx := context.Background()
+	ctx, root := tr.Start(ctx, "root", S("k", "v"))
+	cctx, child := tr.Start(ctx, "child")
+	_, grand := tr.Start(cctx, "grandchild")
+	grand.Finish()
+	child.Finish()
+	root.Annotate(I("n", 3))
+	root.Finish()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c, g := byName["root"], byName["child"], byName["grandchild"]
+	if r.Parent != 0 || r.Root != r.ID {
+		t.Fatalf("root span parentage: %+v", r)
+	}
+	if c.Parent != r.ID || c.Root != r.ID {
+		t.Fatalf("child span parentage: %+v", c)
+	}
+	if g.Parent != c.ID || g.Root != r.ID {
+		t.Fatalf("grandchild span parentage: %+v", g)
+	}
+	if r.End < r.Start || c.Start < r.Start {
+		t.Fatalf("span timing inverted: root %v..%v child %v..%v", r.Start, r.End, c.Start, c.End)
+	}
+	if len(r.Attrs) != 2 {
+		t.Fatalf("root attrs = %v, want initial + annotated", r.Attrs)
+	}
+}
+
+func TestCurrentSpan(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := context.Background()
+	if CurrentSpan(ctx) != nil {
+		t.Fatal("span on empty context")
+	}
+	ctx, sp := tr.Start(ctx, "op")
+	if CurrentSpan(ctx) != sp {
+		t.Fatal("CurrentSpan does not see the started span")
+	}
+	sp.Finish()
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	ctx2, sp := tr.Start(ctx, "ignored", S("a", "b"))
+	if ctx2 != ctx {
+		t.Fatal("nil tracer altered the context")
+	}
+	sp.Annotate(I("n", 1)) // must not panic
+	sp.Finish()
+	if tr.Len() != 0 || tr.Recorded() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot non-nil")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+}
+
+func TestUnfinishedSpanNotRecorded(t *testing.T) {
+	tr := NewTracer(8)
+	_, sp := tr.Start(context.Background(), "open")
+	if tr.Len() != 0 {
+		t.Fatal("unfinished span recorded")
+	}
+	sp.Finish()
+	sp.Finish() // second finish must not double-record
+	if tr.Len() != 1 || tr.Recorded() != 1 {
+		t.Fatalf("len=%d recorded=%d after double finish", tr.Len(), tr.Recorded())
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(context.Background(), "s")
+		sp.Finish()
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("recorded = %d", tr.Recorded())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want ring capacity 4", tr.Len())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("snapshot holds %d spans", len(spans))
+	}
+	for _, s := range spans {
+		if s.ID <= 6 {
+			t.Fatalf("snapshot kept overwritten span %d", s.ID)
+		}
+	}
+}
+
+func TestChromeTraceLoadable(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.Start(context.Background(), "outer", I("points", 12))
+	_, inner := tr.Start(ctx, "inner", F("score", 1.5))
+	inner.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Pid  int                    `json:"pid"`
+			Tid  uint64                 `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not load: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("trace doc %+v", doc)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur < 0 || ev.Pid != 1 || ev.Tid == 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+	if doc.TraceEvents[0].Name != "outer" || doc.TraceEvents[1].Args["parent"] == nil {
+		t.Fatalf("ordering/hierarchy lost: %+v", doc.TraceEvents)
+	}
+	if doc.TraceEvents[0].Args["points"] != float64(12) {
+		t.Fatalf("attr lost: %v", doc.TraceEvents[0].Args)
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRunObservability(t *testing.T) {
+	tr := obs.NewTracer(64)
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithMetrics(obs.ContextWithTracer(context.Background(), tr), reg)
+
+	const cores, refs = 2, 3000
+	res, err := RunWorkloadCtx(ctx, DefaultConfig(cores), "stencil", 1<<20, 2, refs, 1)
+	if err != nil {
+		t.Fatalf("RunWorkloadCtx: %v", err)
+	}
+
+	if got := reg.Counter("sim_runs_total").Value(); got != 1 {
+		t.Fatalf("sim_runs_total = %d", got)
+	}
+	if got := reg.Counter("sim_steps_total").Value(); got != cores*refs {
+		t.Fatalf("sim_steps_total = %d, want %d", got, cores*refs)
+	}
+	if got := reg.Counter("sim_instructions_total").Value(); got != res.Instructions {
+		t.Fatalf("sim_instructions_total = %d, Result says %d", got, res.Instructions)
+	}
+	if got := reg.Counter("sim_mem_accesses_total").Value(); got != res.MemAccesses {
+		t.Fatalf("sim_mem_accesses_total = %d, Result says %d", got, res.MemAccesses)
+	}
+	if got := reg.Histogram("sim_core_instructions", nil).Count(); got != cores {
+		t.Fatalf("sim_core_instructions count = %d, want one sample per core", got)
+	}
+
+	spans := tr.Snapshot()
+	var runSpans, coreSpans int
+	for _, sp := range spans {
+		switch sp.Name {
+		case "sim.run":
+			runSpans++
+		case "sim.core":
+			coreSpans++
+			if sp.Parent == 0 {
+				t.Fatalf("sim.core span %d has no parent", sp.ID)
+			}
+		}
+	}
+	if runSpans != 1 || coreSpans != cores {
+		t.Fatalf("spans: %d sim.run, %d sim.core (want 1, %d)", runSpans, coreSpans, cores)
+	}
+}

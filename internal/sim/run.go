@@ -7,6 +7,7 @@ import (
 	"repro/internal/apc"
 	"repro/internal/camat"
 	"repro/internal/detector"
+	"repro/internal/obs"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/cpu"
 	"repro/internal/sim/dram"
@@ -34,6 +35,14 @@ func RunCtx(ctx context.Context, cfg Config, traces [][]trace.Ref) (*Result, err
 	if len(traces) != cfg.Cores {
 		return nil, fmt.Errorf("sim: %d traces for %d cores", len(traces), cfg.Cores)
 	}
+	totalRefs := 0
+	for _, tr := range traces {
+		totalRefs += len(tr)
+	}
+	tracer := obs.TracerFrom(ctx)
+	ctx, runSp := tracer.Start(ctx, "sim.run",
+		obs.I("cores", int64(cfg.Cores)), obs.I("refs", int64(totalRefs)))
+	defer runSp.Finish()
 
 	mem, err := dram.New(cfg.DRAM)
 	if err != nil {
@@ -77,8 +86,8 @@ func RunCtx(ctx context.Context, cfg Config, traces [][]trace.Ref) (*Result, err
 			return nil, err
 		}
 		det := detector.New()
-		obs := &observerChain{obs: []cpu.AccessObserver{det}, tracker: l1Tracker}
-		core, err := cpu.NewCore(cfg.Core, l1, obs)
+		observer := &observerChain{obs: []cpu.AccessObserver{det}, tracker: l1Tracker}
+		core, err := cpu.NewCore(cfg.Core, l1, observer)
 		if err != nil {
 			return nil, err
 		}
@@ -126,6 +135,11 @@ func RunCtx(ctx context.Context, cfg Config, traces [][]trace.Ref) (*Result, err
 		}
 	}
 
+	// Per-core step accounting: counters are accumulated here at drain
+	// time, not inside the stepping loop, so the hot loop stays untouched;
+	// each core additionally gets a child span carrying its tallies.
+	met := obs.MetricsFrom(ctx)
+	coreInstr := met.Histogram("sim_core_instructions", instructionBuckets())
 	res := &Result{Cores: cfg.Cores}
 	res.CoreStats = make([]cpu.Stats, cfg.Cores)
 	res.L1Analyses = make([]camat.Analysis, cfg.Cores)
@@ -143,6 +157,13 @@ func RunCtx(ctx context.Context, cfg Config, traces [][]trace.Ref) (*Result, err
 			cpiSum += st.CPI()
 			activeCores++
 		}
+		coreInstr.Observe(float64(st.Instructions))
+		_, coreSp := tracer.Start(ctx, "sim.core",
+			obs.I("core", int64(i)),
+			obs.I("instructions", int64(st.Instructions)),
+			obs.I("mem_accesses", int64(st.MemAccesses)),
+			obs.I("cycles", st.Cycles))
+		coreSp.Finish()
 		res.L1Analyses[i] = dets[i].Finalize()
 		l1Stats := l1s[i].Stats()
 		res.L1Stats.Accesses += l1Stats.Accesses
@@ -162,7 +183,25 @@ func RunCtx(ctx context.Context, cfg Config, traces [][]trace.Ref) (*Result, err
 	res.APCL1 = l1Tracker.APC()
 	res.APCL2 = l2Tracker.APC()
 	res.APCMem = memTracker.APC()
+	met.Counter("sim_runs_total").Add(1)
+	met.Counter("sim_steps_total").Add(uint64(steps))
+	met.Counter("sim_instructions_total").Add(res.Instructions)
+	met.Counter("sim_mem_accesses_total").Add(res.MemAccesses)
+	runSp.Annotate(
+		obs.I("instructions", int64(res.Instructions)),
+		obs.I("cycles", res.Cycles),
+		obs.F("cpi", res.CPI))
 	return res, nil
+}
+
+// instructionBuckets are the sim_core_instructions histogram edges:
+// powers of four from 256 to ~4G references per core.
+func instructionBuckets() []float64 {
+	bounds := make([]float64, 0, 13)
+	for v := 256.0; v <= 1<<32; v *= 4 {
+		bounds = append(bounds, v)
+	}
+	return bounds
 }
 
 // RunWorkload is a convenience wrapper: it builds one generator per core
