@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-json bench-obs figures figures-full examples cover fuzz-short clean
+.PHONY: all build vet lint test test-short race check bench bench-json bench-obs bench-server serve figures figures-full examples cover fuzz-short clean
 
 all: build vet lint test
 
@@ -13,7 +13,7 @@ vet:
 	$(GO) vet ./...
 
 # Domain-specific static analysis (see DESIGN.md §8): floatguard, errwrap,
-# ctxflow, enginepath and paramdomain over every package.
+# ctxflow, httpctx, enginepath and paramdomain over every package.
 lint:
 	$(GO) run ./cmd/c2vet ./...
 
@@ -42,6 +42,15 @@ bench-json:
 # registry disabled vs enabled, side by side (see DESIGN.md §9).
 bench-obs:
 	$(GO) run ./cmd/enginebench -per 5 -rounds 5 -obs BENCH_obs.json
+
+# HTTP serving path: concurrent clients batching through a loopback
+# c2bound server, cold vs warm shared cache (see DESIGN.md §10).
+bench-server:
+	$(GO) run ./cmd/enginebench -server -per 4 -rounds 3 -clients 8 -out BENCH_server.json
+
+# Run the evaluation service locally on :8080.
+serve:
+	$(GO) run ./cmd/c2bound-server -addr :8080
 
 figures:
 	$(GO) run ./cmd/figures

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/engine"
 	"repro/internal/robust"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/speedup"
 	"repro/internal/trace"
@@ -254,6 +255,33 @@ type (
 
 // NewEngine builds an evaluation engine.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// HTTP evaluation service (DESIGN.md §10).
+type (
+	// Server is the zero-dependency HTTP façade over one shared Engine:
+	// single-point evaluation, NDJSON batches, server-side streaming
+	// sweeps and the full APS flow, with admission control, per-request
+	// deadlines and graceful drain. It implements http.Handler.
+	Server = server.Server
+	// ServerOptions configures a new Server (engine sharing, admission
+	// bounds, timeouts, checkpoint directory, model catalog).
+	ServerOptions = server.Options
+	// ServerStats is the server's own counter snapshot, reported by
+	// /readyz beside the engine snapshot.
+	ServerStats = server.Stats
+	// ModelCatalog is the server-side registry of named models; requests
+	// reference entries by name so the memo cache is shared across
+	// clients.
+	ModelCatalog = server.Catalog
+)
+
+// NewServer builds the HTTP evaluation service.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// NewModelCatalog returns the catalog of the paper's case-study
+// application profiles (tmm, stencil, fft, fluidanimate) over the
+// default chip.
+func NewModelCatalog() *ModelCatalog { return server.DefaultCatalog() }
 
 // AdaptEvaluator lifts a plain Evaluator to the context-aware interface.
 func AdaptEvaluator(e Evaluator) CtxEvaluator { return dse.WithContext(e) }

@@ -1,0 +1,138 @@
+// Command c2bound-server serves the C²-Bound evaluation stack over HTTP:
+// single-point evaluation, NDJSON batches, server-side streaming sweeps
+// and the full APS flow, all against one shared memoizing engine (see
+// internal/server and DESIGN.md §10).
+//
+// Usage:
+//
+//	c2bound-server [-addr :8080] [-workers n] [-cache n]
+//	               [-max-concurrent n] [-max-queue n]
+//	               [-timeout 30s] [-max-timeout 5m]
+//	               [-checkpoint-dir dir] [-trace out.json]
+//	               [-drain-timeout 30s]
+//
+// On SIGINT/SIGTERM the server drains: /readyz flips to 503, in-flight
+// requests finish (or are cancelled after -drain-timeout, which lets
+// checkpointed sweeps flush their state), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("c2bound-server: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "engine worker bound (0: GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "engine memo cache size (0: default, -1: off)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admitted work requests at once (0: engine workers)")
+	maxQueue := flag.Int("max-queue", 0, fmt.Sprintf("queued work requests before shedding (0: %d x max-concurrent)", server.DefaultMaxQueueFactor))
+	timeout := flag.Duration("timeout", server.DefaultTimeout, "default per-request evaluation deadline")
+	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "largest client-requested ?timeout_ms")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for sweep checkpoints (empty: checkpointing off)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON on exit")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cache, *maxConcurrent, *maxQueue,
+		*timeout, *maxTimeout, *checkpointDir, *tracePath, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, workers, cache, maxConcurrent, maxQueue int,
+	timeout, maxTimeout time.Duration, checkpointDir, tracePath string,
+	drainTimeout time.Duration) error {
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer(0)
+	}
+	if checkpointDir != "" {
+		if err := os.MkdirAll(checkpointDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
+
+	srv := server.New(server.Options{
+		Workers:       workers,
+		CacheSize:     cache,
+		MaxConcurrent: maxConcurrent,
+		MaxQueue:      maxQueue,
+		Timeout:       timeout,
+		MaxTimeout:    maxTimeout,
+		CheckpointDir: checkpointDir,
+		Tracer:        tracer,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (workers=%d, endpoints: evaluate, batch, sweep, aps)", addr, srv.Engine().Workers())
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (up to %v)...", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Flip /readyz and drain the work plane first so load balancers stop
+	// routing before the listener disappears; forced cancellation lets
+	// checkpointed sweeps flush state.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("forced drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("listener close: %v", err)
+	}
+	if tracePath != "" {
+		if err := writeTrace(tracePath, tracer); err != nil {
+			log.Printf("trace: %v", err)
+		}
+	}
+	log.Printf("%s", srv.Engine().Stats().String())
+	return <-errCh
+}
+
+// writeTrace dumps the tracer's spans as Chrome trace_event JSON.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,9 +1,10 @@
 // Command c2vet is the repository's domain-aware static-analysis suite:
-// a multichecker over the five analyzers under internal/analysis that
+// a multichecker over the six analyzers under internal/analysis that
 // encode C²-Bound's cross-cutting invariants — floating-point hygiene
 // (floatguard), error-chain wrapping and no library panics (errwrap),
-// the cancellation contract (ctxflow), engine-routed evaluation
-// (enginepath) and documented parameter domains (paramdomain).
+// the cancellation contract (ctxflow), request-scoped contexts in HTTP
+// handlers (httpctx), engine-routed evaluation (enginepath) and
+// documented parameter domains (paramdomain).
 //
 // Usage:
 //
@@ -26,6 +27,7 @@ import (
 	"repro/internal/analysis/enginepath"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/floatguard"
+	"repro/internal/analysis/httpctx"
 	"repro/internal/analysis/paramdomain"
 )
 
@@ -33,6 +35,7 @@ import (
 var suite = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	enginepath.Analyzer,
+	httpctx.Analyzer,
 	errwrap.Analyzer,
 	floatguard.Analyzer,
 	paramdomain.Analyzer,

@@ -8,8 +8,14 @@
 // Usage:
 //
 //	enginebench [-out file] [-per k] [-rounds n] [-workers n]
-//	            [-obs file] [-trace out.json] [-metrics]
-//	            [-cpuprofile out.pprof]
+//	            [-obs file] [-server] [-clients n]
+//	            [-trace out.json] [-metrics] [-cpuprofile out.pprof]
+//
+// With -server the command instead load-tests the HTTP serving path: it
+// starts an in-process c2bound server on a loopback listener and drives
+// it with -clients concurrent HTTP clients batching the space through
+// POST /v1/evaluate:batch, cold then warm, writing the report (typically
+// to BENCH_server.json via `make bench-server`).
 //
 // With -obs the command instead runs the benchmark twice — once with
 // observability disabled (nil tracer and registry) and once with a live
@@ -67,6 +73,8 @@ func main() {
 	rounds := flag.Int("rounds", 3, "warm passes over the space")
 	workers := flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
 	obsOut := flag.String("obs", "", "run disabled-vs-enabled observability comparison and write it to this JSON file")
+	serverMode := flag.Bool("server", false, "benchmark the HTTP serving path (c2bound-server) instead of the in-process engine")
+	clients := flag.Int("clients", 8, "concurrent HTTP clients in -server mode")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	metricsOut := flag.Bool("metrics", false, "print the metrics registry snapshot on exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -86,6 +94,10 @@ func main() {
 
 	if *obsOut != "" {
 		runCompare(*obsOut, *per, *rounds, *workers)
+		return
+	}
+	if *serverMode {
+		runServerBench(*out, *per, *rounds, *workers, *clients)
 		return
 	}
 

@@ -1,0 +1,145 @@
+// Package httpctx guards the HTTP serving layer's cancellation contract:
+// an http handler already owns a request-scoped context — r.Context()
+// ends when the client disconnects, the server shuts down, or the
+// per-request deadline fires — so a handler that conjures
+// context.Background() or context.TODO() silently detaches its work from
+// all three signals. A cancelled client then keeps burning an engine
+// slot, and graceful shutdown can never drain.
+//
+// The analyzer flags context.Background() / context.TODO() calls inside
+// any function with the handler signature
+//
+//	func(http.ResponseWriter, *http.Request)
+//
+// whether it is a declared function, a method or a function literal
+// (e.g. one passed to mux.HandleFunc). Unlike ctxflow it applies to main
+// packages too: servers are typically wired in package main, exactly
+// where ctxflow's library-only Background rule goes quiet. The usual
+// `//lint:allow httpctx <reason>` suppression applies.
+package httpctx
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the httpctx check.
+var Analyzer = &analysis.Analyzer{
+	Name: "httpctx",
+	Doc:  "flag context.Background/TODO inside http handler bodies; handlers must use r.Context()",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && isHandlerDecl(pass, fn) {
+					checkHandlerBody(pass, fn.Body, requestName(fn.Type))
+					return false // nested literals were just checked
+				}
+			case *ast.FuncLit:
+				if isHandlerLit(pass, fn) {
+					checkHandlerBody(pass, fn.Body, requestName(fn.Type))
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHandlerBody reports every fresh-context construction in one
+// handler body. A nested handler-shaped literal is checked recursively
+// under its own request parameter name, so each call is reported exactly
+// once and attributed to the innermost handler.
+func checkHandlerBody(pass *analysis.Pass, body *ast.BlockStmt, reqName string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && isHandlerLit(pass, lit) {
+			checkHandlerBody(pass, lit.Body, requestName(lit.Type))
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Background", "TODO"} {
+			if analysis.IsPkgCall(pass.TypesInfo, call, "context", name) {
+				pass.Reportf(call.Pos(),
+					"context.%s inside an http handler detaches work from the request's cancellation, deadline and server shutdown; use %s.Context() instead",
+					name, reqName)
+			}
+		}
+		return true
+	})
+}
+
+// requestName returns the *http.Request parameter's identifier for the
+// diagnostic, falling back to "r" when the parameter is unnamed.
+func requestName(ft *ast.FuncType) string {
+	if ft == nil || ft.Params == nil {
+		return "r"
+	}
+	for _, field := range ft.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		if sel, ok := star.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "Request" {
+			if len(field.Names) > 0 && field.Names[0].Name != "_" {
+				return field.Names[0].Name
+			}
+		}
+	}
+	return "r"
+}
+
+// isHandlerDecl reports whether fd has the http handler signature.
+func isHandlerDecl(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && isHandlerSig(sig)
+}
+
+// isHandlerLit reports whether lit has the http handler signature.
+func isHandlerLit(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	return ok && isHandlerSig(sig)
+}
+
+// isHandlerSig reports whether sig is
+// func(http.ResponseWriter, *http.Request) with no results.
+func isHandlerSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	return isHTTPNamed(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isPointerToHTTPNamed(sig.Params().At(1).Type(), "Request")
+}
+
+// isHTTPNamed reports whether t is net/http.<name>.
+func isHTTPNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// isPointerToHTTPNamed reports whether t is *net/http.<name>.
+func isPointerToHTTPNamed(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isHTTPNamed(ptr.Elem(), name)
+}

@@ -1,0 +1,12 @@
+package httpctx_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/httpctx"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), httpctx.Analyzer, "httpsrv")
+}

@@ -1,0 +1,69 @@
+// Package httpsrv is the httpctx fixture: handlers in every shape —
+// declared functions, methods, literals, and nested literals — plus
+// non-handler functions that the analyzer must leave alone.
+package httpsrv
+
+import (
+	"context"
+	"net/http"
+)
+
+// declared handler conjuring a fresh context.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background inside an http handler"
+	_ = ctx
+	_ = w
+	_ = r
+}
+
+// declared handler using the request context: clean.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+	_ = w
+}
+
+type server struct{}
+
+// method handler with TODO; the diagnostic names the request parameter.
+func (server) handle(w http.ResponseWriter, req *http.Request) {
+	ctx := context.TODO() // want "context.TODO inside an http handler detaches work from the request's cancellation, deadline and server shutdown; use req.Context\(\) instead"
+	_ = ctx
+	_ = w
+	_ = req
+}
+
+// wire registers a literal handler; the literal's body is checked.
+func wire(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		_ = context.Background() // want "context.Background inside an http handler"
+		_ = w
+		_ = r
+	})
+}
+
+// nested puts one handler literal inside another: the inner call is
+// reported exactly once, attributed to the inner handler.
+func nested(w http.ResponseWriter, r *http.Request) {
+	inner := func(w2 http.ResponseWriter, r2 *http.Request) {
+		_ = context.Background() // want "use r2.Context\(\) instead"
+		_ = w2
+		_ = r2
+	}
+	inner(w, r)
+}
+
+// allowed documents a deliberate detachment.
+func allowed(w http.ResponseWriter, r *http.Request) {
+	//lint:allow httpctx background job survives the request by design
+	_ = context.Background()
+	_ = w
+	_ = r
+}
+
+// notAHandler has the wrong signature, so fresh contexts are httpctx's
+// concern only when ctxflow (a different analyzer) owns the package.
+func notAHandler(r *http.Request) context.Context {
+	_ = r
+	return context.Background()
+}

@@ -48,9 +48,12 @@ func (s Space) Signature() string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// SaveCheckpoint writes the completed entries of a sweep atomically
-// (temp file + rename), so a kill mid-write never corrupts the previous
-// checkpoint.
+// SaveCheckpoint writes the completed entries of a sweep durably and
+// atomically: the temp file is written and fsynced before the rename,
+// and the directory is fsynced after it, so neither a kill mid-write nor
+// a power loss right after the rename can leave a corrupt or vanished
+// checkpoint (rename alone orders nothing on a crash — the metadata can
+// land before the data blocks).
 func SaveCheckpoint(path string, s Space, values []float64, completed []int) error {
 	ck := Checkpoint{Version: checkpointVersion, Signature: s.Signature()}
 	ck.Indices = append([]int(nil), completed...)
@@ -67,16 +70,54 @@ func SaveCheckpoint(path string, s Space, values []float64, completed []int) err
 		return err
 	}
 	data = append(data, '\n')
-	tmp := path + ".tmp"
-	if dir := filepath.Dir(path); dir != "" {
+	dir := filepath.Dir(path)
+	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
 	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so the
+// bytes are on stable storage before the caller publishes the file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Platforms that refuse to fsync directories (the error shows up on some
+// filesystems and on Windows) degrade to the pre-sync behavior.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
 }
 
 // LoadCheckpoint reads and validates a checkpoint file. The caller is

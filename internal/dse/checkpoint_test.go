@@ -1,0 +1,86 @@
+package dse
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tinySpace returns a 2-point space for checkpoint tests.
+func tinySpace(t *testing.T) Space {
+	t.Helper()
+	s, err := NewSpace(
+		Param{Name: "x", Values: []float64{1, 2}},
+	)
+	if err != nil {
+		t.Fatalf("space: %v", err)
+	}
+	return s
+}
+
+// TestSaveCheckpointDurable is the regression test for the fsync fix:
+// the rename must be the last visible step — no temp file may survive a
+// successful save — and the published file must load back exactly, both
+// on first write and when overwriting an existing checkpoint (the
+// crash-consistency property itself needs a power cut to observe; what
+// the test pins is the write → sync → rename → dir-sync sequence
+// completing and leaving only the final file).
+func TestSaveCheckpointDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	s := tinySpace(t)
+
+	if err := SaveCheckpoint(path, s, []float64{3.5, 7.25}, []int{0, 1}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the save: %v", err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(ck.Indices) != 2 || ck.Values[0] != 3.5 || ck.Values[1] != 7.25 {
+		t.Fatalf("loaded %+v", ck)
+	}
+
+	// Overwrite: the second save replaces the first atomically.
+	if err := SaveCheckpoint(path, s, []float64{9, 7.25}, []int{0}); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	ck, err = LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if len(ck.Indices) != 1 || ck.Indices[0] != 0 || ck.Values[0] != 9 {
+		t.Fatalf("overwrite loaded %+v", ck)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the overwrite: %v", err)
+	}
+}
+
+// TestSaveCheckpointCreatesParentDir covers the nested-directory path of
+// the durable save (MkdirAll before the synced write).
+func TestSaveCheckpointCreatesParentDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "ck.json")
+	if err := SaveCheckpoint(path, tinySpace(t), []float64{1, 2}, []int{1}); err != nil {
+		t.Fatalf("save into nested dir: %v", err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(ck.Indices) != 1 || ck.Indices[0] != 1 || ck.Values[0] != 2 {
+		t.Fatalf("loaded %+v", ck)
+	}
+}
+
+// TestWriteFileSyncReportsWriteErrors pins the error path: a directory
+// target must fail at open, not be swallowed by the sync sequence.
+func TestWriteFileSyncReportsWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFileSync(dir, []byte("x")); err == nil {
+		t.Fatalf("writing over a directory succeeded")
+	}
+}

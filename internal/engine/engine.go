@@ -396,6 +396,14 @@ func (e *Engine) CacheLen() int {
 	return e.cache.len()
 }
 
+// CacheCap returns the memo cache capacity (0 when caching is disabled).
+func (e *Engine) CacheCap() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.capacity
+}
+
 // isContextErr reports whether err marks cancellation or a deadline
 // rather than an evaluation fault.
 func isContextErr(err error) bool {

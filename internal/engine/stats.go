@@ -53,6 +53,28 @@ type Stats struct {
 	WallTime time.Duration `json:"wall_time_ns"`
 }
 
+// Snapshot bundles the engine's static shape with its live counters —
+// the /readyz payload of internal/server and the enginebench report
+// both serialize it, so the JSON field names are part of the tool
+// contract and covered by tests.
+type Snapshot struct {
+	// Workers is the engine's concurrency bound.
+	Workers int `json:"workers"`
+	// CacheCapacity is the memo cache bound (0: caching disabled).
+	CacheCapacity int `json:"cache_capacity"`
+	// Stats is the live counter snapshot.
+	Stats Stats `json:"stats"`
+}
+
+// Snapshot returns the engine's shape and counters in one value.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		Workers:       e.Workers(),
+		CacheCapacity: e.CacheCap(),
+		Stats:         e.Stats(),
+	}
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{

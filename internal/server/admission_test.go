@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdmissionSlotsAndQueue(t *testing.T) {
+	a := newAdmission(2, 1)
+	ctx := context.Background()
+
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if a.inUse() != 2 {
+		t.Fatalf("inUse = %d, want 2", a.inUse())
+	}
+
+	// Third caller queues; it must unblock when a slot frees.
+	got := make(chan error, 1)
+	go func() { got <- a.acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.waiting() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.waiting() != 1 {
+		t.Fatalf("waiting = %d, want 1", a.waiting())
+	}
+
+	// Fourth caller overflows the queue and is shed synchronously.
+	if err := a.acquire(ctx); !errors.Is(err, errSaturated) {
+		t.Fatalf("overflow acquire = %v, want errSaturated", err)
+	}
+
+	a.release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if a.inUse() != 2 || a.waiting() != 0 {
+		t.Fatalf("after handoff: inUse=%d waiting=%d, want 2/0", a.inUse(), a.waiting())
+	}
+}
+
+func TestAdmissionQueuedCancel(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- a.acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.waiting() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
+	}
+	if a.waiting() != 0 {
+		t.Fatalf("waiting = %d after cancel, want 0", a.waiting())
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{100 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Fatalf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestJSONFloatRoundTrip(t *testing.T) {
+	cases := []struct {
+		v    float64
+		wire string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+	}
+	for _, tc := range cases {
+		data, err := json.Marshal(jsonFloat(tc.v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", tc.v, err)
+		}
+		if string(data) != tc.wire {
+			t.Fatalf("marshal %v = %s, want %s", tc.v, data, tc.wire)
+		}
+		var back jsonFloat
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if float64(back) != tc.v {
+			t.Fatalf("round trip %v -> %v", tc.v, back)
+		}
+	}
+
+	// NaN cannot compare equal; check it survives structurally.
+	data, err := json.Marshal(jsonFloat(math.NaN()))
+	if err != nil {
+		t.Fatalf("marshal NaN: %v", err)
+	}
+	if string(data) != `"NaN"` {
+		t.Fatalf("marshal NaN = %s", data)
+	}
+	var back jsonFloat
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal NaN: %v", err)
+	}
+	if !math.IsNaN(float64(back)) {
+		t.Fatalf("NaN round trip lost NaN-ness: %v", back)
+	}
+}
+
+func TestOrderedEmitterResequences(t *testing.T) {
+	rec := httptest.NewRecorder()
+	out := newNDJSONWriter(rec)
+	o := newOrderedEmitter(out)
+
+	type frame struct {
+		I int `json:"i"`
+	}
+	for _, i := range []int{2, 0, 3, 1, 4} {
+		o.Add(i, frame{I: i})
+	}
+	lines := strings.Fields(strings.TrimSpace(rec.Body.String()))
+	if len(lines) != 5 {
+		t.Fatalf("emitted %d lines, want 5", len(lines))
+	}
+	for i, line := range lines {
+		var f frame
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if f.I != i {
+			t.Fatalf("line %d carries index %d; submission order violated", i, f.I)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/robust"
+	"repro/internal/solve"
+)
+
+// Stable error codes of the JSON error envelope. Clients dispatch on the
+// code, never on the message text, so the set below is part of the wire
+// contract (DESIGN.md §10) and existing values must not change meaning.
+const (
+	// CodeBadRequest marks a syntactically broken request: unparseable
+	// JSON, a missing body, an unusable query parameter.
+	CodeBadRequest = "bad_request"
+	// CodeValidation marks a well-formed request with semantically invalid
+	// content: out-of-domain parameter overrides, a malformed space, a
+	// point of the wrong dimension.
+	CodeValidation = "validation"
+	// CodeNotFound marks an unknown route or an unknown catalog entry.
+	CodeNotFound = "not_found"
+	// CodeOverloaded is the admission controller's load-shedding answer;
+	// the response carries a Retry-After header.
+	CodeOverloaded = "overloaded"
+	// CodeUnavailable is returned while the server is draining for
+	// shutdown.
+	CodeUnavailable = "unavailable"
+	// CodeTimeout marks a request that exceeded its evaluation deadline.
+	CodeTimeout = "timeout"
+	// CodeCanceled marks a request abandoned by the client before the
+	// evaluation finished.
+	CodeCanceled = "canceled"
+	// CodeConvergence marks an analytic solve that failed to converge
+	// (solve.ConvergenceError); details carry the solver diagnostics.
+	CodeConvergence = "convergence"
+	// CodeEvaluatorPanic marks an evaluation whose panic the engine
+	// isolated but could not retry into success.
+	CodeEvaluatorPanic = "evaluator_panic"
+	// CodeEvaluationFailed marks an evaluation whose final outcome after
+	// retries was an error other than a panic or cancellation.
+	CodeEvaluationFailed = "evaluation_failed"
+	// CodeInternal marks a server-side fault (isolated handler panic,
+	// unexpected error class).
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the payload of every non-2xx JSON response.
+type ErrorBody struct {
+	Code    string            `json:"code"`
+	Message string            `json:"message"`
+	Details map[string]string `json:"details,omitempty"`
+}
+
+// errorEnvelope is the wire shape: the error object under a single
+// "error" key, so success and failure payloads can never be confused.
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// validationError marks request-content failures so classify maps them to
+// CodeValidation rather than CodeInternal.
+type validationError struct{ msg string }
+
+func (e *validationError) Error() string { return e.msg }
+
+// validationf builds a validation error.
+func validationf(format string, args ...interface{}) error {
+	return &validationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// notFoundError marks unknown-catalog-entry failures.
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string { return e.msg }
+
+// notFoundf builds a not-found error.
+func notFoundf(format string, args ...interface{}) error {
+	return &notFoundError{msg: fmt.Sprintf(format, args...)}
+}
+
+// classify maps an error from the evaluation stack onto the stable
+// (HTTP status, code, details) triple of the envelope contract.
+func classify(err error) (int, ErrorBody) {
+	var ve *validationError
+	var nf *notFoundError
+	var ce *solve.ConvergenceError
+	var pe *robust.PanicError
+	switch {
+	case errors.As(err, &nf):
+		return http.StatusNotFound, ErrorBody{Code: CodeNotFound, Message: nf.msg}
+	case errors.As(err, &ve):
+		return http.StatusBadRequest, ErrorBody{Code: CodeValidation, Message: ve.msg}
+	case errors.Is(err, core.ErrInvalidApp):
+		return http.StatusBadRequest, ErrorBody{Code: CodeValidation, Message: err.Error()}
+	case errors.As(err, &ce):
+		return http.StatusUnprocessableEntity, ErrorBody{
+			Code:    CodeConvergence,
+			Message: err.Error(),
+			Details: map[string]string{
+				"method":     ce.Method,
+				"iterations": fmt.Sprintf("%d", ce.Iterations),
+				"residual":   fmt.Sprintf("%g", ce.Residual),
+			},
+		}
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, ErrorBody{Code: CodeEvaluatorPanic, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, ErrorBody{Code: CodeTimeout, Message: "evaluation deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		// 499 is the de-facto "client closed request" status; there is no
+		// stdlib constant for it.
+		return 499, ErrorBody{Code: CodeCanceled, Message: "request canceled"}
+	default:
+		return http.StatusUnprocessableEntity, ErrorBody{Code: CodeEvaluationFailed, Message: err.Error()}
+	}
+}
+
+// writeError renders err as the JSON envelope with the classified status.
+func writeError(w http.ResponseWriter, err error) {
+	status, body := classify(err)
+	writeErrorBody(w, status, body)
+}
+
+// writeErrorBody renders an explicit envelope.
+func writeErrorBody(w http.ResponseWriter, status int, body ErrorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a flat struct of strings cannot fail; the error return is
+	// the client hanging up mid-write, which has no remedy here.
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: body})
+}

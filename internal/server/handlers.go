@@ -1,0 +1,552 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aps"
+	"repro/internal/dse"
+	"repro/internal/engine"
+	"repro/internal/robust"
+)
+
+// maxRequestBody bounds every request body read; the largest legitimate
+// payload (a full batch of DefaultMaxBatchPoints six-float points) stays
+// well inside it.
+const maxRequestBody = 64 << 20
+
+// decodeJSON reads one JSON document from the request into v, rejecting
+// trailing garbage and unknown fields so client typos fail loudly.
+func decodeJSON(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return validationf("server: decoding request: %v", err)
+	}
+	if dec.More() {
+		return validationf("server: trailing data after JSON document")
+	}
+	return nil
+}
+
+// writeJSON renders v as the 200 response. An encode failure here means
+// the client hung up mid-write; the headers are gone, nothing to repair.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- status plane ---------------------------------------------------
+
+// handleHealthz is pure liveness: the process answers.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// readyzResponse is the /readyz payload: readiness plus the engine and
+// server statistics (stable JSON field names, covered by tests).
+type readyzResponse struct {
+	Ready  bool            `json:"ready"`
+	Server Stats           `json:"server"`
+	Engine engine.Snapshot `json:"engine"`
+	Models []string        `json:"models"`
+}
+
+// handleReadyz reports readiness: 200 while serving, 503 once draining,
+// both with the full statistics payload so operators see the state that
+// produced the answer.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := readyzResponse{
+		Ready:  s.Ready(),
+		Server: s.Stats(),
+		Engine: s.eng.Snapshot(),
+		Models: s.catalog.Names(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleMetrics serves the obs registry's Prometheus-style exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WriteText(w)
+}
+
+// --- single evaluation ----------------------------------------------
+
+// EvaluateRequest asks for one design point's objective value.
+type EvaluateRequest struct {
+	Model     ModelSpec     `json:"model"`
+	Evaluator EvaluatorSpec `json:"evaluator,omitzero"`
+	// Point is the six-dimensional design point (A0, A1, A2, N, issue,
+	// ROB) in paper order.
+	Point []float64 `json:"point"`
+}
+
+// EvaluateResponse is one scored point. Value is +Inf for infeasible
+// configurations (feasible=false), encoded as the string "+Inf".
+type EvaluateResponse struct {
+	Value    jsonFloat `json:"value"`
+	Feasible bool      `json:"feasible"`
+	CacheHit bool      `json:"cache_hit"`
+	Shared   bool      `json:"shared"`
+	Attempts int       `json:"attempts"`
+}
+
+// resolveWork builds the (model, evaluator) pair shared by the four work
+// endpoints.
+func (s *Server) resolveWork(m ModelSpec, e EvaluatorSpec) (dse.CtxEvaluator, error) {
+	model, err := s.catalog.Resolve(m)
+	if err != nil {
+		return nil, err
+	}
+	return s.catalog.Evaluator(model, e)
+}
+
+// handleEvaluate scores one point through the shared engine.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if len(req.Point) != 6 {
+		s.fail(w, validationf("server: point has %d dims, want 6 (A0, A1, A2, N, issue, ROB)", len(req.Point)))
+		return
+	}
+	ev, err := s.resolveWork(req.Model, req.Evaluator)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	out := s.eng.Do(r.Context(), ev, req.Point)
+	if out.Err != nil {
+		s.fail(w, out.Err)
+		return
+	}
+	writeJSON(w, EvaluateResponse{
+		Value:    jsonFloat(out.Value),
+		Feasible: !math.IsInf(out.Value, 1) && !math.IsNaN(out.Value),
+		CacheHit: out.CacheHit,
+		Shared:   out.Shared,
+		Attempts: out.Attempts,
+	})
+}
+
+// fail counts and renders an error envelope.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.errors.Add(1)
+	s.obsErrors.Add(1)
+	writeError(w, err)
+}
+
+// --- batch evaluation ------------------------------------------------
+
+// BatchRequest asks for many points; results stream back as NDJSON in
+// submission order.
+type BatchRequest struct {
+	Model     ModelSpec     `json:"model"`
+	Evaluator EvaluatorSpec `json:"evaluator,omitzero"`
+	Points    [][]float64   `json:"points"`
+}
+
+// BatchResult is one NDJSON line of a batch response.
+type BatchResult struct {
+	Index    int        `json:"index"`
+	Value    *jsonFloat `json:"value,omitempty"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Shared   bool       `json:"shared,omitempty"`
+	Attempts int        `json:"attempts,omitempty"`
+	Error    *ErrorBody `json:"error,omitempty"`
+}
+
+// BatchSummary is the final NDJSON line of a batch response.
+type BatchSummary struct {
+	Done      bool         `json:"done"`
+	Points    int          `json:"points"`
+	CacheHits int          `json:"cache_hits"`
+	Errors    int          `json:"errors"`
+	Canceled  bool         `json:"canceled,omitempty"`
+	ElapsedMS int64        `json:"elapsed_ms"`
+	Engine    engine.Stats `json:"engine"`
+}
+
+// handleBatch fans the points out through engine.EvaluateStream and
+// streams each outcome as one NDJSON line, re-sequenced into submission
+// order. Per-point failures are lines with an error field, not request
+// failures; the stream always ends with a summary line.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		s.fail(w, validationf("server: batch carries no points"))
+		return
+	}
+	if len(req.Points) > s.opts.MaxBatchPoints {
+		s.fail(w, validationf("server: batch of %d points exceeds the %d-point bound", len(req.Points), s.opts.MaxBatchPoints))
+		return
+	}
+	for i, p := range req.Points {
+		if len(p) != 6 {
+			s.fail(w, validationf("server: point %d has %d dims, want 6", i, len(p)))
+			return
+		}
+	}
+	ev, err := s.resolveWork(req.Model, req.Evaluator)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	start := time.Now()
+	stats0 := s.eng.Stats()
+	out := newNDJSONWriter(w)
+	ordered := newOrderedEmitter(out)
+	hits, failures := 0, 0
+	streamErr := s.eng.EvaluateStream(r.Context(), ev, req.Points, func(i int, o engine.Outcome) {
+		line := BatchResult{Index: i, CacheHit: o.CacheHit, Shared: o.Shared, Attempts: o.Attempts}
+		if o.Err != nil {
+			failures++
+			_, body := classify(o.Err)
+			line.Error = &body
+		} else {
+			v := jsonFloat(o.Value)
+			line.Value = &v
+		}
+		if o.CacheHit || o.Shared {
+			hits++
+		}
+		ordered.Add(i, line)
+	})
+	out.Emit(BatchSummary{
+		Done:      true,
+		Points:    len(req.Points),
+		CacheHits: hits,
+		Errors:    failures,
+		Canceled:  streamErr != nil,
+		ElapsedMS: time.Since(start).Milliseconds(),
+		Engine:    s.eng.Stats().Delta(stats0),
+	})
+}
+
+// --- streaming sweep -------------------------------------------------
+
+// SweepRequest runs a server-side resilient sweep over a space.
+type SweepRequest struct {
+	Model     ModelSpec     `json:"model"`
+	Evaluator EvaluatorSpec `json:"evaluator,omitzero"`
+	Space     SpaceSpec     `json:"space"`
+	// Indices restricts the sweep to these flat indices (nil: the whole
+	// space).
+	Indices []int `json:"indices,omitempty"`
+	// Checkpoint names a checkpoint file inside the server's checkpoint
+	// directory; Resume restores it before sweeping.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Resume     bool   `json:"resume,omitempty"`
+	// CheckpointEvery is the completed-evaluation cadence between
+	// periodic checkpoint writes (0: the sweep default).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// IncludeValues asks for the dense value slice in the result frame.
+	IncludeValues bool `json:"include_values,omitempty"`
+	// ProgressMS is the progress-frame cadence in milliseconds (0: 500).
+	ProgressMS int `json:"progress_ms,omitempty"`
+}
+
+// SweepProgress is a periodic NDJSON heartbeat of a running sweep.
+type SweepProgress struct {
+	Type string `json:"type"` // "progress"
+	// Evaluated counts raw evaluator invocations so far (cache hits do
+	// not appear here; they cost no evaluation).
+	Evaluated int64 `json:"evaluated"`
+	Total     int   `json:"total"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// SweepResult is the final NDJSON frame of a sweep response.
+type SweepResult struct {
+	Type      string          `json:"type"` // "result"
+	Report    dse.SweepReport `json:"report"`
+	BestIndex int             `json:"best_index"`
+	BestPoint []float64       `json:"best_point,omitempty"`
+	BestValue *jsonFloat      `json:"best_value,omitempty"`
+	Values    []jsonFloat     `json:"values,omitempty"`
+	Error     *ErrorBody      `json:"error,omitempty"`
+	Engine    engine.Stats    `json:"engine"`
+}
+
+// countingEvaluator wraps an evaluator with a raw-invocation counter for
+// per-request progress frames; the fingerprint forwards so memoization
+// still applies.
+type countingEvaluator struct {
+	inner robust.Evaluator
+	n     *atomic.Int64
+}
+
+func (c countingEvaluator) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	c.n.Add(1)
+	return c.inner.EvaluateCtx(ctx, point)
+}
+
+// Fingerprint implements engine.Fingerprinter by forwarding the wrapped
+// evaluator's identity (counting is transparent to memoization).
+func (c countingEvaluator) Fingerprint() string {
+	if f, ok := c.inner.(engine.Fingerprinter); ok {
+		return f.Fingerprint()
+	}
+	return ""
+}
+
+// withCount wraps ev with the counter, preserving cacheability: an
+// evaluator without a fingerprint stays anonymous (the engine must not
+// cache under an empty shared key).
+func withCount(ev dse.CtxEvaluator, n *atomic.Int64) dse.CtxEvaluator {
+	if f, ok := ev.(engine.Fingerprinter); ok && f.Fingerprint() != "" {
+		return countingEvaluator{inner: ev, n: n}
+	}
+	return robust.EvaluatorFunc(func(ctx context.Context, point []float64) (float64, error) {
+		n.Add(1)
+		return ev.EvaluateCtx(ctx, point)
+	})
+}
+
+// handleSweep runs dse.SweepCtx on the shared engine and streams NDJSON:
+// progress heartbeats while the sweep runs, then one result frame with
+// the structured report (and optionally the dense values).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	model, err := s.catalog.Resolve(req.Model)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	space, err := s.catalog.Space(model, req.Space)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ev, err := s.catalog.Evaluator(model, req.Evaluator)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	for _, idx := range req.Indices {
+		if idx < 0 || idx >= space.Size() {
+			s.fail(w, validationf("server: index %d outside space of %d points", idx, space.Size()))
+			return
+		}
+	}
+	ckPath, err := s.checkpointPath(req.Checkpoint)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Resume && ckPath == "" {
+		s.fail(w, validationf("server: resume requires a checkpoint name"))
+		return
+	}
+
+	var evaluated atomic.Int64
+	counted := withCount(ev, &evaluated)
+	opts := dse.SweepOptions{
+		Engine:          s.eng,
+		CheckpointPath:  ckPath,
+		CheckpointEvery: req.CheckpointEvery,
+		Resume:          req.Resume,
+	}
+	total := len(req.Indices)
+	if total == 0 {
+		total = space.Size()
+	}
+
+	cadence := time.Duration(req.ProgressMS) * time.Millisecond
+	if cadence <= 0 {
+		cadence = 500 * time.Millisecond
+	}
+	start := time.Now()
+	stats0 := s.eng.Stats()
+	out := newNDJSONWriter(w)
+
+	type sweepDone struct {
+		values []float64
+		report dse.SweepReport
+		err    error
+	}
+	doneCh := make(chan sweepDone, 1)
+	go func() {
+		values, report, err := dse.SweepCtx(r.Context(), counted, space, req.Indices, opts)
+		doneCh <- sweepDone{values: values, report: report, err: err}
+	}()
+
+	ticker := time.NewTicker(cadence)
+	defer ticker.Stop()
+	var done sweepDone
+	for waiting := true; waiting; {
+		select {
+		case done = <-doneCh:
+			waiting = false
+		case <-ticker.C:
+			out.Emit(SweepProgress{
+				Type:      "progress",
+				Evaluated: evaluated.Load(),
+				Total:     total,
+				ElapsedMS: time.Since(start).Milliseconds(),
+			})
+		}
+	}
+
+	frame := SweepResult{
+		Type:      "result",
+		Report:    done.report,
+		BestIndex: -1,
+		Engine:    s.eng.Stats().Delta(stats0),
+	}
+	if idx, val := dse.Best(done.values); idx >= 0 {
+		frame.BestIndex = idx
+		frame.BestPoint = space.Point(idx)
+		v := jsonFloat(val)
+		frame.BestValue = &v
+	}
+	if req.IncludeValues {
+		frame.Values = jsonFloats(done.values)
+	}
+	if done.err != nil && !errors.Is(done.err, context.Canceled) {
+		_, body := classify(done.err)
+		frame.Error = &body
+	}
+	out.Emit(frame)
+}
+
+// --- APS -------------------------------------------------------------
+
+// APSRequest runs the full Analysis-Plus-Simulation flow server-side.
+type APSRequest struct {
+	Model     ModelSpec     `json:"model"`
+	Evaluator EvaluatorSpec `json:"evaluator,omitzero"`
+	Space     SpaceSpec     `json:"space"`
+	// Radius widens the simulated neighborhood around the analytic
+	// optimum (0: the paper's issue×ROB-only slice).
+	Radius int `json:"radius,omitempty"`
+	// Metric selects the objective: "time" (default) or "time_per_work".
+	Metric     string `json:"metric,omitempty"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Resume     bool   `json:"resume,omitempty"`
+}
+
+// APSDesign is the analytic solution in response form.
+type APSDesign struct {
+	N        int       `json:"n"`
+	CoreArea jsonFloat `json:"a0"`
+	L1Area   jsonFloat `json:"a1"`
+	L2Area   jsonFloat `json:"a2"`
+	Time     jsonFloat `json:"time"`
+	Method   string    `json:"method"`
+	Regime   int       `json:"regime"`
+}
+
+// APSResponse is the JSON result of an APS run.
+type APSResponse struct {
+	Analytic       APSDesign       `json:"analytic"`
+	Snapped        []int           `json:"snapped"`
+	BestIndex      int             `json:"best_index"`
+	BestPoint      []float64       `json:"best_point,omitempty"`
+	BestValue      *jsonFloat      `json:"best_value,omitempty"`
+	Simulations    int             `json:"simulations"`
+	AnalyticPoints int             `json:"analytic_points"`
+	SpaceSize      int             `json:"space_size"`
+	Report         dse.SweepReport `json:"report"`
+	Engine         engine.Stats    `json:"engine"`
+}
+
+// handleAPS executes aps.RunCtx on the shared engine.
+func (s *Server) handleAPS(w http.ResponseWriter, r *http.Request) {
+	var req APSRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	model, err := s.catalog.Resolve(req.Model)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	space, err := s.catalog.Space(model, req.Space)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ev, err := s.catalog.Evaluator(model, req.Evaluator)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var metric aps.Metric
+	switch req.Metric {
+	case "", "time":
+		metric = aps.MetricTime
+	case "time_per_work":
+		metric = aps.MetricTimePerWork
+	default:
+		s.fail(w, validationf("server: unknown metric %q (want time or time_per_work)", req.Metric))
+		return
+	}
+	ckPath, err := s.checkpointPath(req.Checkpoint)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	res, err := aps.RunCtx(r.Context(), model, space, ev, aps.Options{
+		Engine: s.eng,
+		Radius: req.Radius,
+		Metric: metric,
+		Sweep: dse.SweepOptions{
+			CheckpointPath: ckPath,
+			Resume:         req.Resume,
+		},
+	})
+	if err != nil {
+		s.fail(w, fmt.Errorf("aps: %w", err))
+		return
+	}
+	resp := APSResponse{
+		Analytic: APSDesign{
+			N:        res.Analytic.Design.N,
+			CoreArea: jsonFloat(res.Analytic.Design.CoreArea),
+			L1Area:   jsonFloat(res.Analytic.Design.L1Area),
+			L2Area:   jsonFloat(res.Analytic.Design.L2Area),
+			Time:     jsonFloat(res.Analytic.Eval.Time),
+			Method:   res.Analytic.Method,
+			Regime:   int(res.Analytic.Regime),
+		},
+		Snapped:        res.Snapped,
+		BestIndex:      res.BestIdx,
+		Simulations:    res.Simulations,
+		AnalyticPoints: res.AnalyticPoints,
+		SpaceSize:      res.SpaceSize,
+		Report:         res.Report,
+		Engine:         res.Engine,
+	}
+	if res.BestIdx >= 0 {
+		resp.BestPoint = res.BestPoint
+		v := jsonFloat(res.BestValue)
+		resp.BestValue = &v
+	}
+	writeJSON(w, resp)
+}

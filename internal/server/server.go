@@ -1,0 +1,422 @@
+// Package server exposes the repository's evaluation stack — the
+// memoizing engine, the resilient DSE sweep and the APS flow — as a
+// zero-dependency (net/http-only) JSON service. One Server fronts one
+// shared engine.Engine, so every client's requests meet in the same
+// fingerprint-keyed memo cache: C²-Bound what-if queries are cheap per
+// point but arrive in large correlated batches, exactly the shape
+// request coalescing and memoization exploit.
+//
+// Endpoints (DESIGN.md §10 carries the full table):
+//
+//	POST /v1/evaluate        one design point, JSON in/out
+//	POST /v1/evaluate:batch  many points, NDJSON results in submission order
+//	POST /v1/sweep           server-side dse.SweepCtx, NDJSON progress frames
+//	POST /v1/aps             full aps.RunCtx, JSON result
+//	GET  /healthz            liveness (process up)
+//	GET  /readyz             readiness + engine/server statistics
+//	GET  /metrics            obs.Registry text exposition
+//
+// The load path has production semantics: a semaphore-based admission
+// controller with a bounded wait queue sheds overload as 429 +
+// Retry-After, every request runs under a deadline derived from the
+// ?timeout_ms cap, handlers are panic-isolated and report failures as
+// typed JSON error envelopes with stable codes, and Shutdown drains
+// in-flight work (cancelling stragglers so sweeps flush their
+// checkpoints) while /readyz reports 503.
+package server
+
+import (
+	"context"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Default knobs of Options; exported so the CLI help and the docs quote
+// one source of truth.
+const (
+	// DefaultMaxQueueFactor sizes the admission wait queue as a multiple
+	// of the concurrency bound when Options.MaxQueue is zero.
+	DefaultMaxQueueFactor = 4
+	// DefaultTimeout bounds a request that names no ?timeout_ms.
+	DefaultTimeout = 30 * time.Second
+	// DefaultMaxTimeout caps the ?timeout_ms a client may request.
+	DefaultMaxTimeout = 5 * time.Minute
+	// DefaultRetryAfter is the 429 Retry-After hint.
+	DefaultRetryAfter = 1 * time.Second
+	// DefaultMaxBatchPoints bounds the points of one batch request.
+	DefaultMaxBatchPoints = 1 << 17
+)
+
+// Options configures a new Server.
+type Options struct {
+	// Engine is the shared evaluation service behind every endpoint. Nil
+	// builds one from Workers and CacheSize.
+	Engine *engine.Engine
+	// Workers bounds engine parallelism when Engine is nil (≤0:
+	// GOMAXPROCS).
+	Workers int
+	// CacheSize is the private engine's memo capacity when Engine is nil
+	// (0: engine default).
+	CacheSize int
+
+	// MaxConcurrent bounds concurrently admitted work requests (≤0: the
+	// engine's worker count). Status endpoints bypass admission.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an admission slot (≤0:
+	// DefaultMaxQueueFactor × MaxConcurrent). Beyond it the server sheds
+	// with 429 + Retry-After.
+	MaxQueue int
+	// RetryAfter is the hint shed responses carry (≤0: DefaultRetryAfter).
+	RetryAfter time.Duration
+
+	// Timeout is the per-request evaluation deadline when the client
+	// names none (≤0: DefaultTimeout).
+	Timeout time.Duration
+	// MaxTimeout caps the client's ?timeout_ms (≤0: DefaultMaxTimeout).
+	MaxTimeout time.Duration
+
+	// MaxBatchPoints bounds one batch request's point count (≤0:
+	// DefaultMaxBatchPoints).
+	MaxBatchPoints int
+
+	// CheckpointDir enables sweep checkpoint/resume: requests name a
+	// checkpoint file (sanitized, no path separators) inside this
+	// directory. Empty rejects checkpointed requests.
+	CheckpointDir string
+
+	// Catalog is the named model registry (nil: DefaultCatalog).
+	Catalog *Catalog
+
+	// Tracer records server.* and engine.* spans (nil: tracing off).
+	Tracer *obs.Tracer
+	// Metrics receives the server_* instruments and backs /metrics (nil:
+	// a private registry, so /metrics always works).
+	Metrics *obs.Registry
+}
+
+// Stats is a snapshot of the server's own counters, reported by /readyz
+// beside the engine snapshot.
+type Stats struct {
+	// Requests counts every HTTP request received, status endpoints
+	// included.
+	Requests uint64 `json:"requests"`
+	// Admitted counts work requests that passed admission control.
+	Admitted uint64 `json:"admitted"`
+	// Shed counts work requests rejected with 429.
+	Shed uint64 `json:"shed"`
+	// Errors counts requests answered with an error envelope.
+	Errors uint64 `json:"errors"`
+	// Panics counts handler panics isolated by the recovery middleware.
+	Panics uint64 `json:"panics"`
+	// InFlight is the number of admitted requests currently executing.
+	InFlight int `json:"in_flight"`
+	// Queued is the number of requests waiting for an admission slot.
+	Queued int64 `json:"queued"`
+	// Draining reports that Shutdown has begun and /readyz answers 503.
+	Draining bool `json:"draining"`
+}
+
+// Server is the evaluation service. Build it with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	opts    Options
+	eng     *engine.Engine
+	catalog *Catalog
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+	adm     *admission
+	mux     *http.ServeMux
+
+	requests atomic.Uint64
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	errors   atomic.Uint64
+	panics   atomic.Uint64
+
+	obsRequests *obs.Counter
+	obsAdmitted *obs.Counter
+	obsShed     *obs.Counter
+	obsErrors   *obs.Counter
+	obsPanics   *obs.Counter
+	obsInflight *obs.Gauge
+	obsSeconds  *obs.Histogram
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	mu      sync.Mutex
+	cancels map[uint64]context.CancelFunc
+	nextID  uint64
+}
+
+// New builds a Server, its engine (when not shared) and its routes.
+func New(opts Options) *Server {
+	eng := opts.Engine
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	if eng == nil {
+		eng = engine.New(engine.Options{
+			Workers:   opts.Workers,
+			CacheSize: opts.CacheSize,
+			Tracer:    opts.Tracer,
+			Metrics:   metrics,
+		})
+	}
+	maxConc := opts.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = eng.Workers()
+	}
+	maxQueue := opts.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueueFactor * maxConc
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = DefaultRetryAfter
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.MaxTimeout <= 0 {
+		opts.MaxTimeout = DefaultMaxTimeout
+	}
+	if opts.MaxBatchPoints <= 0 {
+		opts.MaxBatchPoints = DefaultMaxBatchPoints
+	}
+	catalog := opts.Catalog
+	if catalog == nil {
+		catalog = DefaultCatalog()
+	}
+	s := &Server{
+		opts:    opts,
+		eng:     eng,
+		catalog: catalog,
+		tracer:  opts.Tracer,
+		metrics: metrics,
+		adm:     newAdmission(maxConc, maxQueue),
+		mux:     http.NewServeMux(),
+		cancels: make(map[uint64]context.CancelFunc),
+
+		obsRequests: metrics.Counter("server_requests_total"),
+		obsAdmitted: metrics.Counter("server_admitted_total"),
+		obsShed:     metrics.Counter("server_shed_total"),
+		obsErrors:   metrics.Counter("server_errors_total"),
+		obsPanics:   metrics.Counter("server_panics_total"),
+		obsInflight: metrics.Gauge("server_inflight"),
+		obsSeconds:  metrics.Histogram("server_request_seconds", obs.LatencyBuckets()),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("POST /v1/evaluate", s.work("server.evaluate", s.handleEvaluate))
+	s.mux.Handle("POST /v1/evaluate:batch", s.work("server.batch", s.handleBatch))
+	s.mux.Handle("POST /v1/sweep", s.work("server.sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/aps", s.work("server.aps", s.handleAPS))
+	return s
+}
+
+// Engine returns the server's evaluation engine (shared or private).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Metrics returns the registry backing /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests: s.requests.Load(),
+		Admitted: s.admitted.Load(),
+		Shed:     s.shed.Load(),
+		Errors:   s.errors.Load(),
+		Panics:   s.panics.Load(),
+		InFlight: s.adm.inUse(),
+		Queued:   s.adm.waiting(),
+		Draining: s.draining.Load(),
+	}
+}
+
+// Ready reports whether the server accepts work (false once Shutdown has
+// begun).
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.obsRequests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// StartDrain flips the server into draining mode: /readyz answers 503
+// and new work requests are rejected, while in-flight work continues.
+// Idempotent; Shutdown calls it first.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Shutdown gracefully stops the work plane: it drains in-flight
+// requests, and when ctx expires first it cancels them — a cancelled
+// sweep writes its final checkpoint on the way out — and still waits for
+// the handlers to unwind. The HTTP listener itself belongs to the
+// caller (http.Server.Shutdown); call StartDrain (or this) before
+// closing the listener so load balancers see /readyz flip first.
+// Returns ctx.Err() when the drain had to be forced.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelInflight()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// cancelInflight cancels every admitted request's context.
+func (s *Server) cancelInflight() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cancel := range s.cancels {
+		cancel()
+	}
+}
+
+// registerCancel tracks an in-flight request's cancel for forced drains.
+func (s *Server) registerCancel(cancel context.CancelFunc) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.cancels[id] = cancel
+	return id
+}
+
+// unregisterCancel forgets a finished request.
+func (s *Server) unregisterCancel(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cancels, id)
+}
+
+// work wraps an evaluation handler with the full load-path middleware:
+// drain rejection, admission control, the per-request deadline,
+// observability propagation, a request span, and panic isolation.
+func (s *Server) work(span string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.errors.Add(1)
+			s.obsErrors.Add(1)
+			writeErrorBody(w, http.StatusServiceUnavailable,
+				ErrorBody{Code: CodeUnavailable, Message: "server is draining"})
+			return
+		}
+		if err := s.adm.acquire(r.Context()); err != nil {
+			s.errors.Add(1)
+			s.obsErrors.Add(1)
+			if err == errSaturated {
+				s.shed.Add(1)
+				s.obsShed.Add(1)
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+				writeErrorBody(w, http.StatusTooManyRequests,
+					ErrorBody{Code: CodeOverloaded, Message: "admission queue full; retry later"})
+				return
+			}
+			writeError(w, err)
+			return
+		}
+		defer s.adm.release()
+		s.admitted.Add(1)
+		s.obsAdmitted.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		s.obsInflight.Add(1)
+		defer s.obsInflight.Add(-1)
+
+		timeout, err := s.requestTimeout(r)
+		if err != nil {
+			s.errors.Add(1)
+			s.obsErrors.Add(1)
+			writeErrorBody(w, http.StatusBadRequest, ErrorBody{Code: CodeBadRequest, Message: err.Error()})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		id := s.registerCancel(cancel)
+		defer s.unregisterCancel(id)
+		ctx = obs.ContextWithTracer(ctx, s.tracer)
+		ctx = obs.ContextWithMetrics(ctx, s.metrics)
+		ctx, sp := s.tracer.Start(ctx, span)
+		start := time.Now()
+		defer func() {
+			s.obsSeconds.Observe(time.Since(start).Seconds())
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.obsPanics.Add(1)
+				s.errors.Add(1)
+				s.obsErrors.Add(1)
+				if sp != nil {
+					sp.Annotate(obs.S("panic", "true"))
+					sp.Finish()
+				}
+				// Best effort: if the handler already streamed a body the
+				// envelope write fails silently, which is all HTTP offers.
+				writeErrorBody(w, http.StatusInternalServerError,
+					ErrorBody{Code: CodeInternal, Message: "internal server error"})
+				return
+			}
+			sp.Finish()
+		}()
+		h(w, r.WithContext(ctx))
+	})
+}
+
+// requestTimeout derives the request deadline from ?timeout_ms, clamped
+// to MaxTimeout; absent or zero selects the server default.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return s.opts.Timeout, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, validationf("server: timeout_ms %q is not a non-negative integer", raw)
+	}
+	if ms == 0 {
+		return s.opts.Timeout, nil
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d, nil
+}
+
+// checkpointName validates a client-supplied checkpoint name and maps it
+// into CheckpointDir. Only a single path element of word characters is
+// accepted, so requests cannot escape the configured directory.
+var checkpointNameRx = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+func (s *Server) checkpointPath(name string) (string, error) {
+	if name == "" {
+		return "", nil
+	}
+	if s.opts.CheckpointDir == "" {
+		return "", validationf("server: checkpointing disabled (no checkpoint directory configured)")
+	}
+	if !checkpointNameRx.MatchString(name) || name != filepath.Base(name) {
+		return "", validationf("server: invalid checkpoint name %q", name)
+	}
+	return filepath.Join(s.opts.CheckpointDir, name), nil
+}
