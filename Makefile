@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-json bench-obs bench-server serve figures figures-full examples cover fuzz-short clean
+.PHONY: all build vet lint test test-short race check bench bench-json bench-obs bench-server bench-tenants serve figures figures-full examples cover fuzz-short clean
 
 all: build vet lint test
 
@@ -13,7 +13,7 @@ vet:
 	$(GO) vet ./...
 
 # Domain-specific static analysis (see DESIGN.md §8): floatguard, errwrap,
-# ctxflow, httpctx, enginepath and paramdomain over every package.
+# ctxflow, httpctx, ctxsleep, enginepath and paramdomain over every package.
 lint:
 	$(GO) run ./cmd/c2vet ./...
 
@@ -47,6 +47,12 @@ bench-obs:
 # c2bound server, cold vs warm shared cache (see DESIGN.md §10).
 bench-server:
 	$(GO) run ./cmd/enginebench -server -per 4 -rounds 3 -clients 8 -out BENCH_server.json
+
+# Multi-tenant isolation: a flooder tenant saturates the admission gate
+# while a trickler sends 1 req/s; fails if the trickler is ever shed
+# (see DESIGN.md §11).
+bench-tenants:
+	$(GO) run ./cmd/enginebench -tenants -clients 16 -duration 10s -out BENCH_tenants.json
 
 # Run the evaluation service locally on :8080.
 serve:

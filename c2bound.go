@@ -273,7 +273,25 @@ type (
 	// reference entries by name so the memo cache is shared across
 	// clients.
 	ModelCatalog = server.Catalog
+	// TenantConfig declares one tenant of the service: API key,
+	// fair-share weight, concurrency quota and token-bucket rate limit
+	// (DESIGN.md §11). ServerOptions.Tenants installs the table;
+	// Server.SetTenants swaps it at runtime.
+	TenantConfig = server.TenantConfig
+	// Job is the persisted and reported record of one /v1/jobs
+	// submission: a durable, tenant-scoped background sweep or APS run
+	// that resumes from its own checkpoint across restarts.
+	Job = server.Job
+	// JobProgress is a running job's poll-time heartbeat.
+	JobProgress = server.JobProgress
 )
+
+// LoadTenantsFile reads a tenant table from a JSON file of the form
+// {"tenants": [...]} — the same file the server CLI's -tenants flag
+// names and SIGHUP re-reads.
+func LoadTenantsFile(path string) ([]TenantConfig, error) {
+	return server.LoadTenantsFile(path)
+}
 
 // NewServer builds the HTTP evaluation service.
 func NewServer(opts ServerOptions) *Server { return server.New(opts) }

@@ -1,7 +1,7 @@
 // Command c2bound-server serves the C²-Bound evaluation stack over HTTP:
-// single-point evaluation, NDJSON batches, server-side streaming sweeps
-// and the full APS flow, all against one shared memoizing engine (see
-// internal/server and DESIGN.md §10).
+// single-point evaluation, NDJSON batches, server-side streaming sweeps,
+// the full APS flow, and the asynchronous /v1/jobs resource, all against
+// one shared memoizing engine (see internal/server, DESIGN.md §10–11).
 //
 // Usage:
 //
@@ -9,11 +9,19 @@
 //	               [-max-concurrent n] [-max-queue n]
 //	               [-timeout 30s] [-max-timeout 5m]
 //	               [-checkpoint-dir dir] [-trace out.json]
+//	               [-tenants tenants.json] [-job-dir dir]
 //	               [-drain-timeout 30s]
+//
+// -tenants names a JSON file ({"tenants":[{name, key, weight, ...}]})
+// declaring per-tenant API keys, fair-share weights, quotas and rate
+// limits; SIGHUP re-reads it and swaps the table without dropping live
+// work. -job-dir enables /v1/jobs with durable records there; jobs found
+// running after a crash are adopted and resumed from their checkpoints.
 //
 // On SIGINT/SIGTERM the server drains: /readyz flips to 503, in-flight
 // requests finish (or are cancelled after -drain-timeout, which lets
-// checkpointed sweeps flush their state), then the listener closes.
+// checkpointed sweeps and jobs flush their state), then the listener
+// closes.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,19 +53,22 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultTimeout, "default per-request evaluation deadline")
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "largest client-requested ?timeout_ms")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for sweep checkpoints (empty: checkpointing off)")
+	tenantsPath := flag.String("tenants", "", "tenant table JSON (empty: open single-tenant mode; SIGHUP reloads)")
+	jobDir := flag.String("job-dir", "", "directory for durable /v1/jobs records (empty: jobs off)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON on exit")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on shutdown")
 	flag.Parse()
 
 	if err := run(*addr, *workers, *cache, *maxConcurrent, *maxQueue,
-		*timeout, *maxTimeout, *checkpointDir, *tracePath, *drainTimeout); err != nil {
+		*timeout, *maxTimeout, *checkpointDir, *tenantsPath, *jobDir,
+		*tracePath, *drainTimeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(addr string, workers, cache, maxConcurrent, maxQueue int,
-	timeout, maxTimeout time.Duration, checkpointDir, tracePath string,
-	drainTimeout time.Duration) error {
+	timeout, maxTimeout time.Duration, checkpointDir, tenantsPath, jobDir,
+	tracePath string, drainTimeout time.Duration) error {
 	var tracer *obs.Tracer
 	if tracePath != "" {
 		tracer = obs.NewTracer(0)
@@ -75,8 +87,15 @@ func run(addr string, workers, cache, maxConcurrent, maxQueue int,
 		Timeout:       timeout,
 		MaxTimeout:    maxTimeout,
 		CheckpointDir: checkpointDir,
+		JobDir:        jobDir,
 		Tracer:        tracer,
 	})
+	if tenantsPath != "" {
+		if err := loadTenants(srv, tenantsPath); err != nil {
+			return err
+		}
+		log.Printf("tenants: %s", strings.Join(srv.TenantNames(), ", "))
+	}
 
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -87,9 +106,25 @@ func run(addr string, workers, cache, maxConcurrent, maxQueue int,
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP swaps the tenant table in place; a broken file logs and
+	// keeps the old table, so a bad edit cannot take the service down.
+	if tenantsPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := loadTenants(srv, tenantsPath); err != nil {
+					log.Printf("tenants reload: %v (keeping previous table)", err)
+					continue
+				}
+				log.Printf("tenants reloaded: %s", strings.Join(srv.TenantNames(), ", "))
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (workers=%d, endpoints: evaluate, batch, sweep, aps)", addr, srv.Engine().Workers())
+		log.Printf("listening on %s (workers=%d, endpoints: evaluate, batch, sweep, aps, jobs)", addr, srv.Engine().Workers())
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -122,6 +157,18 @@ func run(addr string, workers, cache, maxConcurrent, maxQueue int,
 	}
 	log.Printf("%s", srv.Engine().Stats().String())
 	return <-errCh
+}
+
+// loadTenants reads the tenant file and swaps it into the server.
+func loadTenants(srv *server.Server, path string) error {
+	cfgs, err := server.LoadTenantsFile(path)
+	if err != nil {
+		return fmt.Errorf("tenants: %w", err)
+	}
+	if err := srv.SetTenants(cfgs); err != nil {
+		return fmt.Errorf("tenants: %w", err)
+	}
+	return nil
 }
 
 // writeTrace dumps the tracer's spans as Chrome trace_event JSON.

@@ -1,10 +1,11 @@
 // Command c2vet is the repository's domain-aware static-analysis suite:
-// a multichecker over the six analyzers under internal/analysis that
+// a multichecker over the seven analyzers under internal/analysis that
 // encode C²-Bound's cross-cutting invariants — floating-point hygiene
 // (floatguard), error-chain wrapping and no library panics (errwrap),
 // the cancellation contract (ctxflow), request-scoped contexts in HTTP
-// handlers (httpctx), engine-routed evaluation (enginepath) and
-// documented parameter domains (paramdomain).
+// handlers (httpctx), no blind time.Sleep in cancellable or serving-layer
+// code (ctxsleep), engine-routed evaluation (enginepath) and documented
+// parameter domains (paramdomain).
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/ctxsleep"
 	"repro/internal/analysis/enginepath"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/floatguard"
@@ -36,6 +38,7 @@ var suite = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	enginepath.Analyzer,
 	httpctx.Analyzer,
+	ctxsleep.Analyzer,
 	errwrap.Analyzer,
 	floatguard.Analyzer,
 	paramdomain.Analyzer,

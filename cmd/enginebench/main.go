@@ -8,7 +8,7 @@
 // Usage:
 //
 //	enginebench [-out file] [-per k] [-rounds n] [-workers n]
-//	            [-obs file] [-server] [-clients n]
+//	            [-obs file] [-server] [-tenants] [-clients n] [-duration d]
 //	            [-trace out.json] [-metrics] [-cpuprofile out.pprof]
 //
 // With -server the command instead load-tests the HTTP serving path: it
@@ -16,6 +16,13 @@
 // it with -clients concurrent HTTP clients batching the space through
 // POST /v1/evaluate:batch, cold then warm, writing the report (typically
 // to BENCH_server.json via `make bench-server`).
+//
+// With -tenants the command runs the adversarial multi-tenant scenario:
+// a flooder tenant saturates the admission gate with -clients concurrent
+// clients for -duration while a trickler tenant sends one request per
+// second, and the report records whether the trickler's tail latency and
+// shed count survived the flood (typically to BENCH_tenants.json via
+// `make bench-tenants`). The run fails if the trickler is ever shed.
 //
 // With -obs the command instead runs the benchmark twice — once with
 // observability disabled (nil tracer and registry) and once with a live
@@ -74,7 +81,9 @@ func main() {
 	workers := flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
 	obsOut := flag.String("obs", "", "run disabled-vs-enabled observability comparison and write it to this JSON file")
 	serverMode := flag.Bool("server", false, "benchmark the HTTP serving path (c2bound-server) instead of the in-process engine")
-	clients := flag.Int("clients", 8, "concurrent HTTP clients in -server mode")
+	tenantsMode := flag.Bool("tenants", false, "run the adversarial flooder-vs-trickler fair-share scenario")
+	clients := flag.Int("clients", 8, "concurrent HTTP clients in -server and -tenants modes")
+	duration := flag.Duration("duration", 10*time.Second, "flood length in -tenants mode")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	metricsOut := flag.Bool("metrics", false, "print the metrics registry snapshot on exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -98,6 +107,10 @@ func main() {
 	}
 	if *serverMode {
 		runServerBench(*out, *per, *rounds, *workers, *clients)
+		return
+	}
+	if *tenantsMode {
+		runTenantBench(*out, *workers, *clients, *duration)
 		return
 	}
 

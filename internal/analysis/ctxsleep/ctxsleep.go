@@ -1,0 +1,137 @@
+// Package ctxsleep guards the serving and job planes against blind
+// blocking: time.Sleep ignores every cancellation signal, so a poll or
+// backoff loop built on it keeps a goroutine (and often an admission or
+// engine slot) alive after the client has disconnected, the deadline has
+// fired, or the server has begun draining. The repository's contract is
+// that anything that waits in a cancellable code path waits on a timer
+// tied to the context:
+//
+//	t := time.NewTimer(d)
+//	defer t.Stop()
+//	select {
+//	case <-ctx.Done():
+//	    return ctx.Err()
+//	case <-t.C:
+//	}
+//
+// The analyzer flags time.Sleep calls in two scopes: (1) anywhere inside
+// a package whose import path ends in "server" or "jobs" — the serving
+// layer has no code path where blind sleeping is correct — and (2) in
+// any package, inside a function that takes a context.Context or has the
+// http handler signature, because such a function has a cancellation
+// signal it would be ignoring. Deliberate exceptions carry the usual
+// `//lint:allow ctxsleep <reason>`.
+package ctxsleep
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxsleep check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxsleep",
+	Doc:  "flag time.Sleep in server/jobs packages and in context-aware functions; waits must ride a timer tied to ctx",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	serving := servingPackage(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				checkBody(pass, fn.Body, serving || cancellableDecl(pass, fn))
+				return false
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body, serving || cancellableLit(pass, fn))
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody reports time.Sleep calls in one function body when the
+// enclosing scope is cancellable (or the whole package is serving-layer).
+// Nested literals re-evaluate their own signature: a context-less helper
+// literal inside a cancellable function inherits the cancellable scope
+// (the signal is in lexical reach), while a cancellable literal inside a
+// plain function starts its own scope.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, cancellable bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkBody(pass, lit.Body, cancellable || cancellableLit(pass, lit))
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cancellable && analysis.IsPkgCall(pass.TypesInfo, call, "time", "Sleep") {
+			pass.Reportf(call.Pos(),
+				"time.Sleep ignores cancellation in a context-aware code path; wait on a time.NewTimer/select with ctx.Done() instead")
+		}
+		return true
+	})
+}
+
+// servingPackage reports whether the import path names the serving or
+// job layer, where every wait must be cancellable regardless of the
+// enclosing signature.
+func servingPackage(path string) bool {
+	return strings.HasSuffix(path, "/server") || path == "server" ||
+		strings.HasSuffix(path, "/jobs") || path == "jobs"
+}
+
+// cancellableDecl reports whether fd takes a context.Context or is an
+// http handler.
+func cancellableDecl(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && cancellableSig(sig)
+}
+
+// cancellableLit reports whether lit takes a context.Context or is an
+// http handler.
+func cancellableLit(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	return ok && cancellableSig(sig)
+}
+
+// cancellableSig reports whether sig carries a cancellation signal: a
+// context.Context parameter anywhere, or the http handler shape (whose
+// *http.Request owns one).
+func cancellableSig(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, ok := sig.Params().At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	if sig.Params().Len() == 2 && sig.Results().Len() == 0 {
+		if ptr, ok := sig.Params().At(1).Type().(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok {
+				obj := named.Obj()
+				return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+			}
+		}
+	}
+	return false
+}

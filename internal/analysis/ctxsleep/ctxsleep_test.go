@@ -1,0 +1,13 @@
+package ctxsleep_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxsleep"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxsleep.Analyzer, "sleepy")
+	analysistest.Run(t, analysistest.TestData(t), ctxsleep.Analyzer, "server")
+}

@@ -1,0 +1,18 @@
+// Package server is the ctxsleep fixture for the package-scoped rule:
+// in a serving-layer package (import path ending in "server" or "jobs")
+// every time.Sleep is flagged, context parameter or not.
+package server
+
+import "time"
+
+// even a plain function must not block blind in the serving layer.
+func backoff() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep ignores cancellation"
+}
+
+// goroutine bodies too.
+func spawn() {
+	go func() {
+		time.Sleep(time.Second) // want "time.Sleep ignores cancellation"
+	}()
+}

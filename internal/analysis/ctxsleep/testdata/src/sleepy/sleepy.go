@@ -1,0 +1,58 @@
+// Package sleepy is the ctxsleep fixture for the signature-scoped rule:
+// only functions holding a cancellation signal (a ctx parameter or the
+// http handler shape) are checked here.
+package sleepy
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// ctx-aware function sleeping blind: flagged.
+func pollBad(ctx context.Context) {
+	for ctx.Err() == nil {
+		time.Sleep(time.Second) // want "time.Sleep ignores cancellation in a context-aware code path"
+	}
+}
+
+// the sanctioned idiom: clean.
+func pollGood(ctx context.Context) error {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// no cancellation signal in reach: the analyzer stays quiet.
+func plain() {
+	time.Sleep(time.Millisecond)
+}
+
+// http handlers own a request context: flagged.
+func handler(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Second) // want "time.Sleep ignores cancellation"
+	_ = w
+	_ = r
+}
+
+// a context-less literal inside a ctx-aware function still has the
+// signal in lexical reach: flagged.
+func nested(ctx context.Context) {
+	retry := func() {
+		time.Sleep(time.Second) // want "time.Sleep ignores cancellation"
+	}
+	retry()
+	_ = ctx
+}
+
+// a deliberate, documented exception.
+func allowed(ctx context.Context) {
+	//lint:allow ctxsleep warm-up delay before the ctx plumbing exists
+	time.Sleep(time.Millisecond)
+	_ = ctx
+}

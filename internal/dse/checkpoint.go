@@ -76,24 +76,35 @@ func SaveCheckpoint(path string, s Space, values []float64, completed []int) err
 			return err
 		}
 	}
-	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, data); err != nil {
+	// The temp name is unique per writer (CreateTemp), not a fixed
+	// path+".tmp": two concurrent savers aiming at the same checkpoint
+	// used to interleave on one temp file and rename each other's partial
+	// bytes into place. Each writer now publishes only a file it wrote
+	// whole; last rename wins and both renamed states are complete.
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := writeSync(tmp, data); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return err
 	}
 	return syncDir(dir)
 }
 
-// writeFileSync writes data to path and fsyncs it before closing, so the
-// bytes are on stable storage before the caller publishes the file.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+// writeSync writes data to the open file and fsyncs it before closing,
+// so the bytes are on stable storage before the caller publishes the
+// file.
+func writeSync(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		f.Close()
 		return err
 	}
-	if _, err := f.Write(data); err != nil {
+	if err := f.Chmod(0o644); err != nil {
 		f.Close()
 		return err
 	}

@@ -3,6 +3,7 @@ package dse
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -76,11 +77,67 @@ func TestSaveCheckpointCreatesParentDir(t *testing.T) {
 	}
 }
 
-// TestWriteFileSyncReportsWriteErrors pins the error path: a directory
-// target must fail at open, not be swallowed by the sync sequence.
-func TestWriteFileSyncReportsWriteErrors(t *testing.T) {
+// TestSaveCheckpointReportsWriteErrors pins the error path: a target
+// whose parent cannot be a directory must fail at the temp-file stage,
+// not be swallowed by the sync sequence.
+func TestSaveCheckpointReportsWriteErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := writeFileSync(dir, []byte("x")); err == nil {
-		t.Fatalf("writing over a directory succeeded")
+	blocker := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatalf("seed blocker file: %v", err)
+	}
+	path := filepath.Join(blocker, "ck.json")
+	if err := SaveCheckpoint(path, tinySpace(t), []float64{1, 2}, []int{1}); err == nil {
+		t.Fatalf("saving under a file-as-directory succeeded")
+	}
+}
+
+// TestSaveCheckpointConcurrentSavers is the regression test for the
+// temp-file collision: with a fixed "<path>.tmp" name, two concurrent
+// savers could rename each other's half-written bytes into place. With
+// unique temp files, every interleaving publishes some complete
+// checkpoint, and no temp debris survives.
+func TestSaveCheckpointConcurrentSavers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	s := tinySpace(t)
+
+	const savers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	for i := 0; i < savers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each saver writes its own recognizable payload.
+			v := float64(i)
+			for r := 0; r < rounds; r++ {
+				if err := SaveCheckpoint(path, s, []float64{v, v}, []int{0, 1}); err != nil {
+					t.Errorf("saver %d round %d: %v", i, r, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("load after concurrent saves: %v", err)
+	}
+	if len(ck.Values) != 2 || ck.Values[0] != ck.Values[1] {
+		t.Fatalf("torn checkpoint: %+v mixes two savers' payloads", ck)
+	}
+	if ck.Values[0] < 0 || ck.Values[0] >= savers {
+		t.Fatalf("checkpoint value %v matches no saver", ck.Values[0])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	for _, e := range entries {
+		if e.Name() != "ck.json" {
+			t.Fatalf("temp debris survived: %s", e.Name())
+		}
 	}
 }

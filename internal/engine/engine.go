@@ -64,6 +64,22 @@ func (f Func) EvaluateCtx(ctx context.Context, point []float64) (float64, error)
 // Fingerprint implements Fingerprinter.
 func (f Func) Fingerprint() string { return f.FP }
 
+// Gate arbitrates worker slots among competing submissions. When an
+// Engine carries one, every EvaluateStream point acquires a gate slot
+// before it takes a pool worker, so an external scheduler — the server's
+// per-tenant fair-share queue, for example — decides whose point runs
+// next instead of the channel's arrival order. The gate sees the
+// submission's context, which is where schedulers carry their identity
+// (e.g. the requesting tenant).
+//
+// AcquireSlot blocks until a slot is granted, returning the release
+// closure the caller must invoke after the evaluation, or ctx's error
+// when the wait was cancelled. Implementations must be safe for
+// concurrent use and must never return (nil, nil).
+type Gate interface {
+	AcquireSlot(ctx context.Context) (release func(), err error)
+}
+
 // Options configures a new Engine.
 type Options struct {
 	// Workers bounds the number of concurrently running evaluations
@@ -87,6 +103,13 @@ type Options struct {
 	// evaluation hot path never performs a registry or context lookup.
 	// Nil disables the mirror.
 	Metrics *obs.Registry
+	// Gate, when non-nil, schedules EvaluateStream points: each point
+	// acquires a gate slot (in addition to the engine's own worker
+	// semaphore) before evaluating, so an external policy — fair-share
+	// across tenants, priority classes — owns the dispatch order of the
+	// shared pool. Single-point Evaluate/Do calls bypass the gate; they
+	// are bounded by the caller's own admission control.
+	Gate Gate
 }
 
 // DefaultCacheSize is the memoization capacity when Options.CacheSize is
@@ -125,6 +148,7 @@ type Engine struct {
 	retry   robust.RetryPolicy
 	rng     *robust.RNG
 	sem     chan struct{}
+	gate    Gate
 
 	mu       sync.Mutex
 	cache    *lruCache // nil when caching is disabled
@@ -184,6 +208,7 @@ func New(opts Options) *Engine {
 		retry:    opts.Retry,
 		rng:      robust.NewRNG(opts.Seed),
 		sem:      make(chan struct{}, workers),
+		gate:     opts.Gate,
 		inflight: make(map[string]*call),
 		tracer:   opts.Tracer,
 		obs:      newInstruments(opts.Metrics),
@@ -351,15 +376,32 @@ func (e *Engine) EvaluateStream(ctx context.Context, ev robust.Evaluator, points
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				// The external gate (when present) decides whose point runs
+				// next; it must be taken before the pool semaphore so a
+				// gated waiter never pins a worker slot while it queues.
+				var release func()
+				if e.gate != nil {
+					r, err := e.gate.AcquireSlot(ctx)
+					if err != nil {
+						return
+					}
+					release = r
+				}
 				// Acquire a global slot so concurrent batches on one
 				// engine share the same concurrency bound.
 				select {
 				case e.sem <- struct{}{}:
 				case <-ctx.Done():
+					if release != nil {
+						release()
+					}
 					return
 				}
 				o := e.Do(ctx, ev, points[i])
 				<-e.sem
+				if release != nil {
+					release()
+				}
 				results <- res{i: i, o: o}
 			}
 		}()

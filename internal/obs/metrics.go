@@ -189,6 +189,26 @@ func (h *Histogram) Buckets() ([]float64, []uint64) {
 	return append([]float64(nil), h.bounds...), counts
 }
 
+// Labeled builds a metric name carrying one label in Prometheus text
+// syntax: Labeled("tenant_requests_total", "tenant", "alice") is
+// `tenant_requests_total{tenant="alice"}`. The registry treats the whole
+// string as the instrument's identity — one instrument per (name, label
+// value) pair — and WriteText understands the shape, splicing histogram
+// suffixes inside the braces so the exposition stays well-formed. The
+// value is quoted with strconv, so arbitrary strings are safe.
+func Labeled(name, key, value string) string {
+	return name + "{" + key + "=" + strconv.Quote(value) + "}"
+}
+
+// splitLabels separates a (possibly Labeled) metric name into its base
+// name and the raw label list between the braces ("" when unlabeled).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
 // LatencyBuckets returns the default exponential latency bounds in
 // seconds (1µs … ~16s, doubling), suitable for evaluation and
 // simulation timings.
@@ -217,16 +237,28 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
 	}
 	for name, h := range r.histograms {
+		// A Labeled histogram name keeps its labels inside the braces of
+		// every derived series, so `h{tenant="a"}` renders as
+		// `h_bucket{tenant="a",le="…"}`, `h_sum{tenant="a"}`, ….
+		base, labels := splitLabels(name)
+		sep := ""
+		if labels != "" {
+			sep = labels + ","
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
 		bounds, counts := h.Buckets()
 		cum := uint64(0)
 		for i, b := range bounds {
 			cum += counts[i]
-			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", name, formatBound(b), cum))
+			lines = append(lines, fmt.Sprintf("%s_bucket{%sle=%q} %d", base, sep, formatBound(b), cum))
 		}
 		cum += counts[len(bounds)]
-		lines = append(lines, fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", name, cum))
-		lines = append(lines, fmt.Sprintf("%s_sum %v", name, h.Sum()))
-		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count()))
+		lines = append(lines, fmt.Sprintf("%s_bucket{%sle=\"+Inf\"} %d", base, sep, cum))
+		lines = append(lines, fmt.Sprintf("%s_sum%s %v", base, suffix, h.Sum()))
+		lines = append(lines, fmt.Sprintf("%s_count%s %d", base, suffix, h.Count()))
 	}
 	r.mu.Unlock()
 	sort.Strings(lines)

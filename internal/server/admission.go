@@ -1,70 +1,21 @@
 package server
 
 import (
-	"context"
 	"errors"
-	"sync/atomic"
 	"time"
 )
 
-// errSaturated is returned by admission.acquire when both the execution
-// slots and the wait queue are full; handlers translate it into
-// 429 + Retry-After.
+// errSaturated is returned by fairShare.acquire when the caller's queue
+// bound (per-tenant or global) overflows; handlers translate it into
+// 429 + Retry-After. The scheduler itself lives in fairshare.go: PR 6
+// replaced the single FIFO semaphore that used to live here with the
+// weighted deficit-round-robin gate, which also fixed the
+// cancel-while-queued accounting race (an abandoned waiter now leaves
+// the queued count immediately, and a grant racing the cancellation
+// hands its slot to the next waiter instead of stranding it).
 var errSaturated = errors.New("server: admission queue full")
 
-// admission is the semaphore-based load gate in front of every work
-// endpoint: at most maxConcurrent requests evaluate at once, at most
-// maxQueue more wait for a slot, and everything beyond that is shed
-// immediately so a traffic spike degrades into fast 429s instead of an
-// unbounded goroutine pile-up (each queued request holds a goroutine and
-// a connection, so the queue bound is the server's memory bound).
-type admission struct {
-	slots    chan struct{}
-	maxQueue int64
-	queued   atomic.Int64
-}
-
-// newAdmission builds a gate with the given concurrency and queue bounds
-// (both ≥ 1 after defaulting by the caller).
-func newAdmission(maxConcurrent, maxQueue int) *admission {
-	return &admission{
-		slots:    make(chan struct{}, maxConcurrent),
-		maxQueue: int64(maxQueue),
-	}
-}
-
-// acquire blocks until an execution slot is free, the context ends, or
-// the wait queue overflows (errSaturated). On nil return the caller owns
-// a slot and must release it.
-func (a *admission) acquire(ctx context.Context) error {
-	select {
-	case a.slots <- struct{}{}:
-		return nil
-	default:
-	}
-	if a.queued.Add(1) > a.maxQueue {
-		a.queued.Add(-1)
-		return errSaturated
-	}
-	defer a.queued.Add(-1)
-	select {
-	case a.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// release frees the slot taken by a successful acquire.
-func (a *admission) release() { <-a.slots }
-
-// inUse returns the number of occupied execution slots.
-func (a *admission) inUse() int { return len(a.slots) }
-
-// waiting returns the number of requests queued for a slot.
-func (a *admission) waiting() int64 { return a.queued.Load() }
-
-// retryAfterSeconds converts the configured hint into the integer-second
+// retryAfterSeconds converts a hint duration into the integer-second
 // Retry-After header value, rounding up so the client never retries
 // before the hint elapses.
 func retryAfterSeconds(d time.Duration) int {

@@ -11,63 +11,86 @@ import (
 	"time"
 )
 
+// testTenant builds a standalone tenant state for scheduler tests (nil
+// registry: instruments are no-ops).
+func testTenant(t *testing.T, cfg TenantConfig) *tenantState {
+	t.Helper()
+	n, err := cfg.normalize()
+	if err != nil {
+		t.Fatalf("normalize %+v: %v", cfg, err)
+	}
+	return newTenantState(n, nil)
+}
+
 func TestAdmissionSlotsAndQueue(t *testing.T) {
-	a := newAdmission(2, 1)
+	a := newFairShare(2, true, 1, 1)
+	ten := testTenant(t, TenantConfig{Name: AnonymousTenant})
 	ctx := context.Background()
 
-	if err := a.acquire(ctx); err != nil {
+	rel1, err := a.acquire(ctx, ten)
+	if err != nil {
 		t.Fatalf("first acquire: %v", err)
 	}
-	if err := a.acquire(ctx); err != nil {
+	if _, err := a.acquire(ctx, ten); err != nil {
 		t.Fatalf("second acquire: %v", err)
 	}
-	if a.inUse() != 2 {
-		t.Fatalf("inUse = %d, want 2", a.inUse())
+	if a.inUseCount() != 2 {
+		t.Fatalf("inUse = %d, want 2", a.inUseCount())
 	}
 
 	// Third caller queues; it must unblock when a slot frees.
 	got := make(chan error, 1)
-	go func() { got <- a.acquire(ctx) }()
+	go func() {
+		_, err := a.acquire(ctx, ten)
+		got <- err
+	}()
 	deadline := time.Now().Add(2 * time.Second)
-	for a.waiting() != 1 && time.Now().Before(deadline) {
+	for a.waitingCount() != 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if a.waiting() != 1 {
-		t.Fatalf("waiting = %d, want 1", a.waiting())
+	if a.waitingCount() != 1 {
+		t.Fatalf("waiting = %d, want 1", a.waitingCount())
 	}
 
 	// Fourth caller overflows the queue and is shed synchronously.
-	if err := a.acquire(ctx); !errors.Is(err, errSaturated) {
+	if _, err := a.acquire(ctx, ten); !errors.Is(err, errSaturated) {
 		t.Fatalf("overflow acquire = %v, want errSaturated", err)
 	}
 
-	a.release()
+	rel1()
 	if err := <-got; err != nil {
 		t.Fatalf("queued acquire: %v", err)
 	}
-	if a.inUse() != 2 || a.waiting() != 0 {
-		t.Fatalf("after handoff: inUse=%d waiting=%d, want 2/0", a.inUse(), a.waiting())
+	if a.inUseCount() != 2 || a.waitingCount() != 0 {
+		t.Fatalf("after handoff: inUse=%d waiting=%d, want 2/0", a.inUseCount(), a.waitingCount())
 	}
 }
 
 func TestAdmissionQueuedCancel(t *testing.T) {
-	a := newAdmission(1, 4)
-	if err := a.acquire(context.Background()); err != nil {
+	a := newFairShare(1, true, 4, 4)
+	ten := testTenant(t, TenantConfig{Name: AnonymousTenant})
+	if _, err := a.acquire(context.Background(), ten); err != nil {
 		t.Fatalf("acquire: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	got := make(chan error, 1)
-	go func() { got <- a.acquire(ctx) }()
+	go func() {
+		_, err := a.acquire(ctx, ten)
+		got <- err
+	}()
 	deadline := time.Now().Add(2 * time.Second)
-	for a.waiting() != 1 && time.Now().Before(deadline) {
+	for a.waitingCount() != 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	cancel()
 	if err := <-got; !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
 	}
-	if a.waiting() != 0 {
-		t.Fatalf("waiting = %d after cancel, want 0", a.waiting())
+	// The fixed accounting: an abandoned waiter leaves the queued count
+	// the moment its acquire returns, not when a slot would have reached
+	// it.
+	if a.waitingCount() != 0 {
+		t.Fatalf("waiting = %d after cancel, want 0", a.waitingCount())
 	}
 }
 

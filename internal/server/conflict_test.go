@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestCheckpointConflict409 runs two concurrent sweeps naming the same
+// checkpoint: exactly one must win, the other must be answered 409
+// conflict — previously both ran and interleaved writes to the same
+// file.
+func TestCheckpointConflict409(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{
+		Workers:       2,
+		MaxConcurrent: 4,
+		CheckpointDir: dir,
+	})
+	// A sim-backed sweep is slow enough that both requests overlap.
+	req := SweepRequest{
+		Model:           ModelSpec{App: "tmm"},
+		Evaluator:       EvaluatorSpec{Kind: "sim", TotalRefs: 2000},
+		Space:           SpaceSpec{Per: 2},
+		Checkpoint:      "shared",
+		CheckpointEvery: 4,
+	}
+
+	const racers = 2
+	statuses := make([]int, racers)
+	conflicts := make([]bool, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, &http.Client{}, ts.URL+"/v1/sweep", req)
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusConflict {
+				conflicts[i] = true
+				return
+			}
+			// Drain the NDJSON stream so the sweep runs to completion.
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	winners, losers := 0, 0
+	for i := 0; i < racers; i++ {
+		switch {
+		case statuses[i] == http.StatusOK:
+			winners++
+		case conflicts[i]:
+			losers++
+		default:
+			t.Fatalf("racer %d: status %d, want 200 or 409", i, statuses[i])
+		}
+	}
+	if winners != 1 || losers != 1 {
+		t.Fatalf("got %d winners and %d conflicts, want exactly 1 and 1", winners, losers)
+	}
+
+	// The lock releases with the request: a retry of the loser now runs
+	// (resuming the winner's checkpoint).
+	resp := postJSON(t, &http.Client{}, ts.URL+"/v1/sweep", SweepRequest{
+		Model:      ModelSpec{App: "tmm"},
+		Evaluator:  EvaluatorSpec{Kind: "sim", TotalRefs: 2000},
+		Space:      SpaceSpec{Per: 2},
+		Checkpoint: "shared",
+		Resume:     true,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after conflict = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCheckpointTenantNamespacing checks equal checkpoint names from
+// different tenants resolve to disjoint paths, while the anonymous
+// identity keeps the legacy flat layout.
+func TestCheckpointTenantNamespacing(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{CheckpointDir: dir, Tenants: []TenantConfig{
+		{Name: "acme", Key: "ka"},
+		{Name: "bob", Key: "kb"},
+	}})
+
+	paths := map[string]string{}
+	for _, name := range []string{"acme", "bob"} {
+		ctx := contextWithTenant(context.Background(), s.tenants.byNameOrAnon(name))
+		p, err := s.checkpointPath(ctx, "weekly")
+		if err != nil {
+			t.Fatalf("checkpointPath(%s): %v", name, err)
+		}
+		paths[name] = p
+	}
+	if paths["acme"] == paths["bob"] {
+		t.Fatalf("two tenants share checkpoint path %q", paths["acme"])
+	}
+	anon, err := s.checkpointPath(context.Background(), "weekly")
+	if err != nil {
+		t.Fatalf("anonymous checkpointPath: %v", err)
+	}
+	if anon != dir+"/weekly" {
+		t.Fatalf("anonymous path = %q, want the flat legacy %q", anon, dir+"/weekly")
+	}
+}
+
+// TestLockCheckpoint checks the in-use map grants, refuses, and releases.
+func TestLockCheckpoint(t *testing.T) {
+	s := New(Options{})
+	unlock, err := s.lockCheckpoint("/tmp/ck/a")
+	if err != nil {
+		t.Fatalf("first lock: %v", err)
+	}
+	if _, err := s.lockCheckpoint("/tmp/ck/a"); err == nil {
+		t.Fatalf("second lock of a held path succeeded")
+	} else if status, body := classify(err); status != http.StatusConflict || body.Code != CodeConflict {
+		t.Fatalf("second lock classified as (%d, %s), want (409, %s)", status, body.Code, CodeConflict)
+	}
+	// Distinct paths are independent; empty paths need no lock.
+	unlockB, err := s.lockCheckpoint("/tmp/ck/b")
+	if err != nil {
+		t.Fatalf("independent lock: %v", err)
+	}
+	unlockB()
+	for i := 0; i < 3; i++ {
+		noop, err := s.lockCheckpoint("")
+		if err != nil {
+			t.Fatalf("empty lock %d: %v", i, err)
+		}
+		noop()
+	}
+	unlock()
+	if _, err := s.lockCheckpoint("/tmp/ck/a"); err != nil {
+		t.Fatalf("relock after unlock: %v", err)
+	}
+}

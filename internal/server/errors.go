@@ -48,6 +48,16 @@ const (
 	// CodeInternal marks a server-side fault (isolated handler panic,
 	// unexpected error class).
 	CodeInternal = "internal"
+	// CodeUnauthorized marks a request whose API key is missing or
+	// unknown when a tenant table is configured.
+	CodeUnauthorized = "unauthorized"
+	// CodeRateLimited is a tenant's token-bucket shed; the response
+	// carries a Retry-After header sized to the bucket's refill.
+	CodeRateLimited = "rate_limited"
+	// CodeConflict marks a request that contends with live state owned by
+	// another request: a checkpoint name already in use by a running
+	// sweep, or a job transition that its current state forbids.
+	CodeConflict = "conflict"
 )
 
 // ErrorBody is the payload of every non-2xx JSON response.
@@ -84,16 +94,42 @@ func notFoundf(format string, args ...interface{}) error {
 	return &notFoundError{msg: fmt.Sprintf(format, args...)}
 }
 
+// unauthorizedError marks API-key failures.
+type unauthorizedError struct{ msg string }
+
+func (e *unauthorizedError) Error() string { return e.msg }
+
+// unauthorizedf builds an unauthorized error.
+func unauthorizedf(format string, args ...interface{}) error {
+	return &unauthorizedError{msg: fmt.Sprintf(format, args...)}
+}
+
+// conflictError marks live-state contention failures (409).
+type conflictError struct{ msg string }
+
+func (e *conflictError) Error() string { return e.msg }
+
+// conflictf builds a conflict error.
+func conflictf(format string, args ...interface{}) error {
+	return &conflictError{msg: fmt.Sprintf(format, args...)}
+}
+
 // classify maps an error from the evaluation stack onto the stable
 // (HTTP status, code, details) triple of the envelope contract.
 func classify(err error) (int, ErrorBody) {
 	var ve *validationError
 	var nf *notFoundError
+	var ue *unauthorizedError
+	var cf *conflictError
 	var ce *solve.ConvergenceError
 	var pe *robust.PanicError
 	switch {
 	case errors.As(err, &nf):
 		return http.StatusNotFound, ErrorBody{Code: CodeNotFound, Message: nf.msg}
+	case errors.As(err, &ue):
+		return http.StatusUnauthorized, ErrorBody{Code: CodeUnauthorized, Message: ue.msg}
+	case errors.As(err, &cf):
+		return http.StatusConflict, ErrorBody{Code: CodeConflict, Message: cf.msg}
 	case errors.As(err, &ve):
 		return http.StatusBadRequest, ErrorBody{Code: CodeValidation, Message: ve.msg}
 	case errors.Is(err, core.ErrInvalidApp):

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWDRRWeightProportion drives one slot through two saturated queues
+// and checks the grant stream follows the 3:1 weight ratio.
+func TestWDRRWeightProportion(t *testing.T) {
+	f := newFairShare(1, false, 0, 0)
+	heavy := testTenant(t, TenantConfig{Name: "heavy", Weight: 3})
+	light := testTenant(t, TenantConfig{Name: "light", Weight: 1})
+
+	// Hold the only slot so every waiter queues before dispatch starts.
+	hold, err := f.acquire(context.Background(), testTenant(t, TenantConfig{Name: "holder"}))
+	if err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+
+	const perTenant = 40
+	grants := make(chan string, 2*perTenant)
+	var wg sync.WaitGroup
+	for _, ten := range []*tenantState{heavy, light} {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(ten *tenantState) {
+				defer wg.Done()
+				release, err := f.acquire(context.Background(), ten)
+				if err != nil {
+					t.Errorf("acquire %s: %v", ten.name, err)
+					return
+				}
+				// Capacity 1 serializes grants, so channel order is grant
+				// order.
+				grants <- ten.name
+				release()
+			}(ten)
+		}
+	}
+	waitFor(t, "all waiters queued", func() bool { return f.waitingCount() == 2*perTenant })
+
+	hold()
+	wg.Wait()
+	close(grants)
+
+	// Count the heavy tenant's share of the first half of the grant
+	// stream (once the light queue drains, heavy gets everything, which
+	// says nothing about fairness).
+	window := perTenant // first 40 grants: expect ~30 heavy, ~10 light
+	heavyGrants := 0
+	seen := 0
+	for name := range grants {
+		if seen >= window {
+			continue
+		}
+		seen++
+		if name == "heavy" {
+			heavyGrants++
+		}
+	}
+	// Exact WDRR would grant 30/40 to weight 3; allow slack for the
+	// enqueue interleaving of the first round.
+	if heavyGrants < 24 || heavyGrants > 36 {
+		t.Fatalf("weight-3 tenant got %d of the first %d grants, want ~30 (3:1 ratio)", heavyGrants, window)
+	}
+}
+
+// TestFairShareIdleTenantShareRedistributed checks a lone backlogged
+// tenant receives the full capacity regardless of its weight.
+func TestFairShareIdleTenantShareRedistributed(t *testing.T) {
+	f := newFairShare(4, false, 0, 0)
+	ten := testTenant(t, TenantConfig{Name: "solo", Weight: 1})
+	for i := 0; i < 4; i++ {
+		if _, err := f.acquire(context.Background(), ten); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if f.inUseCount() != 4 {
+		t.Fatalf("inUse = %d, want the full capacity 4", f.inUseCount())
+	}
+}
+
+// TestFairShareTenantQuota checks MaxConcurrent bounds one tenant while
+// capacity remains for others.
+func TestFairShareTenantQuota(t *testing.T) {
+	f := newFairShare(4, true, 8, 8)
+	capped := testTenant(t, TenantConfig{Name: "capped", MaxConcurrent: 1})
+	other := testTenant(t, TenantConfig{Name: "other"})
+
+	release1, err := f.acquire(context.Background(), capped)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// The second capped acquisition must queue even though 3 slots are
+	// free...
+	got := make(chan struct{})
+	go func() {
+		rel, err := f.acquire(context.Background(), capped)
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+			close(got)
+			return
+		}
+		defer rel()
+		close(got)
+	}()
+	waitFor(t, "capped waiter queued", func() bool { return f.waitingCount() == 1 })
+
+	// ...while another tenant is admitted immediately.
+	relOther, err := f.acquire(context.Background(), other)
+	if err != nil {
+		t.Fatalf("other tenant acquire: %v", err)
+	}
+	relOther()
+
+	select {
+	case <-got:
+		t.Fatalf("quota-blocked waiter was granted while the quota was full")
+	default:
+	}
+	release1()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("quota-blocked waiter never granted after release")
+	}
+}
+
+// TestFairShareTenantQueueBound checks a tenant's MaxQueue sheds only
+// that tenant.
+func TestFairShareTenantQueueBound(t *testing.T) {
+	f := newFairShare(1, true, 100, 100)
+	small := testTenant(t, TenantConfig{Name: "small", MaxQueue: 1})
+	big := testTenant(t, TenantConfig{Name: "big"})
+
+	hold, err := f.acquire(context.Background(), big)
+	if err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+	defer hold()
+
+	// One queued waiter fills small's bound; the second is shed.
+	smallCtx, cancelSmall := context.WithCancel(context.Background())
+	smallDone := make(chan struct{})
+	go func() {
+		defer close(smallDone)
+		if rel, err := f.acquire(smallCtx, small); err == nil {
+			rel()
+		}
+	}()
+	waitFor(t, "small waiter queued", func() bool { return f.waitingCount() == 1 })
+	if _, err := f.acquire(context.Background(), small); !errors.Is(err, errSaturated) {
+		t.Fatalf("over-bound acquire = %v, want errSaturated", err)
+	}
+	// The other tenant still queues fine.
+	done := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		defer close(done)
+		if rel, err := f.acquire(ctx, big); err == nil {
+			rel()
+		}
+	}()
+	waitFor(t, "big waiter queued", func() bool { return f.waitingCount() == 2 })
+	cancel()
+	<-done
+	cancelSmall()
+	<-smallDone
+}
+
+// TestFairShareAcquireWaitIgnoresBounds checks the job-runner path waits
+// past every shed bound.
+func TestFairShareAcquireWaitIgnoresBounds(t *testing.T) {
+	f := newFairShare(1, true, 1, 1)
+	ten := testTenant(t, TenantConfig{Name: AnonymousTenant})
+	hold, err := f.acquire(context.Background(), ten)
+	if err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+
+	// Fill the queue bound, then overflow it with acquireWait: no shed.
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel, err := f.acquireWait(context.Background(), ten)
+			if err == nil {
+				defer rel()
+			}
+			results <- err
+		}()
+	}
+	waitFor(t, "both waiters queued", func() bool { return f.waitingCount() == 2 })
+	hold()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("acquireWait %d: %v", i, err)
+		}
+	}
+}
+
+// TestFairShareGrantRaceHandsSlotOnward covers the cancel-while-granted
+// race: when cancellation and grant collide, the slot moves to the next
+// waiter instead of leaking.
+func TestFairShareGrantRaceHandsSlotOnward(t *testing.T) {
+	f := newFairShare(1, true, 8, 8)
+	ten := testTenant(t, TenantConfig{Name: AnonymousTenant})
+	for round := 0; round < 200; round++ {
+		hold, err := f.acquire(context.Background(), ten)
+		if err != nil {
+			t.Fatalf("round %d holder: %v", round, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		raced := make(chan error, 1)
+		go func() {
+			rel, err := f.acquire(ctx, ten)
+			if err == nil {
+				rel()
+			}
+			raced <- err
+		}()
+		waitFor(t, "waiter queued", func() bool { return f.waitingCount() == 1 })
+		// Release and cancel as close together as the runtime allows.
+		go hold()
+		cancel()
+		<-raced
+		waitFor(t, "slot recovered", func() bool { return f.inUseCount() == 0 && f.waitingCount() == 0 })
+	}
+}

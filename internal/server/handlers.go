@@ -58,6 +58,11 @@ type readyzResponse struct {
 	Server Stats           `json:"server"`
 	Engine engine.Snapshot `json:"engine"`
 	Models []string        `json:"models"`
+	// Tenants lists the configured tenant names (the anonymous identity
+	// in open single-tenant mode).
+	Tenants []string `json:"tenants,omitempty"`
+	// Jobs counts known jobs when /v1/jobs is enabled.
+	Jobs int `json:"jobs,omitempty"`
 }
 
 // handleReadyz reports readiness: 200 while serving, 503 once draining,
@@ -65,10 +70,16 @@ type readyzResponse struct {
 // produced the answer.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	resp := readyzResponse{
-		Ready:  s.Ready(),
-		Server: s.Stats(),
-		Engine: s.eng.Snapshot(),
-		Models: s.catalog.Names(),
+		Ready:   s.Ready(),
+		Server:  s.Stats(),
+		Engine:  s.eng.Snapshot(),
+		Models:  s.catalog.Names(),
+		Tenants: s.tenants.namesSnapshot(),
+	}
+	if s.jobs != nil {
+		s.jobs.mu.Lock()
+		resp.Jobs = len(s.jobs.entries)
+		s.jobs.mu.Unlock()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if !resp.Ready {
@@ -104,6 +115,21 @@ type EvaluateResponse struct {
 	Attempts int       `json:"attempts"`
 }
 
+// testWrapEvaluator, when non-nil, wraps every evaluator the server
+// resolves — singles, batches, sweeps, APS, and job attempts. Tests
+// point it at a fault-injection harness to prove the error envelope
+// stays stable when the engine misbehaves; production code never sets
+// it.
+var testWrapEvaluator func(dse.CtxEvaluator) dse.CtxEvaluator
+
+// wrapEvaluator applies the test fault hook when one is installed.
+func wrapEvaluator(ev dse.CtxEvaluator) dse.CtxEvaluator {
+	if testWrapEvaluator != nil {
+		return testWrapEvaluator(ev)
+	}
+	return ev
+}
+
 // resolveWork builds the (model, evaluator) pair shared by the four work
 // endpoints.
 func (s *Server) resolveWork(m ModelSpec, e EvaluatorSpec) (dse.CtxEvaluator, error) {
@@ -111,7 +137,11 @@ func (s *Server) resolveWork(m ModelSpec, e EvaluatorSpec) (dse.CtxEvaluator, er
 	if err != nil {
 		return nil, err
 	}
-	return s.catalog.Evaluator(model, e)
+	ev, err := s.catalog.Evaluator(model, e)
+	if err != nil {
+		return nil, err
+	}
+	return wrapEvaluator(ev), nil
 }
 
 // handleEvaluate scores one point through the shared engine.
@@ -130,7 +160,17 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	out := s.eng.Do(r.Context(), ev, req.Point)
+	// One-point stream rather than Do: the stream path takes the engine's
+	// fair-share gate and worker semaphore, so a single-point flood from
+	// one tenant cannot crowd the pool any more than a batch can.
+	var out engine.Outcome
+	streamErr := s.eng.EvaluateStream(r.Context(), ev, [][]float64{req.Point}, func(_ int, o engine.Outcome) {
+		out = o
+	})
+	if streamErr != nil {
+		s.fail(w, streamErr)
+		return
+	}
 	if out.Err != nil {
 		s.fail(w, out.Err)
 		return
@@ -347,13 +387,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	ev = wrapEvaluator(ev)
 	for _, idx := range req.Indices {
 		if idx < 0 || idx >= space.Size() {
 			s.fail(w, validationf("server: index %d outside space of %d points", idx, space.Size()))
 			return
 		}
 	}
-	ckPath, err := s.checkpointPath(req.Checkpoint)
+	ckPath, err := s.checkpointPath(r.Context(), req.Checkpoint)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -362,6 +403,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, validationf("server: resume requires a checkpoint name"))
 		return
 	}
+	unlock, err := s.lockCheckpoint(ckPath)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer unlock()
 
 	var evaluated atomic.Int64
 	counted := withCount(ev, &evaluated)
@@ -497,6 +544,7 @@ func (s *Server) handleAPS(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	ev = wrapEvaluator(ev)
 	var metric aps.Metric
 	switch req.Metric {
 	case "", "time":
@@ -507,11 +555,17 @@ func (s *Server) handleAPS(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, validationf("server: unknown metric %q (want time or time_per_work)", req.Metric))
 		return
 	}
-	ckPath, err := s.checkpointPath(req.Checkpoint)
+	ckPath, err := s.checkpointPath(r.Context(), req.Checkpoint)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	unlock, err := s.lockCheckpoint(ckPath)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer unlock()
 	res, err := aps.RunCtx(r.Context(), model, space, ev, aps.Options{
 		Engine: s.eng,
 		Radius: req.Radius,

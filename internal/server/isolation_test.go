@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// evalAs posts one uncacheable /v1/evaluate as the keyed tenant and
+// returns the latency and status. Each call draws a fresh simulator
+// seed, so the shared memo cache cannot absorb the load.
+func evalAs(t *testing.T, client *http.Client, base, key string, seed uint64, point []float64) (time.Duration, int) {
+	t.Helper()
+	req := EvaluateRequest{
+		Model:     ModelSpec{App: "tmm"},
+		Evaluator: EvaluatorSpec{Kind: "sim", Seed: seed, TotalRefs: 2000},
+		Point:     point,
+	}
+	start := time.Now()
+	resp := postJSONKeyed(t, client, base+"/v1/evaluate", key, req)
+	resp.Body.Close()
+	return time.Since(start), resp.StatusCode
+}
+
+// postJSONKeyed is postJSON with an X-API-Key header (empty key: none).
+func postJSONKeyed(t *testing.T, client *http.Client, url, key string, body interface{}) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestTenantIsolationUnderFlood is the tentpole acceptance scenario: a
+// flooder tenant saturates the server while a trickler sends occasional
+// requests. The trickler must never be shed, and its tail latency must
+// stay within 2x its unloaded baseline (with a small floor absorbing
+// scheduler noise on tiny boxes).
+func TestTenantIsolationUnderFlood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	_, ts := newTestServer(t, Options{
+		Workers:       2,
+		MaxConcurrent: 2,
+		MaxQueue:      32,
+		Tenants: []TenantConfig{
+			// The flooder's quota leaves one admission slot free and its
+			// queue bound sheds the excess instead of parking it.
+			{Name: "flooder", Key: "flood-key", MaxConcurrent: 1, MaxQueue: 16},
+			{Name: "trickler", Key: "trickle-key"},
+		},
+	})
+	point := testPoints(t, 1)[0]
+	var seed atomic.Uint64
+
+	trickleOnce := func(client *http.Client) time.Duration {
+		d, status := evalAs(t, client, ts.URL, "trickle-key", seed.Add(1), point)
+		if status == http.StatusTooManyRequests {
+			t.Fatalf("trickler was shed with 429; isolation broken")
+		}
+		if status != http.StatusOK {
+			t.Fatalf("trickler request failed with %d", status)
+		}
+		return d
+	}
+
+	// Unloaded baseline.
+	const samples = 12
+	client := &http.Client{}
+	baseline := make([]time.Duration, samples)
+	for i := range baseline {
+		baseline[i] = trickleOnce(client)
+	}
+
+	// Flood: concurrent clients hammering until told to stop.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var floodOK, floodShed atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &http.Client{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, status := evalAs(t, c, ts.URL, "flood-key", seed.Add(1), point)
+				switch status {
+				case http.StatusOK:
+					floodOK.Add(1)
+				case http.StatusTooManyRequests:
+					floodShed.Add(1)
+				default:
+					t.Errorf("flooder request failed with %d", status)
+					return
+				}
+			}
+		}()
+	}
+
+	// Give the flood a moment to saturate, then trickle through it.
+	time.Sleep(100 * time.Millisecond)
+	loaded := make([]time.Duration, samples)
+	for i := range loaded {
+		loaded[i] = trickleOnce(client)
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if floodOK.Load() == 0 {
+		t.Fatalf("flood produced no successful requests; the scenario never loaded the server")
+	}
+	baseP99, loadedP99 := p99(baseline), p99(loaded)
+	// A floor keeps machine noise from failing the ratio check: the
+	// baseline is a few ms on a quiet box, and under `go test ./...` the
+	// flood competes for CPU with every other package's tests, which
+	// inflates compute time without any scheduling unfairness. Broken
+	// isolation (the trickler parked behind the flooder's 16-deep queue)
+	// produces p99s of hundreds of ms, far beyond 2x this floor.
+	floor := 60 * time.Millisecond
+	base := baseP99
+	if base < floor {
+		base = floor
+	}
+	t.Logf("trickler p99: %v unloaded, %v under flood (flooder: %d ok, %d shed)",
+		baseP99, loadedP99, floodOK.Load(), floodShed.Load())
+	if raceDetector {
+		// Race instrumentation slows evaluation so much that the wall-clock
+		// ratio is meaningless; the zero-shed assertion above still holds.
+		t.Logf("skipping the latency ratio under -race")
+		return
+	}
+	if loadedP99 > 2*base {
+		t.Fatalf("trickler p99 %v under flood exceeds 2x the unloaded baseline %v (floor %v)",
+			loadedP99, baseP99, floor)
+	}
+}
+
+// p99 is the nearest-rank 99th percentile.
+func p99(samples []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*99 + 99) / 100
+	if idx > len(s) {
+		idx = len(s)
+	}
+	return s[idx-1]
+}
+
+// TestTenantRateLimit429 checks the token bucket sheds with 429 +
+// Retry-After and the stable rate_limited code.
+func TestTenantRateLimit429(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Tenants: []TenantConfig{{Name: "acme", Key: "k", RatePerSec: 0.001, Burst: 1}},
+	})
+	point := testPoints(t, 1)[0]
+	client := &http.Client{}
+
+	if _, status := evalAs(t, client, ts.URL, "k", 1, point); status != http.StatusOK {
+		t.Fatalf("first request = %d, want 200", status)
+	}
+	resp := postJSONKeyed(t, client, ts.URL+"/v1/evaluate", "k", EvaluateRequest{
+		Model: ModelSpec{App: "tmm"}, Point: point,
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 carries no Retry-After")
+	}
+	var env errorEnvelope
+	decodeBody(t, resp, &env)
+	if env.Error.Code != CodeRateLimited {
+		t.Fatalf("code = %q, want %q", env.Error.Code, CodeRateLimited)
+	}
+}
+
+// TestTenantAuthRequired checks keyed mode rejects unknown and missing
+// keys with the unauthorized envelope.
+func TestTenantAuthRequired(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Tenants: []TenantConfig{{Name: "acme", Key: "good-key"}},
+	})
+	point := testPoints(t, 1)[0]
+	client := &http.Client{}
+	for _, key := range []string{"", "wrong-key"} {
+		resp := postJSONKeyed(t, client, ts.URL+"/v1/evaluate", key, EvaluateRequest{
+			Model: ModelSpec{App: "tmm"}, Point: point,
+		})
+		var env errorEnvelope
+		code := resp.StatusCode
+		decodeBody(t, resp, &env)
+		if code != http.StatusUnauthorized || env.Error.Code != CodeUnauthorized {
+			t.Fatalf("key %q: status %d code %q, want 401 %q", key, code, env.Error.Code, CodeUnauthorized)
+		}
+	}
+	if _, status := evalAs(t, client, ts.URL, "good-key", 1, point); status != http.StatusOK {
+		t.Fatalf("good key rejected with %d", status)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceDetector reports that this test binary runs under -race, whose
+// instrumentation slows evaluation enough to void wall-clock latency
+// assertions.
+const raceDetector = true

@@ -16,18 +16,28 @@
 //	GET  /readyz             readiness + engine/server statistics
 //	GET  /metrics            obs.Registry text exposition
 //
-// The load path has production semantics: a semaphore-based admission
-// controller with a bounded wait queue sheds overload as 429 +
-// Retry-After, every request runs under a deadline derived from the
-// ?timeout_ms cap, handlers are panic-isolated and report failures as
-// typed JSON error envelopes with stable codes, and Shutdown drains
+// The load path has production semantics: a weighted deficit-round-robin
+// admission gate with bounded per-tenant wait queues sheds overload as
+// 429 + Retry-After, every request runs under a deadline derived from
+// the ?timeout_ms cap, handlers are panic-isolated and report failures
+// as typed JSON error envelopes with stable codes, and Shutdown drains
 // in-flight work (cancelling stragglers so sweeps flush their
 // checkpoints) while /readyz reports 503.
+//
+// Multi-tenancy (DESIGN.md §11): a tenant table maps API keys to named
+// tenants with fair-share weights, concurrency quotas and token-bucket
+// rate limits. Admission and the engine worker pool are both arbitrated
+// per tenant, so a flooding tenant grows only its own queue; with no
+// table configured the server runs in open single-tenant mode and the
+// whole layer is inert. The /v1/jobs resource (jobs.go) runs sweeps and
+// APS asynchronously with disk-backed state and checkpoint resume.
 package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -89,8 +99,21 @@ type Options struct {
 
 	// CheckpointDir enables sweep checkpoint/resume: requests name a
 	// checkpoint file (sanitized, no path separators) inside this
-	// directory. Empty rejects checkpointed requests.
+	// directory; named tenants write under a per-tenant subdirectory and
+	// the job subsystem under the reserved "jobs" subdirectory. Empty
+	// rejects checkpointed requests.
 	CheckpointDir string
+
+	// Tenants is the initial tenant table (see TenantConfig). Empty runs
+	// the server in open single-tenant mode; SetTenants swaps the table
+	// at runtime (the CLI wires it to SIGHUP).
+	Tenants []TenantConfig
+
+	// JobDir enables the /v1/jobs subsystem: one JSON record per job is
+	// persisted here (atomic rename + fsync), and jobs found in "running"
+	// state at startup are adopted and resumed from their checkpoints.
+	// Empty disables the endpoints (404).
+	JobDir string
 
 	// Catalog is the named model registry (nil: DefaultCatalog).
 	Catalog *Catalog
@@ -132,8 +155,14 @@ type Server struct {
 	catalog *Catalog
 	tracer  *obs.Tracer
 	metrics *obs.Registry
-	adm     *admission
+	adm     *fairShare
+	gate    *fairShare
+	tenants *tenants
+	jobs    *jobManager
 	mux     *http.ServeMux
+
+	ckMu    sync.Mutex
+	ckInUse map[string]bool
 
 	requests atomic.Uint64
 	admitted atomic.Uint64
@@ -158,19 +187,30 @@ type Server struct {
 }
 
 // New builds a Server, its engine (when not shared) and its routes.
+// Invalid Options.Tenants panic (construction-time programmer error);
+// use SetTenants for checked runtime swaps.
 func New(opts Options) *Server {
 	eng := opts.Engine
 	metrics := opts.Metrics
 	if metrics == nil {
 		metrics = obs.NewRegistry()
 	}
+	ts := newTenants(metrics)
+	var gate *fairShare
 	if eng == nil {
+		// The point-level fair-share gate arbitrates the private engine's
+		// worker pool per tenant; its capacity is set once the engine has
+		// resolved its worker count. A caller-supplied engine keeps its own
+		// scheduling (it may be shared beyond this server).
+		gate = newFairShare(1, false, 0, 0)
 		eng = engine.New(engine.Options{
 			Workers:   opts.Workers,
 			CacheSize: opts.CacheSize,
 			Tracer:    opts.Tracer,
 			Metrics:   metrics,
+			Gate:      &engineGate{fs: gate, ts: ts},
 		})
+		gate.setCapacity(eng.Workers())
 	}
 	maxConc := opts.MaxConcurrent
 	if maxConc <= 0 {
@@ -202,9 +242,12 @@ func New(opts Options) *Server {
 		catalog: catalog,
 		tracer:  opts.Tracer,
 		metrics: metrics,
-		adm:     newAdmission(maxConc, maxQueue),
+		adm:     newFairShare(maxConc, true, maxQueue, maxQueue),
+		gate:    gate,
+		tenants: ts,
 		mux:     http.NewServeMux(),
 		cancels: make(map[uint64]context.CancelFunc),
+		ckInUse: make(map[string]bool),
 
 		obsRequests: metrics.Counter("server_requests_total"),
 		obsAdmitted: metrics.Counter("server_admitted_total"),
@@ -214,6 +257,12 @@ func New(opts Options) *Server {
 		obsInflight: metrics.Gauge("server_inflight"),
 		obsSeconds:  metrics.Histogram("server_request_seconds", obs.LatencyBuckets()),
 	}
+	if len(opts.Tenants) > 0 {
+		if err := ts.set(opts.Tenants); err != nil {
+			//lint:allow errwrap construction-time misconfiguration; SetTenants is the checked path
+			panic(err)
+		}
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -221,8 +270,30 @@ func New(opts Options) *Server {
 	s.mux.Handle("POST /v1/evaluate:batch", s.work("server.batch", s.handleBatch))
 	s.mux.Handle("POST /v1/sweep", s.work("server.sweep", s.handleSweep))
 	s.mux.Handle("POST /v1/aps", s.work("server.aps", s.handleAPS))
+	if opts.JobDir != "" {
+		s.jobs = newJobManager(s, opts.JobDir)
+		s.mux.Handle("POST /v1/jobs", s.control("server.jobs.submit", s.handleJobSubmit))
+		s.mux.Handle("GET /v1/jobs", s.control("server.jobs.list", s.handleJobList))
+		s.mux.Handle("GET /v1/jobs/{id}", s.control("server.jobs.get", s.handleJobGet))
+		s.mux.Handle("GET /v1/jobs/{id}/result", s.control("server.jobs.result", s.handleJobResult))
+		s.mux.Handle("POST /v1/jobs/{id}/cancel", s.control("server.jobs.cancel", s.handleJobCancel))
+		s.mux.Handle("DELETE /v1/jobs/{id}", s.control("server.jobs.delete", s.handleJobDelete))
+		s.jobs.adoptOrphans()
+	}
 	return s
 }
+
+// SetTenants atomically replaces the tenant table (the CLI wires this to
+// SIGHUP). Existing tenants keep their live state — token-bucket level,
+// queue positions, metrics — matched by name; an empty slice returns the
+// server to open single-tenant mode. On error the current table is
+// untouched.
+func (s *Server) SetTenants(configs []TenantConfig) error {
+	return s.tenants.set(configs)
+}
+
+// TenantNames lists the configured tenant names, sorted.
+func (s *Server) TenantNames() []string { return s.tenants.namesSnapshot() }
 
 // Engine returns the server's evaluation engine (shared or private).
 func (s *Server) Engine() *engine.Engine { return s.eng }
@@ -238,8 +309,8 @@ func (s *Server) Stats() Stats {
 		Shed:     s.shed.Load(),
 		Errors:   s.errors.Load(),
 		Panics:   s.panics.Load(),
-		InFlight: s.adm.inUse(),
-		Queued:   s.adm.waiting(),
+		InFlight: s.adm.inUseCount(),
+		Queued:   int64(s.adm.waitingCount()),
 		Draining: s.draining.Load(),
 	}
 }
@@ -310,9 +381,33 @@ func (s *Server) unregisterCancel(id uint64) {
 	delete(s.cancels, id)
 }
 
+// engineGate adapts the engine-pool fairShare to engine.Gate: every
+// EvaluateStream point acquires a WDRR slot under the tenant carried by
+// the evaluation context, so a flooding tenant's batch cannot occupy the
+// whole worker pool while another tenant's points wait.
+type engineGate struct {
+	fs *fairShare
+	ts *tenants
+}
+
+// AcquireSlot implements engine.Gate.
+func (g *engineGate) AcquireSlot(ctx context.Context) (func(), error) {
+	t := tenantFrom(ctx)
+	if t == nil {
+		t = g.ts.anonymous()
+	}
+	release, err := g.fs.acquire(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	t.obsEvals.Add(1)
+	return release, nil
+}
+
 // work wraps an evaluation handler with the full load-path middleware:
-// drain rejection, admission control, the per-request deadline,
-// observability propagation, a request span, and panic isolation.
+// drain rejection, tenant resolution, the token-bucket rate limit,
+// fair-share admission, the per-request deadline, observability
+// propagation, a request span, and panic isolation.
 func (s *Server) work(span string, h func(http.ResponseWriter, *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -322,21 +417,34 @@ func (s *Server) work(span string, h func(http.ResponseWriter, *http.Request)) h
 				ErrorBody{Code: CodeUnavailable, Message: "server is draining"})
 			return
 		}
-		if err := s.adm.acquire(r.Context()); err != nil {
+		t, err := s.tenants.lookup(r)
+		if err != nil {
 			s.errors.Add(1)
 			s.obsErrors.Add(1)
-			if err == errSaturated {
-				s.shed.Add(1)
-				s.obsShed.Add(1)
-				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
-				writeErrorBody(w, http.StatusTooManyRequests,
-					ErrorBody{Code: CodeOverloaded, Message: "admission queue full; retry later"})
-				return
-			}
 			writeError(w, err)
 			return
 		}
-		defer s.adm.release()
+		t.obsRequests.Add(1)
+		if ok, wait := t.allow(time.Now()); !ok {
+			s.shedTenant(w, t, retryAfterSeconds(wait),
+				ErrorBody{Code: CodeRateLimited, Message: "tenant rate limit exceeded; retry later"})
+			return
+		}
+		queued := time.Now()
+		release, err := s.adm.acquire(r.Context(), t)
+		t.obsQueueSec.Observe(time.Since(queued).Seconds())
+		if err != nil {
+			if err == errSaturated {
+				s.shedTenant(w, t, retryAfterSeconds(s.opts.RetryAfter),
+					ErrorBody{Code: CodeOverloaded, Message: "admission queue full; retry later"})
+				return
+			}
+			s.errors.Add(1)
+			s.obsErrors.Add(1)
+			writeError(w, err)
+			return
+		}
+		defer release()
 		s.admitted.Add(1)
 		s.obsAdmitted.Add(1)
 		s.inflight.Add(1)
@@ -355,6 +463,7 @@ func (s *Server) work(span string, h func(http.ResponseWriter, *http.Request)) h
 		defer cancel()
 		id := s.registerCancel(cancel)
 		defer s.unregisterCancel(id)
+		ctx = contextWithTenant(ctx, t)
 		ctx = obs.ContextWithTracer(ctx, s.tracer)
 		ctx = obs.ContextWithMetrics(ctx, s.metrics)
 		ctx, sp := s.tracer.Start(ctx, span)
@@ -372,6 +481,58 @@ func (s *Server) work(span string, h func(http.ResponseWriter, *http.Request)) h
 				}
 				// Best effort: if the handler already streamed a body the
 				// envelope write fails silently, which is all HTTP offers.
+				writeErrorBody(w, http.StatusInternalServerError,
+					ErrorBody{Code: CodeInternal, Message: "internal server error"})
+				return
+			}
+			sp.Finish()
+		}()
+		h(w, r.WithContext(ctx))
+	})
+}
+
+// shedTenant renders one 429, charging both the global and the tenant's
+// shed counters.
+func (s *Server) shedTenant(w http.ResponseWriter, t *tenantState, retryAfter int, body ErrorBody) {
+	s.errors.Add(1)
+	s.obsErrors.Add(1)
+	s.shed.Add(1)
+	s.obsShed.Add(1)
+	t.obsShed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeErrorBody(w, http.StatusTooManyRequests, body)
+}
+
+// control wraps a /v1/jobs control-plane handler: tenant resolution, a
+// request span and panic isolation — but no admission slot and no
+// deadline beyond the client's, because submit/poll/cancel are cheap
+// and must answer even while the work plane is saturated. Only submit
+// consumes from the tenant's token bucket (it enqueues work; polling
+// must stay free or clients would burn their budget watching jobs).
+func (s *Server) control(span string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t, err := s.tenants.lookup(r)
+		if err != nil {
+			s.errors.Add(1)
+			s.obsErrors.Add(1)
+			writeError(w, err)
+			return
+		}
+		t.obsRequests.Add(1)
+		ctx := contextWithTenant(r.Context(), t)
+		ctx = obs.ContextWithTracer(ctx, s.tracer)
+		ctx = obs.ContextWithMetrics(ctx, s.metrics)
+		ctx, sp := s.tracer.Start(ctx, span)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.obsPanics.Add(1)
+				s.errors.Add(1)
+				s.obsErrors.Add(1)
+				if sp != nil {
+					sp.Annotate(obs.S("panic", "true"))
+					sp.Finish()
+				}
 				writeErrorBody(w, http.StatusInternalServerError,
 					ErrorBody{Code: CodeInternal, Message: "internal server error"})
 				return
@@ -408,7 +569,16 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 // accepted, so requests cannot escape the configured directory.
 var checkpointNameRx = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 
-func (s *Server) checkpointPath(name string) (string, error) {
+// checkpointJobsNamespace is the CheckpointDir subdirectory reserved for
+// /v1/jobs checkpoints (files named by job ID); no tenant may claim it.
+const checkpointJobsNamespace = "jobs"
+
+// checkpointPath maps a client-supplied checkpoint name into
+// CheckpointDir, namespaced by the context's tenant: the anonymous
+// (single-tenant) identity keeps the flat legacy layout, named tenants
+// write under CheckpointDir/<tenant>/ so equal names never collide
+// across tenants.
+func (s *Server) checkpointPath(ctx context.Context, name string) (string, error) {
 	if name == "" {
 		return "", nil
 	}
@@ -418,5 +588,36 @@ func (s *Server) checkpointPath(name string) (string, error) {
 	if !checkpointNameRx.MatchString(name) || name != filepath.Base(name) {
 		return "", validationf("server: invalid checkpoint name %q", name)
 	}
-	return filepath.Join(s.opts.CheckpointDir, name), nil
+	t := tenantFrom(ctx)
+	if t == nil || t.name == AnonymousTenant {
+		return filepath.Join(s.opts.CheckpointDir, name), nil
+	}
+	dir := filepath.Join(s.opts.CheckpointDir, t.name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("server: creating tenant checkpoint directory: %w", err)
+	}
+	return filepath.Join(dir, name), nil
+}
+
+// lockCheckpoint claims exclusive use of a checkpoint path for one
+// running request. Two concurrent sweeps naming the same checkpoint used
+// to interleave writes and clobber each other's files; now the second
+// request is answered 409 conflict and the client retries after the
+// first finishes (resuming its checkpoint, even). Empty paths need no
+// lock.
+func (s *Server) lockCheckpoint(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	if s.ckInUse[path] {
+		return nil, conflictf("server: checkpoint %q is in use by another request", filepath.Base(path))
+	}
+	s.ckInUse[path] = true
+	return func() {
+		s.ckMu.Lock()
+		delete(s.ckInUse, path)
+		s.ckMu.Unlock()
+	}, nil
 }

@@ -670,12 +670,13 @@ func TestStatsJSONFieldNames(t *testing.T) {
 
 func TestCheckpointNameValidation(t *testing.T) {
 	s := New(Options{CheckpointDir: t.TempDir()})
+	ctx := context.Background()
 	for _, bad := range []string{"../escape", "a/b", ".hidden", "", "-dash"} {
-		if p, err := s.checkpointPath(bad); bad != "" && err == nil {
+		if p, err := s.checkpointPath(ctx, bad); bad != "" && err == nil {
 			t.Fatalf("checkpointPath(%q) accepted as %q", bad, p)
 		}
 	}
-	p, err := s.checkpointPath("run-1.ck")
+	p, err := s.checkpointPath(ctx, "run-1.ck")
 	if err != nil {
 		t.Fatalf("valid name rejected: %v", err)
 	}
