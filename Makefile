@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-json bench-obs bench-server bench-tenants serve figures figures-full examples cover fuzz-short clean
+.PHONY: all build vet lint test test-short race check bench bench-json bench-engine bench-obs bench-server bench-tenants serve figures figures-full examples cover fuzz-short clean
 
 all: build vet lint test
 
@@ -37,6 +37,12 @@ bench:
 # Engine throughput (cold vs warm memo cache) as JSON for trend tracking.
 bench-json:
 	$(GO) run ./cmd/enginebench -out BENCH_engine.json
+
+# Batched vs scalar dispatch: the same sweep on both engine paths, with
+# bit-identity verified and allocations per point recorded (see
+# DESIGN.md §12). Fails if any value differs by a single bit.
+bench-engine:
+	$(GO) run ./cmd/enginebench -batch -out BENCH_engine.json
 
 # Observability cost: the same benchmark with the tracer and metrics
 # registry disabled vs enabled, side by side (see DESIGN.md §9).

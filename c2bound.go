@@ -256,6 +256,23 @@ type (
 // NewEngine builds an evaluation engine.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
+// Batched evaluation (DESIGN.md §12): compiled analytic kernels and the
+// plane-at-a-time evaluator contract the engine dispatches in chunks.
+type (
+	// CompiledModel is a Model with every point-independent
+	// subexpression folded (Model.Compile); TimeAt/TimeWorkAt evaluate a
+	// design allocation-free and bit-identical to Model.Evaluate.
+	CompiledModel = core.Compiled
+	// BatchEvaluator is the batched evaluator contract: one call scores
+	// a whole plane of points. The engine detects it on EvaluateStream
+	// and switches to chunked dispatch; implementers must also keep the
+	// scalar EvaluateCtx (enforced by the c2vet batchpar analyzer).
+	BatchEvaluator = engine.BatchEvaluator
+	// BatchFunc adapts a fingerprinted scalar function plus a batched
+	// kernel to BatchEvaluator, for ad-hoc batched objectives.
+	BatchFunc = engine.BatchFunc
+)
+
 // HTTP evaluation service (DESIGN.md §10).
 type (
 	// Server is the zero-dependency HTTP façade over one shared Engine:

@@ -1,11 +1,12 @@
 // Command c2vet is the repository's domain-aware static-analysis suite:
-// a multichecker over the seven analyzers under internal/analysis that
+// a multichecker over the eight analyzers under internal/analysis that
 // encode C²-Bound's cross-cutting invariants — floating-point hygiene
 // (floatguard), error-chain wrapping and no library panics (errwrap),
 // the cancellation contract (ctxflow), request-scoped contexts in HTTP
 // handlers (httpctx), no blind time.Sleep in cancellable or serving-layer
-// code (ctxsleep), engine-routed evaluation (enginepath) and documented
-// parameter domains (paramdomain).
+// code (ctxsleep), engine-routed evaluation (enginepath), paired
+// batch/scalar evaluator methods (batchpar) and documented parameter
+// domains (paramdomain).
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/batchpar"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/ctxsleep"
 	"repro/internal/analysis/enginepath"
@@ -37,6 +39,7 @@ import (
 var suite = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	enginepath.Analyzer,
+	batchpar.Analyzer,
 	httpctx.Analyzer,
 	ctxsleep.Analyzer,
 	errwrap.Analyzer,

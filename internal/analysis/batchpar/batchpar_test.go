@@ -1,0 +1,12 @@
+package batchpar_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/batchpar"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), batchpar.Analyzer, "batch")
+}

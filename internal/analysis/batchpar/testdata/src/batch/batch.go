@@ -1,0 +1,67 @@
+// Package batch is a batchpar fixture covering paired, unpaired,
+// unrelated-signature, interface, embedded and suppressed cases.
+package batch
+
+import "context"
+
+// Paired implements both halves of the evaluator contract — sanctioned.
+type Paired struct{}
+
+func (Paired) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	return 0, nil
+}
+
+func (Paired) EvaluateBatch(ctx context.Context, points [][]float64, out []float64) error {
+	return nil
+}
+
+// PointerPaired pairs the methods across receiver kinds; the pointer
+// method set sees both — sanctioned.
+type PointerPaired struct{}
+
+func (*PointerPaired) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	return 0, nil
+}
+
+func (PointerPaired) EvaluateBatch(ctx context.Context, points [][]float64, out []float64) error {
+	return nil
+}
+
+// BatchOnly carries the batched kernel without the scalar method.
+type BatchOnly struct{} // want "BatchOnly implements EvaluateBatch without the scalar EvaluateCtx"
+
+func (BatchOnly) EvaluateBatch(ctx context.Context, points [][]float64, out []float64) error {
+	return nil
+}
+
+// Unrelated has an EvaluateBatch with a foreign signature — not the
+// engine contract, so it passes.
+type Unrelated struct{}
+
+func (Unrelated) EvaluateBatch(n int) error { return nil }
+
+// BatchIface mirrors engine.BatchEvaluator: interfaces declare only the
+// batched half by design and are exempt.
+type BatchIface interface {
+	EvaluateBatch(ctx context.Context, points [][]float64, out []float64) error
+}
+
+// Embedded promotes the batched kernel from BatchOnly without adding the
+// scalar method; promotion does not excuse the pairing.
+type Embedded struct { // want "Embedded implements EvaluateBatch without the scalar EvaluateCtx"
+	BatchOnly
+}
+
+// EmbeddedPaired promotes the batch half and adds its own scalar half.
+type EmbeddedPaired struct {
+	BatchOnly
+}
+
+func (EmbeddedPaired) EvaluateCtx(ctx context.Context, point []float64) (float64, error) {
+	return 0, nil
+}
+
+//lint:allow batchpar fixture documents the suppression path
+type Suppressed struct {
+	BatchOnly
+}

@@ -126,10 +126,11 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 	eng := opts.Engine
 	if eng == nil {
 		eng = engine.New(engine.Options{
-			Workers: opts.Workers,
-			Retry:   opts.Sweep.Retry,
-			Tracer:  tr,
-			Metrics: obs.MetricsFrom(ctx),
+			Workers:      opts.Workers,
+			Retry:        opts.Sweep.Retry,
+			Tracer:       tr,
+			Metrics:      obs.MetricsFrom(ctx),
+			DisableBatch: opts.Sweep.DisableBatch,
 		})
 	}
 	stats0 := eng.Stats()
@@ -216,67 +217,119 @@ func RunCtx(ctx context.Context, m core.Model, space dse.Space, eval dse.CtxEval
 // gridOptimum scans the representable (A0, A1, A2, N) grid combinations
 // with the *analytic* objective (no simulation) and returns the best
 // feasible coordinates, with the issue/ROB dimensions left at zero for
-// the subsequent simulated slice. Scores route through the engine under
-// a metric-specific fingerprint: a repeated APS run on a shared engine
-// re-reads the whole scan from cache. Infeasible grid points score +Inf
-// (a cacheable value, excluded from the analytic-point count).
+// the subsequent simulated slice. The whole grid is submitted as one
+// flat plane on the engine's batched path under a metric-specific
+// fingerprint (the batch kernel is the compiled model, bit-identical to
+// the scalar probe, so a repeated APS run on a shared engine re-reads
+// the whole scan from cache regardless of which path filled it).
+// Infeasible grid points score +Inf (a cacheable value, excluded from
+// the analytic-point count).
 func gridOptimum(ctx context.Context, m core.Model, eng *engine.Engine, space dse.Space, dims map[string]int, metric Metric) ([]int, int, error) {
 	dA0, dA1, dA2, dN := dims[dse.DimA0], dims[dse.DimA1], dims[dse.DimA2], dims[dse.DimN]
-	score := engine.Func{
-		FP: fmt.Sprintf("aps.gridScore{metric=%d %s}", metric, m.Fingerprint()),
-		F: func(_ context.Context, p []float64) (float64, error) {
-			e, err := m.Evaluate(chip.Design{N: int(p[3] + 0.5), CoreArea: p[0], L1Area: p[1], L2Area: p[2]})
+	scalar := func(_ context.Context, p []float64) (float64, error) {
+		e, err := m.Evaluate(chip.Design{N: int(p[3] + 0.5), CoreArea: p[0], L1Area: p[1], L2Area: p[2]})
+		if err != nil {
+			return math.Inf(1), nil
+		}
+		if metric == MetricTimePerWork {
+			return e.Time / e.Work, nil
+		}
+		return e.Time, nil
+	}
+	score := engine.BatchFunc{
+		Func: engine.Func{
+			FP: fmt.Sprintf("aps.gridScore{metric=%d %s}", metric, m.Fingerprint()),
+			F:  scalar,
+		},
+		B: func(ctx context.Context, pts [][]float64, out []float64) error {
+			compiled, err := m.Compile()
 			if err != nil {
-				return math.Inf(1), nil
+				// Invalid profile: keep the scalar semantics per point.
+				for i, p := range pts {
+					out[i], _ = scalar(ctx, p)
+				}
+				return nil
 			}
-			if metric == MetricTimePerWork {
-				return e.Time / e.Work, nil
+			for i, p := range pts {
+				if i&255 == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+				t, w, ok := compiled.TimeWorkAt(chip.Design{N: int(p[3] + 0.5), CoreArea: p[0], L1Area: p[1], L2Area: p[2]})
+				switch {
+				case !ok:
+					out[i] = math.Inf(1)
+				case metric == MetricTimePerWork:
+					out[i] = t / w
+				default:
+					out[i] = t
+				}
 			}
-			return e.Time, nil
+			return nil
 		},
 	}
+
+	// Enumerate the (A0, A1, A2, N) combinations in the same nesting
+	// order as the scalar scan (first-encountered wins score ties), as a
+	// flat plane for one batched submission.
+	nCombos := len(space.Params[dA0].Values) * len(space.Params[dA1].Values) *
+		len(space.Params[dA2].Values) * len(space.Params[dN].Values)
+	plane := make([][]float64, 0, nCombos)
+	slab := make([]float64, 0, 4*nCombos)
+	combos := make([][4]int, 0, nCombos)
+	coords := make([]int, space.Dims())
+	for i0, a0 := range space.Params[dA0].Values {
+		for i1, a1 := range space.Params[dA1].Values {
+			for i2, a2 := range space.Params[dA2].Values {
+				for in, n := range space.Params[dN].Values {
+					lo := len(slab)
+					slab = append(slab, a0, a1, a2, n)
+					plane = append(plane, slab[lo:len(slab):len(slab)])
+					combos = append(combos, [4]int{i0, i1, i2, in})
+				}
+			}
+		}
+	}
+	scores := make([]float64, len(plane))
+	for i := range scores {
+		scores[i] = math.NaN()
+	}
+	// Per-point faults are skipped (their score stays NaN), exactly like
+	// the scalar scan's continue-on-error; only cancellation aborts.
+	streamErr := eng.EvaluateStream(ctx, score, plane, func(i int, o engine.Outcome) {
+		if o.Err == nil {
+			scores[i] = o.Value
+		}
+	})
+	if streamErr != nil {
+		return nil, 0, fmt.Errorf("aps: analytic grid scan interrupted: %w", streamErr)
+	}
+
 	best := make([]int, space.Dims())
 	found := false
 	bestScore := math.Inf(1)
-	coords := make([]int, space.Dims())
 	points := 0
-	for i0 := range space.Params[dA0].Values {
-		if err := ctx.Err(); err != nil {
-			return nil, points, fmt.Errorf("aps: analytic grid scan interrupted: %w", err)
+	for k, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 1) {
+			continue
 		}
-		for i1 := range space.Params[dA1].Values {
-			for i2 := range space.Params[dA2].Values {
-				for in := range space.Params[dN].Values {
-					coords[dA0], coords[dA1], coords[dA2], coords[dN] = i0, i1, i2, in
-					p := space.PointAt(coords)
-					d := designFromPoint(p, dims)
-					s, err := eng.Evaluate(ctx, score, []float64{d.CoreArea, d.L1Area, d.L2Area, float64(d.N)})
-					if err != nil || math.IsInf(s, 1) {
-						continue
-					}
-					points++
-					if s < bestScore {
-						bestScore = s
-						copy(best, coords)
-						found = true
-					}
-				}
+		points++
+		if s < bestScore {
+			bestScore = s
+			c := combos[k]
+			for d := range coords {
+				coords[d] = 0
 			}
+			coords[dA0], coords[dA1], coords[dA2], coords[dN] = c[0], c[1], c[2], c[3]
+			copy(best, coords)
+			found = true
 		}
 	}
 	if !found {
 		return nil, points, fmt.Errorf("aps: no feasible grid point for the analytic model")
 	}
 	return best, points, nil
-}
-
-func designFromPoint(p []float64, dims map[string]int) chip.Design {
-	return chip.Design{
-		N:        int(p[dims[dse.DimN]] + 0.5),
-		CoreArea: p[dims[dse.DimA0]],
-		L1Area:   p[dims[dse.DimA1]],
-		L2Area:   p[dims[dse.DimA2]],
-	}
 }
 
 // RelativeError compares an APS (or any) best value to the true optimum

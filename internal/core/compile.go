@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/chip"
+	"repro/internal/speedup"
+)
+
+// Compiled is a fingerprint-specialized form of one Model: every
+// point-independent subexpression of the Eq. 7-10 objective — the
+// Pollack constants, the folded C-AMAT coefficients (H1/C_H, 1−overlap),
+// the Sun-Ni terms (1−fseq and a memoized g(N) table) and the area
+// constraint — is evaluated once at Compile time, so evaluating a design
+// point costs only the arithmetic that actually depends on the point.
+//
+// Bit-exactness is the contract: Compiled.TimeAt performs exactly the
+// same floating-point operations, in the same order, as Model.TimeAt.
+// Constants are folded only when folding is the identical operation on
+// identical inputs (e.g. 1−fseq computed once instead of per point);
+// no expression involving point coordinates is algebraically
+// restructured (no division-to-reciprocal rewrites). The differential
+// tests in dse assert bit-identical values across whole design spaces.
+//
+// A Compiled model is immutable after construction apart from the
+// internal g(N) memo table and is safe for concurrent use.
+type Compiled struct {
+	// Pollack's rule (Eq. 11).
+	k0, phi0 float64
+
+	// Cache geometry and the miss-rate curves.
+	l1Density, l2Density float64
+	l1Curve, l2Curve     compiledCurve
+
+	// Memory system.
+	h2               float64 // L2 hit cycles
+	memLatency       float64
+	memBandwidth     float64
+	queueSensitivity float64
+	contention       bool // MemBandwidth > 0 && QueueSensitivity != 0
+
+	// Folded application constants.
+	fmem            float64
+	h1OverCH        float64 // H1 / C_H (the hit term of Eq. 2)
+	pmrRatio        float64
+	pampRatio       float64
+	cm              float64
+	oneMinusOverlap float64 // 1 − overlapRatio_{c-m}
+	fseq            float64
+	oneMinusFseq    float64 // 1 − fseq (Sun-Ni's parallel fraction)
+	ic0             float64
+
+	// Area constraint (Eq. 12).
+	fixedArea float64
+	areaLimit float64 // TotalArea·(1+1e-9), the CheckFeasible bound
+
+	// g(N) memoization: core counts repeat across a sweep plane, while
+	// g itself may be expensive (FromComplexity runs a bisection per
+	// call). The table is a copy-on-write sorted-insertion-free slice
+	// behind an atomic pointer, so warm lookups are lock- and
+	// allocation-free.
+	g      speedup.ScaleFunc
+	gTable atomic.Pointer[[]gEntry]
+}
+
+// compiledCurve is chip.MissRateCurve with the default Cap resolved once.
+type compiledCurve struct {
+	base, refKB, alpha, floor, capRate float64
+}
+
+func compileCurve(m chip.MissRateCurve) compiledCurve {
+	capRate := m.Cap
+	if capRate <= 0 || capRate > 1 {
+		capRate = 1
+	}
+	return compiledCurve{base: m.Base, refKB: m.RefKB, alpha: m.Alpha, floor: m.Floor, capRate: capRate}
+}
+
+// at mirrors chip.MissRateCurve.At operation for operation.
+func (c compiledCurve) at(sizeKB float64) float64 {
+	if sizeKB <= 0 {
+		return c.capRate
+	}
+	r := c.base
+	if c.refKB > 0 && c.alpha != 0 { //lint:allow floatguard exact zero is the unset-field sentinel, mirroring chip.MissRateCurve.At
+		r = c.base * math.Pow(sizeKB/c.refKB, -c.alpha)
+	}
+	if r < c.floor {
+		r = c.floor
+	}
+	if r > c.capRate {
+		r = c.capRate
+	}
+	return r
+}
+
+// gEntry memoizes one g(N) evaluation, keyed by the IEEE-754 bits of N.
+type gEntry struct {
+	bits uint64
+	g    float64
+}
+
+// Compile specializes the model: the profile is validated once, every
+// point-independent subexpression is folded, and the returned Compiled
+// evaluates the Eq. 10 objective bit-identically to Model.TimeAt at a
+// fraction of the cost. It is the model-layer half of the engine's batch
+// evaluation path.
+func (m Model) Compile() (*Compiled, error) {
+	if err := m.App.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		k0:               m.Chip.Pollack.K0,
+		phi0:             m.Chip.Pollack.Phi0,
+		l1Density:        m.Chip.L1DensityKB,
+		l2Density:        m.Chip.L2DensityKB,
+		l1Curve:          compileCurve(m.App.L1Miss),
+		l2Curve:          compileCurve(m.App.L2Miss),
+		h2:               m.Chip.L2HitCycles,
+		memLatency:       m.Chip.MemLatency,
+		memBandwidth:     m.Chip.MemBandwidth,
+		queueSensitivity: m.Chip.QueueSensitivity,
+		contention:       m.Chip.MemBandwidth > 0 && m.Chip.QueueSensitivity != 0, //lint:allow floatguard exact zero is the unset-field sentinel, mirroring chip.LoadedMemLatency
+		fmem:             m.App.Fmem,
+		h1OverCH:         m.Chip.L1HitCycles / m.App.CH,
+		pmrRatio:         m.App.PMRRatio,
+		pampRatio:        m.App.PAMPRatio,
+		cm:               m.App.CM,
+		oneMinusOverlap:  1 - m.App.Overlap,
+		fseq:             m.App.Fseq,
+		oneMinusFseq:     1 - m.App.Fseq,
+		ic0:              m.App.IC0,
+		fixedArea:        m.Chip.FixedArea,
+		areaLimit:        m.Chip.TotalArea * (1 + 1e-9),
+		g:                m.App.G,
+	}
+	empty := make([]gEntry, 0, 16)
+	c.gTable.Store(&empty)
+	return c, nil
+}
+
+// gAt returns g(N), memoized by the bits of n. Warm lookups scan a small
+// immutable table (sweep planes carry a handful of distinct core
+// counts) without locking or allocating; a miss computes g once and
+// publishes a copy-on-write extension of the table.
+func (c *Compiled) gAt(n float64) float64 {
+	bits := math.Float64bits(n)
+	table := *c.gTable.Load()
+	for i := range table {
+		if table[i].bits == bits {
+			return table[i].g
+		}
+	}
+	g := c.g(n)
+	for {
+		old := c.gTable.Load()
+		// Re-check under the freshest table: another goroutine may have
+		// published the same entry while g was computed.
+		for i := range *old {
+			if (*old)[i].bits == bits {
+				return (*old)[i].g
+			}
+		}
+		next := make([]gEntry, len(*old)+1)
+		copy(next, *old)
+		next[len(*old)] = gEntry{bits: bits, g: g}
+		if c.gTable.CompareAndSwap(old, &next) {
+			return g
+		}
+	}
+}
+
+// feasible mirrors chip.Config.CheckFeasible for the compiled form.
+func (c *Compiled) feasible(d chip.Design) bool {
+	if d.N < 1 || d.CoreArea <= 0 || d.L1Area <= 0 || d.L2Area < 0 {
+		return false
+	}
+	used := float64(d.N)*(d.CoreArea+d.L1Area+d.L2Area) + c.fixedArea
+	return !(used > c.areaLimit)
+}
+
+// TimeAt is the compiled Model.TimeAt: the Eq. 10 execution time J_D of
+// the design, +Inf for infeasible or degenerate designs. The returned
+// bits equal Model.TimeAt's exactly.
+func (c *Compiled) TimeAt(d chip.Design) float64 {
+	t, _, ok := c.timeWork(d, false)
+	if !ok {
+		return math.Inf(1)
+	}
+	return t
+}
+
+// TimeWorkAt returns the Eq. 10 execution time and the scaled work of
+// the design (ok=false for infeasible or degenerate designs), each
+// bit-identical to the Eval fields Model.Evaluate produces.
+func (c *Compiled) TimeWorkAt(d chip.Design) (timeV, work float64, ok bool) {
+	return c.timeWork(d, true)
+}
+
+// timeWork is the specialized Eq. 7-10 kernel. Every line mirrors one
+// line of Model.Evaluate with the point-independent factors pre-folded;
+// see the bit-exactness contract on the Compiled type.
+func (c *Compiled) timeWork(d chip.Design, needWork bool) (timeV, work float64, ok bool) {
+	if !c.feasible(d) {
+		return 0, 0, false
+	}
+	cpiExe := c.k0/math.Sqrt(d.CoreArea) + c.phi0
+	l1mr := c.l1Curve.at(c.l1Density * d.L1Area)
+	l2mr := c.l2Curve.at(c.l2Density * d.L2Area)
+
+	pmr := c.pmrRatio * l1mr
+
+	nominal := cpiExe
+	if nominal < 1e-9 {
+		nominal = 1e-9
+	}
+	demand := float64(d.N) * c.fmem * l1mr * l2mr / nominal
+	memLat := c.memLatency
+	if c.contention && demand > 0 {
+		rho := demand / c.memBandwidth
+		memLat = c.memLatency * (1 + c.queueSensitivity*rho)
+	}
+	amp := c.h2 + l2mr*memLat
+	camatVal := c.h1OverCH + pmr*(c.pampRatio*amp)/c.cm
+	cpi := cpiExe + c.fmem*camatVal*c.oneMinusOverlap
+	if math.IsNaN(cpi) || math.IsInf(cpi, 0) {
+		return 0, 0, false
+	}
+	n := float64(d.N)
+	g := c.gAt(n)
+	timeV = c.ic0 * cpi * (c.fseq + g*c.oneMinusFseq/n)
+	if needWork {
+		work = c.ic0 * (c.fseq + c.oneMinusFseq*g)
+	}
+	return timeV, work, true
+}

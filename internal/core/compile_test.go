@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func catalogModels() map[string]Model {
+	cfg := chip.DefaultConfig()
+	return map[string]Model{
+		"tmm":          {Chip: cfg, App: TMMApp()},
+		"stencil":      {Chip: cfg, App: StencilApp()},
+		"fft":          {Chip: cfg, App: FFTApp()},
+		"fluidanimate": {Chip: cfg, App: FluidanimateApp()},
+	}
+}
+
+// compileGrid enumerates a dense design grid spanning feasible,
+// area-infeasible, and degenerate (non-positive area) designs.
+func compileGrid() []chip.Design {
+	var ds []chip.Design
+	for _, n := range []int{-1, 0, 1, 2, 4, 16, 64, 128, 400} {
+		for _, a0 := range []float64{-1, 0, 0.25, 1, 2, 4, 8} {
+			for _, a1 := range []float64{0, 0.1, 0.5, 1, 2} {
+				for _, a2 := range []float64{-0.5, 0, 0.25, 1, 3} {
+					ds = append(ds, chip.Design{N: n, CoreArea: a0, L1Area: a1, L2Area: a2})
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// TestCompiledBitIdentical asserts the compiled kernel returns the exact
+// same IEEE-754 bits as the interpreted Model across every catalog app
+// and a grid covering feasible, infeasible, and degenerate designs.
+func TestCompiledBitIdentical(t *testing.T) {
+	for name, m := range catalogModels() {
+		t.Run(name, func(t *testing.T) {
+			c, err := m.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			for _, d := range compileGrid() {
+				want := m.TimeAt(d)
+				got := c.TimeAt(d)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("TimeAt(%v): compiled %v (bits %x), model %v (bits %x)",
+						d, got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+				e, evalErr := m.Evaluate(d)
+				tw, ww, ok := c.TimeWorkAt(d)
+				if ok != (evalErr == nil) {
+					t.Fatalf("TimeWorkAt(%v): ok=%v, Evaluate err=%v", d, ok, evalErr)
+				}
+				if !ok {
+					continue
+				}
+				if math.Float64bits(tw) != math.Float64bits(e.Time) {
+					t.Fatalf("TimeWorkAt(%v): time %v != Eval.Time %v", d, tw, e.Time)
+				}
+				if math.Float64bits(ww) != math.Float64bits(e.Work) {
+					t.Fatalf("TimeWorkAt(%v): work %v != Eval.Work %v", d, ww, e.Work)
+				}
+			}
+		})
+	}
+}
+
+// TestCompileRejectsInvalidApp mirrors Evaluate's profile validation.
+func TestCompileRejectsInvalidApp(t *testing.T) {
+	m := Model{Chip: chip.DefaultConfig(), App: TMMApp()}
+	m.App.Fseq = -0.5
+	if _, err := m.Compile(); err == nil {
+		t.Fatal("Compile accepted an invalid app profile")
+	}
+}
+
+// TestCompiledGCacheConcurrent hammers the copy-on-write g(N) table from
+// many goroutines; run under -race this proves the publication protocol.
+func TestCompiledGCacheConcurrent(t *testing.T) {
+	m := Model{Chip: chip.DefaultConfig(), App: FFTApp()}
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := float64(1 + (seed*31+i)%96)
+				got := c.gAt(n)
+				want := m.App.G(n)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					panic(fmt.Sprintf("gAt(%v) = %v, want %v", n, got, want))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkCompiledTimeAt documents the specialized kernel's speedup over
+// the interpreted Model and pins the zero-allocation contract.
+func BenchmarkCompiledTimeAt(b *testing.B) {
+	m := Model{Chip: chip.DefaultConfig(), App: FluidanimateApp()}
+	d := chip.Design{N: 32, CoreArea: 2, L1Area: 0.5, L2Area: 1}
+	b.Run("model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = m.TimeAt(d)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		c, err := m.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.TimeAt(d) // warm the g(N) table
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = c.TimeAt(d)
+		}
+	})
+}

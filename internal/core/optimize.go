@@ -84,24 +84,32 @@ func (o *Options) fill(c chip.Config) {
 }
 
 // evalCounter wraps the model's time objective and counts evaluation
-// requests. When an engine is attached, probes are memoized under the
-// model's fingerprint (the count still reflects requests, not raw
-// evaluations — engine.Stats carries the raw figure).
+// requests. The model is compiled once per counter, so every probe —
+// Nelder-Mead vertices, KKT gradient stencils — runs the specialized
+// (bit-identical) kernel instead of re-deriving the model. When an
+// engine is attached, probes are memoized under the model's fingerprint
+// (the count still reflects requests, not raw evaluations —
+// engine.Stats carries the raw figure).
 type evalCounter struct {
-	m     Model
-	ctx   context.Context
-	eng   *engine.Engine
-	probe engine.Func
-	count int
+	m      Model
+	ctx    context.Context
+	eng    *engine.Engine
+	timeAt func(chip.Design) float64
+	probe  engine.Func
+	count  int
 }
 
 func newEvalCounter(ctx context.Context, m Model, eng *engine.Engine) *evalCounter {
-	ec := &evalCounter{m: m, ctx: ctx, eng: eng}
+	ec := &evalCounter{m: m, ctx: ctx, eng: eng, timeAt: m.TimeAt}
+	if compiled, err := m.Compile(); err == nil {
+		ec.timeAt = compiled.TimeAt
+	}
 	if eng != nil {
+		timeAt := ec.timeAt
 		ec.probe = engine.Func{
 			FP: "core.TimeAt{" + m.Fingerprint() + "}",
 			F: func(_ context.Context, p []float64) (float64, error) {
-				return m.TimeAt(chip.Design{N: int(p[3] + 0.5), CoreArea: p[0], L1Area: p[1], L2Area: p[2]}), nil
+				return timeAt(chip.Design{N: int(p[3] + 0.5), CoreArea: p[0], L1Area: p[1], L2Area: p[2]}), nil
 			},
 		}
 	}
@@ -111,7 +119,7 @@ func newEvalCounter(ctx context.Context, m Model, eng *engine.Engine) *evalCount
 func (ec *evalCounter) time(d chip.Design) float64 {
 	ec.count++
 	if ec.eng == nil {
-		return ec.m.TimeAt(d)
+		return ec.timeAt(d)
 	}
 	v, err := ec.eng.Evaluate(ec.ctx, ec.probe, []float64{d.CoreArea, d.L1Area, d.L2Area, float64(d.N)})
 	if err != nil {

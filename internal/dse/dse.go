@@ -92,6 +92,23 @@ func (s Space) Point(idx int) []float64 {
 	return point
 }
 
+// AppendPoint appends the parameter values at a flat index to dst and
+// returns the extended slice. It is Point without the per-point
+// allocations: sweep planes build one flat slab and slice it, so a
+// million-point plane costs one allocation instead of two million.
+func (s Space) AppendPoint(dst []float64, idx int) []float64 {
+	base := len(dst)
+	for range s.Params {
+		dst = append(dst, 0)
+	}
+	for d := len(s.Params) - 1; d >= 0; d-- {
+		vals := s.Params[d].Values
+		dst[base+d] = vals[idx%len(vals)]
+		idx /= len(vals)
+	}
+	return dst
+}
+
 // PointAt returns the values for explicit coordinates.
 func (s Space) PointAt(coords []int) []float64 {
 	point := make([]float64, len(coords))

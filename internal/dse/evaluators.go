@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/chip"
 	"repro/internal/core"
@@ -218,9 +219,17 @@ func (e *SimEvaluator) EvaluateCtx(ctx context.Context, point []float64) (float6
 // ModelEvaluator scores configurations with the analytic C²-Bound model
 // plus simple first-order corrections for the two microarchitectural
 // dimensions the analytic model does not carry (issue width and ROB).
-// It exists to exercise DSE/APS logic quickly in tests.
+// It is the catalog evaluator behind the server, the CLIs and the
+// benchmarks; whole planes ride the engine's batched path through the
+// compiled (fingerprint-specialized) kernel, which is bit-identical to
+// the scalar path. Use by pointer — the lazy compile state must not be
+// copied.
 type ModelEvaluator struct {
 	Model core.Model
+
+	compileOnce sync.Once
+	compiled    *core.Compiled
+	compileErr  error
 }
 
 // EvaluateCtx implements CtxEvaluator.
@@ -256,4 +265,51 @@ func (e *ModelEvaluator) Evaluate(point []float64) float64 {
 	// Narrow issue serializes instruction delivery; a small ROB caps the
 	// memory overlap the C-AMAT concurrency assumed.
 	return t * (1 + 0.6/issue) * (1 + 24/rob)
+}
+
+// EvaluateBatch implements engine.BatchEvaluator: the whole plane runs
+// through the compiled kernel (constants folded once per fingerprint),
+// bit-identical to per-point Evaluate. The model compiles lazily on the
+// first batch; a profile the compiler rejects falls back to the scalar
+// path so the two paths can never disagree.
+func (e *ModelEvaluator) EvaluateBatch(ctx context.Context, points [][]float64, out []float64) error {
+	e.compileOnce.Do(func() {
+		e.compiled, e.compileErr = e.Model.Compile()
+	})
+	if e.compileErr != nil {
+		for i, p := range points {
+			if i&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			out[i] = e.Evaluate(p)
+		}
+		return nil
+	}
+	c := e.compiled
+	for i, p := range points {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if len(p) != 6 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		t := c.TimeAt(chip.Design{
+			N:        int(p[3] + 0.5),
+			CoreArea: p[0],
+			L1Area:   p[1],
+			L2Area:   p[2],
+		})
+		if math.IsInf(t, 1) {
+			out[i] = t
+			continue
+		}
+		issue, rob := p[4], p[5]
+		out[i] = t * (1 + 0.6/issue) * (1 + 24/rob)
+	}
+	return nil
 }

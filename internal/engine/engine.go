@@ -6,8 +6,10 @@
 //   - the worker pool (a global concurrency bound shared by every batch
 //     submitted to the engine, so two concurrent sweeps cannot
 //     oversubscribe the machine),
-//   - an LRU memoization cache keyed on a canonical
-//     (evaluator fingerprint, design point) encoding, so overlapping
+//   - an LRU memoization cache keyed on a precomputed 64-bit hash of the
+//     (evaluator fingerprint, design point) pair — collision-checked
+//     against the entry's exact identity, so a hash collision is a miss,
+//     never a wrong value — so overlapping
 //     explorations — APS re-simulating a neighborhood a ground-truth
 //     sweep already covered, the optimizer re-probing a design — pay for
 //     each distinct evaluation once,
@@ -108,13 +110,18 @@ type Options struct {
 	// semaphore) before evaluating, so an external policy — fair-share
 	// across tenants, priority classes — owns the dispatch order of the
 	// shared pool. Single-point Evaluate/Do calls bypass the gate; they
-	// are bounded by the caller's own admission control.
+	// are bounded by the caller's own admission control. On the batched
+	// path the gate arbitrates chunks rather than points.
 	Gate Gate
+	// DisableBatch forces EvaluateStream onto the scalar per-point path
+	// even for evaluators that implement BatchEvaluator. It exists for
+	// differential testing and benchmarking of the two paths.
+	DisableBatch bool
 }
 
 // DefaultCacheSize is the memoization capacity when Options.CacheSize is
-// zero. An entry costs ~100 bytes (key bytes + value + list node), so the
-// default stays well under 100 MB even when full.
+// zero. An entry costs ~130 bytes (hash, identity point copy, value,
+// list links), so the default stays well under 100 MB even when full.
 const DefaultCacheSize = 1 << 18
 
 // Outcome is the full result of one evaluation request.
@@ -135,24 +142,30 @@ type Outcome struct {
 	Err error
 }
 
-// call is one in-flight computation other requests can wait on.
+// call is one in-flight computation other requests can wait on. It
+// carries the exact key identity so a waiter can tell a genuine
+// duplicate from a 64-bit hash collision.
 type call struct {
-	done chan struct{}
-	out  Outcome
+	fpID  uint32
+	point []float64
+	done  chan struct{}
+	out   Outcome
 }
 
 // Engine is the memoizing, metered evaluation service. Safe for
 // concurrent use.
 type Engine struct {
-	workers int
-	retry   robust.RetryPolicy
-	rng     *robust.RNG
-	sem     chan struct{}
-	gate    Gate
+	workers      int
+	retry        robust.RetryPolicy
+	rng          *robust.RNG
+	sem          chan struct{}
+	gate         Gate
+	disableBatch bool
 
 	mu       sync.Mutex
 	cache    *lruCache // nil when caching is disabled
-	inflight map[string]*call
+	inflight map[uint64]*call
+	fps      map[string]uint32 // fingerprint → interned ID for exact key checks
 
 	counters counters
 
@@ -204,14 +217,16 @@ func New(opts Options) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		workers:  workers,
-		retry:    opts.Retry,
-		rng:      robust.NewRNG(opts.Seed),
-		sem:      make(chan struct{}, workers),
-		gate:     opts.Gate,
-		inflight: make(map[string]*call),
-		tracer:   opts.Tracer,
-		obs:      newInstruments(opts.Metrics),
+		workers:      workers,
+		retry:        opts.Retry,
+		rng:          robust.NewRNG(opts.Seed),
+		sem:          make(chan struct{}, workers),
+		gate:         opts.Gate,
+		disableBatch: opts.DisableBatch,
+		inflight:     make(map[uint64]*call),
+		fps:          make(map[string]uint32),
+		tracer:       opts.Tracer,
+		obs:          newInstruments(opts.Metrics),
 	}
 	if opts.CacheSize >= 0 {
 		size := opts.CacheSize
@@ -251,16 +266,32 @@ func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) O
 	if !cacheable {
 		return e.compute(ctx, ev, point)
 	}
-	key := cacheKey(fp, point)
+	return e.doKeyed(ctx, ev, point, hashPoint(hashFP(fp), point), fp)
+}
+
+// doKeyed is the cacheable half of Do: the caller has already derived
+// the 64-bit key hash (cheap, zero-alloc) and still holds the exact
+// fingerprint for identity checks.
+func (e *Engine) doKeyed(ctx context.Context, ev robust.Evaluator, point []float64, hash uint64, fp string) Outcome {
 	for {
 		e.mu.Lock()
-		if v, ok := e.cache.get(key); ok {
+		fpID := e.internLocked(fp)
+		if v, ok := e.cache.get(hash, fpID, point); ok {
 			e.mu.Unlock()
 			e.counters.cacheHits.Add(1)
 			e.obs.cacheHits.Add(1)
 			return Outcome{Value: v, CacheHit: true}
 		}
-		if c, ok := e.inflight[key]; ok {
+		if c, ok := e.inflight[hash]; ok {
+			if c.fpID != fpID || !pointsEqual(c.point, point) {
+				// 64-bit hash collision with a different in-flight key:
+				// compute solo, skipping dedup and the memo insert (the
+				// colliding owner keeps the table slot; exactness first).
+				e.mu.Unlock()
+				e.counters.cacheMisses.Add(1)
+				e.obs.cacheMisses.Add(1)
+				return e.compute(ctx, ev, point)
+			}
 			e.mu.Unlock()
 			select {
 			case <-ctx.Done():
@@ -276,8 +307,8 @@ func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) O
 			e.obs.dedups.Add(1)
 			return Outcome{Value: c.out.Value, Shared: true, Err: c.out.Err}
 		}
-		c := &call{done: make(chan struct{})}
-		e.inflight[key] = c
+		c := &call{fpID: fpID, point: point, done: make(chan struct{})}
+		e.inflight[hash] = c
 		e.mu.Unlock()
 
 		e.counters.cacheMisses.Add(1)
@@ -286,16 +317,27 @@ func (e *Engine) Do(ctx context.Context, ev robust.Evaluator, point []float64) O
 		c.out = out
 		e.mu.Lock()
 		if out.Err == nil {
-			if e.cache.add(key, out.Value) {
+			if e.cache.add(hash, c.fpID, point, out.Value) {
 				e.counters.evictions.Add(1)
 				e.obs.evictions.Add(1)
 			}
 		}
-		delete(e.inflight, key)
+		delete(e.inflight, hash)
 		e.mu.Unlock()
 		close(c.done)
 		return out
 	}
+}
+
+// internLocked returns the stable ID of a fingerprint, assigning one on
+// first sight. Caller holds e.mu.
+func (e *Engine) internLocked(fp string) uint32 {
+	if id, ok := e.fps[fp]; ok {
+		return id
+	}
+	id := uint32(len(e.fps)) + 1
+	e.fps[fp] = id
+	return id
 }
 
 // compute wraps computeInner in the engine.eval span and the inflight
@@ -359,6 +401,9 @@ func (e *Engine) EvaluateStream(ctx context.Context, ev robust.Evaluator, points
 	n := len(points)
 	if n == 0 {
 		return ctx.Err()
+	}
+	if be, ok := ev.(BatchEvaluator); ok && !e.disableBatch {
+		return e.streamBatched(ctx, ev, be, points, yield)
 	}
 	workers := e.workers
 	if workers > n {
@@ -450,20 +495,4 @@ func (e *Engine) CacheCap() int {
 // rather than an evaluation fault.
 func isContextErr(err error) bool {
 	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
-}
-
-// cacheKey builds the canonical (fingerprint, point) key: the fingerprint
-// bytes followed by a separator and each coordinate's IEEE-754 bits. The
-// encoding is exact — no hashing — so distinct keys can never collide.
-func cacheKey(fp string, point []float64) string {
-	b := make([]byte, 0, len(fp)+1+8*len(point))
-	b = append(b, fp...)
-	b = append(b, 0)
-	for _, v := range point {
-		bits := math.Float64bits(v)
-		b = append(b,
-			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
-			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
-	}
-	return string(b)
 }

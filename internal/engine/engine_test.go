@@ -128,19 +128,49 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestCacheKeyExactness(t *testing.T) {
-	// Distinct points and fingerprints must produce distinct keys, and
-	// negative zero must not alias zero away (bit encoding is exact).
-	keys := map[string]bool{
-		cacheKey("a", []float64{1, 2}):                 true,
-		cacheKey("a", []float64{2, 1}):                 true,
-		cacheKey("b", []float64{1, 2}):                 true,
-		cacheKey("a", []float64{1}):                    true,
-		cacheKey("a", []float64{math.Inf(1)}):          true,
-		cacheKey("a", []float64{math.Copysign(0, -1)}): true,
-		cacheKey("a", []float64{0}):                    true,
+	// Distinct points and fingerprints must produce distinct hashes, and
+	// negative zero must not alias zero away (bit mixing is exact).
+	keys := map[uint64]bool{
+		hashPoint(hashFP("a"), []float64{1, 2}):                 true,
+		hashPoint(hashFP("a"), []float64{2, 1}):                 true,
+		hashPoint(hashFP("b"), []float64{1, 2}):                 true,
+		hashPoint(hashFP("a"), []float64{1}):                    true,
+		hashPoint(hashFP("a"), []float64{math.Inf(1)}):          true,
+		hashPoint(hashFP("a"), []float64{math.Copysign(0, -1)}): true,
+		hashPoint(hashFP("a"), []float64{0}):                    true,
 	}
 	if len(keys) != 7 {
 		t.Fatalf("key collisions: %d distinct of 7", len(keys))
+	}
+}
+
+func TestCacheHashCollisionIsExact(t *testing.T) {
+	// Force a collision by inserting two different identities under the
+	// same 64-bit hash: the probe must miss for the evicted identity and
+	// the resident value must stay correct — never a wrong value.
+	c := newLRU(8)
+	p1 := []float64{1, 2}
+	p2 := []float64{3, 4}
+	const h = uint64(0xdeadbeef)
+	c.add(h, 1, p1, 10)
+	if v, ok := c.get(h, 1, p1); !ok || v != 10 {
+		t.Fatalf("get(p1) = %v,%v, want 10,true", v, ok)
+	}
+	if _, ok := c.get(h, 1, p2); ok {
+		t.Fatal("get(p2) hit under p1's hash: collision returned a wrong value")
+	}
+	if _, ok := c.get(h, 2, p1); ok {
+		t.Fatal("get(fpID=2) hit under fpID=1's entry")
+	}
+	c.add(h, 1, p2, 20) // collision replaces the resident identity
+	if _, ok := c.get(h, 1, p1); ok {
+		t.Fatal("p1 still resident after collision replacement")
+	}
+	if v, ok := c.get(h, 1, p2); !ok || v != 20 {
+		t.Fatalf("get(p2) = %v,%v, want 20,true", v, ok)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 (one slot per hash)", c.len())
 	}
 }
 

@@ -1,57 +1,149 @@
 package engine
 
-import "container/list"
+import "math"
 
-// lruCache is a classic map + doubly-linked-list LRU. It is not
-// goroutine-safe; the engine serializes access under its mutex.
-type lruCache struct {
-	capacity int
-	ll       *list.List
-	items    map[string]*list.Element
+// The memo cache is keyed by a precomputed 64-bit hash of the
+// (fingerprint, point) pair rather than the exact key bytes: hashing a
+// point is a handful of integer mixes with zero allocation, where the
+// old exact-bytes encoding built a fresh string per lookup. Hashes can
+// collide, so every entry keeps its exact identity — the interned
+// fingerprint ID and the point's float64 values — and a probe compares
+// it bit-for-bit before reporting a hit; a collision is simply a miss
+// (and, on insert, a replacement), never a wrong value.
+
+// fnvOffset/fnvPrime are the FNV-1a constants used to seed a
+// fingerprint's hash.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashFP hashes a fingerprint string (FNV-1a). The result seeds
+// hashPoint, so one evaluator's hash is computed once per stream, not
+// per point.
+func hashFP(fp string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(fp); i++ {
+		h ^= uint64(fp[i])
+		h *= fnvPrime
+	}
+	return h
 }
 
+// hashPoint folds a point's IEEE-754 bits into the fingerprint seed with
+// a splitmix64-style avalanche per coordinate. Zero allocations.
+func hashPoint(seed uint64, point []float64) uint64 {
+	h := seed
+	for _, v := range point {
+		h ^= math.Float64bits(v)
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 32
+	}
+	// Final mix so short points still spread over the table.
+	h ^= uint64(len(point))
+	h *= 0x94d049bb133111eb
+	h ^= h >> 29
+	return h
+}
+
+// pointsEqual compares two points bit-for-bit (so NaNs compare equal to
+// themselves and −0 ≠ +0, exactly like the old byte encoding).
+func pointsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) { //lint:allow floatguard memo keys are IEEE-754 bit patterns, not numeric values
+			return false
+		}
+	}
+	return true
+}
+
+// lruEntry is one memoized evaluation with its exact identity.
 type lruEntry struct {
-	key string
-	val float64
+	hash  uint64
+	fpID  uint32
+	point []float64 // owned copy; never aliases caller memory
+	val   float64
+
+	prev, next *lruEntry
+}
+
+// lruCache is a hash-keyed LRU over an intrusive doubly-linked list. It
+// is not goroutine-safe; the engine serializes access under its mutex.
+// Warm hits perform zero allocations.
+type lruCache struct {
+	capacity int
+	items    map[uint64]*lruEntry
+	root     lruEntry // sentinel: root.next is MRU, root.prev is LRU
+	n        int
 }
 
 func newLRU(capacity int) *lruCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lruCache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-	}
+	c := &lruCache{capacity: capacity, items: make(map[uint64]*lruEntry)}
+	c.root.next = &c.root
+	c.root.prev = &c.root
+	return c
 }
 
-// get returns the cached value and marks the entry most-recently used.
-func (c *lruCache) get(key string) (float64, bool) {
-	el, ok := c.items[key]
-	if !ok {
+func (c *lruCache) unlink(e *lruEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.prev = &c.root
+	e.next = c.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// get returns the cached value when the entry at hash matches the exact
+// (fpID, point) identity, marking it most-recently used. A hash hit with
+// a different identity is a miss.
+func (c *lruCache) get(hash uint64, fpID uint32, point []float64) (float64, bool) {
+	e, ok := c.items[hash]
+	if !ok || e.fpID != fpID || !pointsEqual(e.point, point) {
 		return 0, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	c.unlink(e)
+	c.pushFront(e)
+	return e.val, true
 }
 
-// add inserts or refreshes an entry and reports whether another entry was
-// evicted to make room.
-func (c *lruCache) add(key string, val float64) (evicted bool) {
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = val
-		c.ll.MoveToFront(el)
+// add inserts or refreshes an entry and reports whether another entry
+// was evicted to make room. A hash collision with a different identity
+// replaces the resident entry (the table holds one entry per hash); the
+// exact-identity check in get keeps this safe.
+func (c *lruCache) add(hash uint64, fpID uint32, point []float64, val float64) (evicted bool) {
+	if e, ok := c.items[hash]; ok {
+		if e.fpID != fpID || !pointsEqual(e.point, point) {
+			e.fpID = fpID
+			e.point = append(e.point[:0], point...)
+		}
+		e.val = val
+		c.unlink(e)
+		c.pushFront(e)
 		return false
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
-	if c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+	e := &lruEntry{hash: hash, fpID: fpID, point: append([]float64(nil), point...), val: val}
+	c.items[hash] = e
+	c.pushFront(e)
+	c.n++
+	if c.n > c.capacity {
+		oldest := c.root.prev
+		c.unlink(oldest)
+		delete(c.items, oldest.hash)
+		c.n--
 		return true
 	}
 	return false
 }
 
-func (c *lruCache) len() int { return c.ll.Len() }
+func (c *lruCache) len() int { return c.n }

@@ -160,6 +160,26 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records n samples of value v in one shot: one bucket add,
+// one count add, one sum CAS. It is how batched producers (the engine's
+// chunked evaluation path) keep "one observation per unit of work"
+// semantics without n atomic round-trips. No-op on nil or n == 0.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {

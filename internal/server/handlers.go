@@ -350,11 +350,30 @@ func (c countingEvaluator) Fingerprint() string {
 	return ""
 }
 
-// withCount wraps ev with the counter, preserving cacheability: an
+// countingBatchEvaluator additionally forwards the batched path, so
+// counting a batch-capable evaluator (the catalog models) does not
+// silently demote sweeps to per-point dispatch.
+type countingBatchEvaluator struct {
+	countingEvaluator
+	batch engine.BatchEvaluator
+}
+
+func (c countingBatchEvaluator) EvaluateBatch(ctx context.Context, points [][]float64, out []float64) error {
+	c.n.Add(int64(len(points)))
+	return c.batch.EvaluateBatch(ctx, points, out)
+}
+
+// withCount wraps ev with the counter, preserving cacheability — an
 // evaluator without a fingerprint stays anonymous (the engine must not
-// cache under an empty shared key).
+// cache under an empty shared key) — and batch capability.
 func withCount(ev dse.CtxEvaluator, n *atomic.Int64) dse.CtxEvaluator {
 	if f, ok := ev.(engine.Fingerprinter); ok && f.Fingerprint() != "" {
+		if be, ok := ev.(engine.BatchEvaluator); ok {
+			return countingBatchEvaluator{
+				countingEvaluator: countingEvaluator{inner: ev, n: n},
+				batch:             be,
+			}
+		}
 		return countingEvaluator{inner: ev, n: n}
 	}
 	return robust.EvaluatorFunc(func(ctx context.Context, point []float64) (float64, error) {

@@ -38,19 +38,20 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // points. The With* options below mutate it; each entry point lowers it
 // onto the specific option structs of the internal layers.
 type runConfig struct {
-	engine     *Engine
-	tracer     *Tracer
-	metrics    *Metrics
-	workers    int
-	cache      int
-	retry      RetryPolicy
-	timeout    time.Duration
-	checkpoint string
-	every      int
-	resume     bool
-	radius     int
-	metric     aps.Metric
-	optimize   OptimizeOptions
+	engine       *Engine
+	tracer       *Tracer
+	metrics      *Metrics
+	workers      int
+	cache        int
+	retry        RetryPolicy
+	timeout      time.Duration
+	checkpoint   string
+	every        int
+	resume       bool
+	radius       int
+	metric       aps.Metric
+	optimize     OptimizeOptions
+	disableBatch bool
 }
 
 // Option configures a v2 entry point (Sweep, RunAPS, Optimize).
@@ -75,6 +76,14 @@ func WithMetrics(r *Metrics) Option { return func(c *runConfig) { c.metrics = r 
 // WithWorkers bounds evaluation parallelism (≤0: GOMAXPROCS). Ignored
 // when WithEngine is set.
 func WithWorkers(n int) Option { return func(c *runConfig) { c.workers = n } }
+
+// WithBatch toggles the engine's chunked dispatch for batch-capable
+// evaluators (BatchEvaluator implementers). It is on by default;
+// WithBatch(false) pins the scalar per-point path — the two produce
+// bit-identical values, so this exists for differential testing and
+// benchmarking, not correctness. Ignored when WithEngine is set (the
+// engine's own setting wins).
+func WithBatch(on bool) Option { return func(c *runConfig) { c.disableBatch = !on } }
 
 // WithCacheSize gives the call a private memoizing engine of the given
 // capacity in entries (0 picks the engine default; ignored when
@@ -145,11 +154,12 @@ func (c *runConfig) engineFor() *Engine {
 	}
 	if c.cache != 0 {
 		return engine.New(engine.Options{
-			Workers:   c.workers,
-			CacheSize: c.cache,
-			Retry:     c.retry,
-			Tracer:    c.tracer,
-			Metrics:   c.metrics,
+			Workers:      c.workers,
+			CacheSize:    c.cache,
+			Retry:        c.retry,
+			Tracer:       c.tracer,
+			Metrics:      c.metrics,
+			DisableBatch: c.disableBatch,
 		})
 	}
 	return nil
@@ -172,6 +182,7 @@ func Sweep(ctx context.Context, e CtxEvaluator, s DesignSpace, opts ...Option) (
 		CheckpointPath:  c.checkpoint,
 		CheckpointEvery: c.every,
 		Resume:          c.resume,
+		DisableBatch:    c.disableBatch,
 	})
 }
 
@@ -195,6 +206,7 @@ func RunAPS(ctx context.Context, m Model, space DesignSpace, eval CtxEvaluator, 
 			CheckpointPath:  c.checkpoint,
 			CheckpointEvery: c.every,
 			Resume:          c.resume,
+			DisableBatch:    c.disableBatch,
 		},
 	})
 }
