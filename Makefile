@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check bench bench-json bench-engine bench-obs bench-server bench-tenants serve figures figures-full examples cover fuzz-short clean
+.PHONY: all build vet lint lint-json lint-suppressions test test-short race race-heavy check bench bench-json bench-engine bench-obs bench-server bench-tenants serve figures figures-full examples cover fuzz-short clean
 
 all: build vet lint test
 
@@ -12,10 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain-specific static analysis (see DESIGN.md §8): floatguard, errwrap,
-# ctxflow, httpctx, ctxsleep, enginepath and paramdomain over every package.
+# Domain-specific static analysis (see DESIGN.md §8 and §13): the eleven
+# c2vet analyzers — floatguard, errwrap, ctxflow, httpctx, ctxsleep,
+# enginepath, batchpar, paramdomain and the interprocedural detguard,
+# atomicguard and leakcheck — over every package. Exit 1 means findings,
+# exit 2 means the packages did not load or type-check.
 lint:
 	$(GO) run ./cmd/c2vet ./...
+
+# The same findings as one stable JSON document (CI artifact).
+lint-json:
+	$(GO) run ./cmd/c2vet -json ./... > c2vet.json
+
+# Audit `//lint:allow` comments: list directives that suppress nothing.
+lint-suppressions:
+	$(GO) run ./cmd/c2vet -suppressions ./...
 
 test:
 	$(GO) test ./...
@@ -26,9 +37,15 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The full pre-merge gate: build, vet, the c2vet analyzers, tests, and
-# the race detector.
-check: build vet lint test race
+# The concurrency-heavy packages under the race detector with
+# first-race-aborts semantics: a race here fails fast and loud instead
+# of scrolling past in a full-suite log. CI runs this as its own job.
+race-heavy:
+	GORACE=halt_on_error=1 $(GO) test -race ./internal/engine ./internal/server ./internal/obs ./internal/dse
+
+# The full pre-merge gate: build, vet, the c2vet analyzers (findings and
+# stale suppressions), tests, and the race detector.
+check: build vet lint lint-suppressions test race
 
 # One iteration of every figure/table benchmark with its headline metric.
 bench:

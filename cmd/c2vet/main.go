@@ -1,37 +1,50 @@
 // Command c2vet is the repository's domain-aware static-analysis suite:
-// a multichecker over the eight analyzers under internal/analysis that
+// a multichecker over the eleven analyzers under internal/analysis that
 // encode C²-Bound's cross-cutting invariants — floating-point hygiene
 // (floatguard), error-chain wrapping and no library panics (errwrap),
 // the cancellation contract (ctxflow), request-scoped contexts in HTTP
 // handlers (httpctx), no blind time.Sleep in cancellable or serving-layer
 // code (ctxsleep), engine-routed evaluation (enginepath), paired
-// batch/scalar evaluator methods (batchpar) and documented parameter
-// domains (paramdomain).
+// batch/scalar evaluator methods (batchpar), documented parameter
+// domains (paramdomain), determinism of evaluation and checkpoint paths
+// (detguard), atomic-field and lock-copy hygiene (atomicguard) and
+// goroutine termination (leakcheck). detguard and atomicguard are
+// interprocedural: facts exported while analysing a package are consumed
+// when its dependents are analysed, so packages are processed in
+// dependency order.
 //
 // Usage:
 //
-//	c2vet [-disable name[,name]] [-list] [packages]
+//	c2vet [-disable name[,name]] [-list] [-json] [-suppressions] [-dir d] [packages]
 //
 // Packages default to ./..., findings print as file:line:col: [analyzer]
-// message, and the exit status is 1 when any finding survives the
-// `//lint:allow <analyzer> <reason>` suppressions. `make lint` (and CI)
-// run it alongside go vet.
+// message sorted by position, and the exit status is 1 when any finding
+// survives the `//lint:allow <analyzer> <reason>` suppressions and 2 when
+// the packages fail to load or type-check. -json emits the same findings
+// as a machine-readable report (one JSON object, stable field and finding
+// order) for CI artifacts. -suppressions audits the allow comments
+// themselves, listing directives that suppress nothing so dead ones can
+// be removed. `make lint` (and CI) run it alongside go vet.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicguard"
 	"repro/internal/analysis/batchpar"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/ctxsleep"
+	"repro/internal/analysis/detguard"
 	"repro/internal/analysis/enginepath"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/floatguard"
 	"repro/internal/analysis/httpctx"
+	"repro/internal/analysis/leakcheck"
 	"repro/internal/analysis/paramdomain"
 )
 
@@ -45,18 +58,35 @@ var suite = []*analysis.Analyzer{
 	errwrap.Analyzer,
 	floatguard.Analyzer,
 	paramdomain.Analyzer,
+	detguard.Analyzer,
+	atomicguard.Analyzer,
+	leakcheck.Analyzer,
 }
 
 func main() {
-	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind an exit code: 0 clean, 1 findings (or
+// stale suppressions in -suppressions mode), 2 load/type error or bad
+// usage. Tests drive it directly.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("c2vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON report on stdout")
+	suppressions := fs.Bool("suppressions", false, "audit //lint:allow comments instead of reporting findings")
+	dir := fs.String("dir", ".", "module directory to load packages from")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	skip := map[string]bool{}
@@ -72,32 +102,53 @@ func main() {
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	wd, err := os.Getwd()
+	moduleDir := *dir
+	if moduleDir == "." {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "c2vet:", err)
+			return 2
+		}
+		moduleDir = wd
+	}
+	pkgs, err := analysis.Load(moduleDir, patterns...)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "c2vet:", err)
+		return 2
 	}
-	pkgs, err := analysis.Load(wd, patterns...)
+	diags, stale, err := analysis.Run(active, pkgs)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "c2vet:", err)
+		return 2
 	}
-	diags, err := analysis.Run(active, pkgs)
-	if err != nil {
-		fatal(err)
-	}
-	analysis.Print(os.Stdout, pkgs, diags)
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "c2vet: %d finding(s)\n", len(diags))
-		os.Exit(1)
-	}
-}
 
-// fatal prints the error and exits with a status distinct from "findings
-// present", so CI can tell a broken run from a failing one.
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "c2vet:", err)
-	os.Exit(2)
+	if *suppressions {
+		analysis.PrintStale(stdout, pkgs, stale)
+		if len(stale) > 0 {
+			fmt.Fprintf(stderr, "c2vet: %d stale suppression(s)\n", len(stale))
+			return 1
+		}
+		return 0
+	}
+
+	if *jsonOut {
+		if len(pkgs) > 0 {
+			report := analysis.NewReport(moduleDir, pkgs[0].Fset, diags)
+			if err := report.Write(stdout); err != nil {
+				fmt.Fprintln(stderr, "c2vet:", err)
+				return 2
+			}
+		}
+	} else {
+		analysis.Print(stdout, pkgs, diags)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "c2vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
 }

@@ -50,11 +50,46 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one finding.
 	Report func(Diagnostic)
+
+	// suppress is the package's allow-directive index, so analyzers that
+	// derive facts from code sites can honour documented exceptions at
+	// the source (a suppressed nondeterminism site must not taint its
+	// function's callers).
+	suppress *Suppressor
+	// facts is the run-wide interprocedural fact store.
+	facts *FactStore
 }
 
 // Reportf reports a formatted finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Allowed reports whether this analyzer is suppressed by a
+// `//lint:allow` directive at pos. Analyzers consult it before deriving
+// interprocedural facts from a site: a documented exception both
+// silences the local diagnostic and stops the fact from propagating to
+// dependent packages.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.suppress == nil {
+		return false
+	}
+	return p.suppress.Allowed(p.Analyzer.Name, pos)
+}
+
+// ExportObjectFact publishes a JSON-serializable fact about a
+// package-level object of the package under analysis. Packages that
+// import this one read it back with ImportObjectFact.
+func (p *Pass) ExportObjectFact(obj types.Object, fact interface{}) error {
+	return p.facts.export(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact decodes this analyzer's fact about obj into fact (a
+// pointer), reporting whether one was exported — by a dependency
+// package analyzed earlier, or by this very pass for same-package
+// objects.
+func (p *Pass) ImportObjectFact(obj types.Object, fact interface{}) bool {
+	return p.facts.importFact(p.Analyzer.Name, obj, fact)
 }
 
 // Diagnostic is one finding.

@@ -1,0 +1,402 @@
+// Package atomicguard guards the repository's lock-free structures —
+// engine counters, the obs ring and registry, the server's tenant table
+// and fair-share gates — against the three ways sync/atomic discipline
+// silently rots:
+//
+//  1. Mixed access: a struct field updated through sync/atomic's
+//     package-level functions (atomic.AddInt64(&s.n, 1)) in one place
+//     and read or written plainly in another. The plain access races
+//     with every atomic one; the race detector only catches it when a
+//     test happens to interleave the two.
+//  2. By-value copies: copying a struct that contains a mutex,
+//     WaitGroup, Cond, Once, sync.Map, sync.Pool, a sync/atomic typed
+//     value (atomic.Int64, atomic.Pointer, ...) or an
+//     atomically-accessed field forks its synchronization state; the
+//     copy guards nothing. Containment is computed transitively and
+//     exported as a NoCopyFact, so a dependent package copying an
+//     imported type is flagged even though the mutex is three structs
+//     deep.
+//  3. Alignment: the first-word rule — sync/atomic's 64-bit operations
+//     require 8-byte alignment, which 32-bit platforms only guarantee
+//     for the first word of an allocation. A plain int64/uint64 field
+//     that is atomically accessed but sits at a non-8-aligned offset
+//     under 32-bit layout panics on arm/386. (The typed atomic.Int64 and
+//     atomic.Uint64 carry their own alignment and are always safe.)
+//
+// Value receivers on no-copy types, plain-copy assignments, by-value
+// arguments and dereferencing returns are flagged; constructors
+// returning fresh values and explicitly documented snapshot copies carry
+// `//lint:allow atomicguard <reason>`.
+package atomicguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicguard",
+	Doc:  "flag mixed atomic/plain field access, by-value copies of lock- or atomic-bearing types, and 32-bit-unsafe 64-bit atomic fields",
+	Run:  run,
+}
+
+// NoCopyFact marks a type whose values must not be copied. It
+// propagates to importing packages.
+type NoCopyFact struct {
+	// Reason names the embedded synchronization state, e.g. "contains
+	// sync.Mutex (field mu)".
+	Reason string `json:"reason"`
+}
+
+// atomic64 names the sync/atomic package-level functions operating on
+// 64-bit words.
+var atomic64 = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// noCopySyncTypes are the sync/sync-atomic types that must never be
+// copied after first use.
+var noCopySyncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true,
+	"Once": true, "Map": true, "Pool": true,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:       pass,
+		atomicArgs: make(map[*ast.SelectorExpr]bool),
+		fields:     make(map[*types.Var]*fieldUse),
+		noCopy:     make(map[*types.Named]string),
+	}
+	c.collectAtomicCalls()
+	c.checkMixedAndAlignment()
+	if err := c.exportNoCopy(); err != nil {
+		return err
+	}
+	c.checkCopies()
+	return nil
+}
+
+// fieldUse tracks how one struct field is touched.
+type fieldUse struct {
+	field *types.Var
+	// atomicPos is the first sync/atomic access site.
+	atomicPos token.Pos
+	// fn names the sync/atomic function used (alignment check).
+	fn string
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// atomicArgs are the &x.f selector nodes consumed by sync/atomic
+	// calls, so the plain-access walk can skip them.
+	atomicArgs map[*ast.SelectorExpr]bool
+	// fields maps atomically-accessed fields to their use record.
+	fields map[*types.Var]*fieldUse
+	// noCopy caches the package's no-copy verdicts ("" = copyable).
+	noCopy map[*types.Named]string
+}
+
+// collectAtomicCalls records every field passed by address to a
+// sync/atomic package-level function.
+func (c *checker) collectAtomicCalls() {
+	c.pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			return true // typed atomics are safe by construction
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			field := c.fieldOf(sel)
+			if field == nil {
+				continue
+			}
+			c.atomicArgs[sel] = true
+			if _, seen := c.fields[field]; !seen {
+				c.fields[field] = &fieldUse{field: field, atomicPos: un.Pos(), fn: fn.Name()}
+			}
+		}
+		return true
+	})
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func (c *checker) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+// checkMixedAndAlignment flags plain accesses to atomically-accessed
+// fields and 64-bit atomic fields that violate the 32-bit first-word
+// rule.
+func (c *checker) checkMixedAndAlignment() {
+	if len(c.fields) == 0 {
+		return
+	}
+	c.pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || c.atomicArgs[sel] {
+			return true
+		}
+		field := c.fieldOf(sel)
+		if field == nil {
+			return true
+		}
+		if use, hot := c.fields[field]; hot && !c.pass.Allowed(sel.Pos()) {
+			c.pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed with sync/atomic.%s elsewhere; every load and store must go through sync/atomic (or migrate the field to a typed atomic)",
+				field.Name(), use.fn)
+		}
+		return true
+	})
+
+	sizes := types.SizesFor("gc", "386")
+	for _, use := range c.fields {
+		if !atomic64[use.fn] {
+			continue
+		}
+		owner := fieldOwner(c.pass.Pkg, use.field)
+		if owner == nil {
+			continue
+		}
+		st, ok := owner.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fields []*types.Var
+		idx := -1
+		for i := 0; i < st.NumFields(); i++ {
+			fields = append(fields, st.Field(i))
+			if st.Field(i) == use.field {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		offsets := sizes.Offsetsof(fields)
+		if offsets[idx]%8 != 0 && !c.pass.Allowed(use.field.Pos()) {
+			typed := "Int64"
+			if strings.HasSuffix(use.fn, "Uint64") {
+				typed = "Uint64"
+			}
+			c.pass.Reportf(use.field.Pos(),
+				"64-bit atomic field %s sits at offset %d of %s under 32-bit layout; sync/atomic requires 8-byte alignment — move it first in the struct or use atomic.%s",
+				use.field.Name(), offsets[idx], owner.Obj().Name(), typed)
+		}
+	}
+}
+
+// fieldOwner finds the package-level named struct type declaring field.
+func fieldOwner(pkg *types.Package, field *types.Var) *types.Named {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return named
+			}
+		}
+	}
+	return nil
+}
+
+// noCopyReason reports why t must not be copied ("" when it may).
+// Containment is transitive over by-value struct and array fields;
+// pointers, slices, maps and channels break the chain.
+func (c *checker) noCopyReason(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if noCopySyncTypes[obj.Name()] {
+					return "is sync." + obj.Name()
+				}
+			case "sync/atomic":
+				return "is a typed atomic (atomic." + obj.Name() + ")"
+			}
+			if obj.Pkg() == c.pass.Pkg {
+				if reason, ok := c.noCopy[t]; ok {
+					return reason
+				}
+				c.noCopy[t] = "" // cycle breaker: assume copyable while computing
+				reason := c.noCopyReason(t.Underlying())
+				c.noCopy[t] = reason
+				return reason
+			}
+			var fact NoCopyFact
+			if c.pass.ImportObjectFact(obj, &fact) {
+				return fact.Reason
+			}
+		}
+		return ""
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if _, hot := c.fields[f]; hot {
+				return "contains the atomically-accessed field " + f.Name()
+			}
+			if inner := c.noCopyReason(f.Type()); inner != "" {
+				return "contains field " + f.Name() + ", which " + shortReason(inner)
+			}
+		}
+		return ""
+	case *types.Array:
+		return c.noCopyReason(t.Elem())
+	default:
+		return ""
+	}
+}
+
+// shortReason keeps nested containment messages readable.
+func shortReason(r string) string {
+	if len(r) > 120 {
+		return r[:117] + "..."
+	}
+	return r
+}
+
+// exportNoCopy computes the verdict for every package-level named type
+// and exports facts for the uncopyable ones.
+func (c *checker) exportNoCopy() error {
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if reason := c.noCopyReason(named); reason != "" {
+			if err := c.pass.ExportObjectFact(tn, NoCopyFact{Reason: reason}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkCopies flags value receivers, plain-copy assignments, by-value
+// call arguments and dereferencing returns of no-copy types.
+func (c *checker) checkCopies() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				recv := fd.Recv.List[0]
+				if tv, ok := c.pass.TypesInfo.Types[recv.Type]; ok {
+					if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+						if reason := c.noCopyReason(tv.Type); reason != "" && !c.pass.Allowed(recv.Type.Pos()) {
+							c.pass.Reportf(recv.Type.Pos(),
+								"value receiver copies %s, which %s; use a pointer receiver",
+								typeName(tv.Type), shortReason(reason))
+						}
+					}
+				}
+			}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, rhs := range n.Rhs {
+						c.checkCopyExpr(rhs, "assignment")
+					}
+				case *ast.CallExpr:
+					if fn := analysis.CalleeFunc(c.pass.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+						return true
+					}
+					for _, arg := range n.Args {
+						c.checkCopyExpr(arg, "argument")
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if _, isStar := ast.Unparen(res).(*ast.StarExpr); isStar {
+							c.checkCopyExpr(res, "return")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCopyExpr flags e when it copies an existing no-copy value: an
+// identifier, field selection, dereference or index. Composite literals
+// and call results are fresh values, not copies of shared state.
+func (c *checker) checkCopyExpr(e ast.Expr, context string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if tv.IsNil() || tv.IsType() {
+		return
+	}
+	if reason := c.noCopyReason(tv.Type); reason != "" && !c.pass.Allowed(e.Pos()) {
+		c.pass.Reportf(e.Pos(), "%s copies a value of %s, which %s; pass a pointer",
+			context, typeName(tv.Type), shortReason(reason))
+	}
+}
+
+// typeName renders a short type name for messages.
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

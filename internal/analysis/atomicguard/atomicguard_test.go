@@ -1,0 +1,12 @@
+package atomicguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicguard"
+)
+
+func TestAtomicguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicguard.Analyzer, "atom")
+}

@@ -1,0 +1,89 @@
+// Package atom is the atomicguard fixture: mixed atomic/plain access,
+// 32-bit 64-bit-alignment hazards, and by-value copies of lock- and
+// atomic-bearing types, each seeded once, beside the sanctioned shapes.
+package atom
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter's hits field is atomically updated in touch and read plainly
+// in bad; it also sits at a 32-bit-unsafe offset.
+type counter struct {
+	pad  int32
+	hits int64 // want "64-bit atomic field hits sits at offset 4"
+}
+
+func (c *counter) touch() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counter) bad() int64 {
+	return c.hits // want "plain access to field hits"
+}
+
+// aligned keeps its 64-bit word first: only the mixed access below is
+// wrong, not the layout.
+type aligned struct {
+	n   uint64
+	pad int32
+}
+
+func (a *aligned) touch() { atomic.AddUint64(&a.n, 1) }
+
+func (a *aligned) reset() {
+	a.n = 0 // want "plain access to field n"
+}
+
+// guarded embeds a mutex: values must never be copied.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// value receiver forks the mutex state.
+func (g guarded) snapshot() int { // want "value receiver copies guarded"
+	return g.n
+}
+
+func deref(g *guarded) guarded {
+	return *g // want "return copies a value of guarded"
+}
+
+var sink guarded
+
+func assign(g *guarded) {
+	sink = *g // want "assignment copies a value of guarded"
+}
+
+func use(guarded) {}
+
+func caller(g *guarded) {
+	use(*g) // want "argument copies a value of guarded"
+}
+
+// fresh values are construction, not copies.
+func fresh() guarded { return guarded{} }
+
+// stats carries a typed atomic; wrapper contains it by value, so the
+// no-copy property is transitive.
+type stats struct{ n atomic.Uint64 }
+
+type wrapper struct{ s stats }
+
+func snapshotWrapper(w *wrapper) wrapper {
+	return *w // want "return copies a value of wrapper"
+}
+
+// pointers to no-copy types move freely.
+func share(g *guarded) *guarded { return g }
+
+// a documented construction-time copy.
+func adopt(g *guarded) guarded {
+	return *g //lint:allow atomicguard construction-time copy before the value is shared
+}

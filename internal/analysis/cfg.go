@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the framework's control-flow helper: NewCFG builds a
+// function-level control-flow graph from a parsed body, and the graph
+// answers the reachability questions interprocedural analyzers need —
+// "can this goroutine ever reach its exit?" (leakcheck), "is a
+// termination signal on any path from the entry?". The graph is
+// deliberately syntactic: blocks hold the statements and key expressions
+// of straight-line runs, edges follow Go's structured control flow
+// (if/for/range/switch/select, break/continue/goto/fallthrough,
+// labels), and function literals are opaque single nodes — a nested
+// function is its own graph.
+
+// Block is one basic block: a run of nodes executed in order, followed
+// by zero or more successor edges.
+type Block struct {
+	// Nodes are the statements (and branch conditions) of the block.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is executed first.
+	Entry *Block
+	// Exit is the synthetic termination block: returns and the fall-off
+	// end of the body lead here. A body that cannot reach Exit can only
+	// stop by panicking (or running forever).
+	Exit *Block
+	// Blocks lists every block, Entry and Exit included.
+	Blocks []*Block
+}
+
+// NewCFG builds the control-flow graph of a function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	end := b.stmts(body.List, b.cfg.Entry)
+	if end != nil {
+		edge(end, b.cfg.Exit)
+	}
+	return b.cfg
+}
+
+// ExitReachable reports whether any execution path reaches the function
+// exit (a return statement or the end of the body).
+func (g *CFG) ExitReachable() bool {
+	for blk := range g.reachable() {
+		if blk == g.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+// Reaches reports whether any node of any block reachable from the
+// entry satisfies pred. Function literals are not descended into: a
+// nested function's body is a different control-flow graph.
+func (g *CFG) Reaches(pred func(ast.Node) bool) bool {
+	found := false
+	for blk := range g.reachable() {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(c ast.Node) bool {
+				if found {
+					return false
+				}
+				if _, isLit := c.(*ast.FuncLit); isLit {
+					return false
+				}
+				if c != nil && pred(c) {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return found
+}
+
+// reachable returns the blocks reachable from the entry.
+func (g *CFG) reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	queue := []*Block{g.Entry}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return seen
+}
+
+// frame is one enclosing breakable construct during construction.
+type frame struct {
+	// label is the construct's label ("" when unlabeled).
+	label string
+	// brk is where break jumps.
+	brk *Block
+	// cont is where continue jumps (nil for switch/select frames).
+	cont *Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// frames are the enclosing breakable constructs, innermost last.
+	frames []frame
+	// labels maps label names to their blocks (goto targets).
+	labels map[string]*Block
+	// pendingLabel is the label of the statement about to be built, so
+	// labeled loops register a labeled frame.
+	pendingLabel string
+	// fallTargets are the next-case blocks of enclosing switches,
+	// innermost last (fallthrough targets).
+	fallTargets []*Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// labelBlock returns (creating on first sight) the block a label names.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// stmts builds a statement sequence starting in cur and returns the
+// block that falls through past the end (nil when the end is
+// unreachable).
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminating statement still gets built (a
+			// label inside it may be a live goto target).
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt builds one statement and returns the fall-through block.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		after := b.newBlock()
+		then := b.newBlock()
+		edge(cur, then)
+		if end := b.stmts(s.Body.List, then); end != nil {
+			edge(end, after)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			edge(cur, els)
+			if end := b.stmt(s.Else, els); end != nil {
+				edge(end, after)
+			}
+		} else {
+			edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		edge(cur, head)
+		after := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			// Only a conditional loop can fall out of its head.
+			edge(head, after)
+		}
+		cont := head
+		if s.Post != nil {
+			cont = b.newBlock()
+			cont.Nodes = append(cont.Nodes, s.Post)
+			edge(cont, head)
+		}
+		body := b.newBlock()
+		edge(head, body)
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: cont})
+		if end := b.stmts(s.Body.List, body); end != nil {
+			edge(end, cont)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s.X)
+		edge(cur, head)
+		after := b.newBlock()
+		// A range loop always has an exit edge: the sequence ends (or the
+		// ranged channel is closed).
+		edge(head, after)
+		body := b.newBlock()
+		edge(head, body)
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: head})
+		if end := b.stmts(s.Body.List, body); end != nil {
+			edge(end, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Node
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, clauses = sw.Init, sw.Body.List
+			if sw.Tag != nil {
+				tag = sw.Tag
+			}
+		case *ast.TypeSwitchStmt:
+			init, clauses = sw.Init, sw.Body.List
+			tag = sw.Assign
+		}
+		if init != nil {
+			cur.Nodes = append(cur.Nodes, init)
+		}
+		if tag != nil {
+			cur.Nodes = append(cur.Nodes, tag)
+		}
+		after := b.newBlock()
+		blocks := make([]*Block, len(clauses))
+		hasDefault := false
+		for i, c := range clauses {
+			blocks[i] = b.newBlock()
+			edge(cur, blocks[i])
+			if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			edge(cur, after)
+		}
+		b.frames = append(b.frames, frame{label: label, brk: after})
+		for i, c := range clauses {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				blocks[i].Nodes = append(blocks[i].Nodes, e)
+			}
+			next := after
+			if i+1 < len(blocks) {
+				next = blocks[i+1]
+			}
+			b.fallTargets = append(b.fallTargets, next)
+			if end := b.stmts(cc.Body, blocks[i]); end != nil {
+				edge(end, after)
+			}
+			b.fallTargets = b.fallTargets[:len(b.fallTargets)-1]
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, brk: after})
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			edge(cur, blk)
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			if end := b.stmts(cc.Body, blk); end != nil {
+				edge(end, after)
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A select with no clauses blocks forever: after stays edgeless
+		// and therefore unreachable, which is exactly the semantics.
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		edge(cur, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(s.Label, false); f != nil {
+				edge(cur, f.brk)
+			}
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, true); f != nil {
+				edge(cur, f.cont)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				edge(cur, b.labelBlock(s.Label.Name))
+			}
+		case token.FALLTHROUGH:
+			if n := len(b.fallTargets); n > 0 {
+				edge(cur, b.fallTargets[n-1])
+			}
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		edge(cur, lb)
+		b.pendingLabel = s.Label.Name
+		return b.stmt(s.Stmt, lb)
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// findFrame resolves a break/continue target: the innermost frame, or
+// the one carrying the label. Continue skips switch/select frames.
+func (b *cfgBuilder) findFrame(label *ast.Ident, loopOnly bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if loopOnly && f.cont == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}

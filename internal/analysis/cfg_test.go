@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFG parses src (a file body with one function named f) and builds
+// the CFG of f.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f(ch chan int, done chan struct{}, n int, x bool) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return NewCFG(fn.Body)
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+func TestExitReachable(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"straight line", "x = !x", true},
+		{"bare return", "return", true},
+		{"infinite loop", "for {\n}", false},
+		{"infinite receive loop", "for {\n<-ch\n}", false},
+		{"loop with break", "for {\nif x {\nbreak\n}\n}", true},
+		{"loop with return in select", "for {\nselect {\ncase <-done:\nreturn\ncase v := <-ch:\n_ = v\n}\n}", true},
+		{"select without escape", "for {\nselect {\ncase v := <-ch:\n_ = v\n}\n}", false},
+		{"conditional loop", "for i := 0; i < n; i++ {\n}", true},
+		{"range loop", "for v := range ch {\n_ = v\n}", true},
+		{"labeled break from inner loop", "outer:\nfor {\nfor {\nbreak outer\n}\n}", true},
+		{"continue never exits", "for {\nif x {\ncontinue\n}\n<-ch\n}", false},
+		{"goto past the loop", "for {\nif x {\ngoto out\n}\n}\nout:\nx = true", true},
+		{"switch all paths spin", "switch {\ncase x:\nfor {\n}\ndefault:\nfor {\n}\n}", false},
+		{"switch one path falls out", "switch {\ncase x:\nfor {\n}\ndefault:\n}", true},
+		{"empty select", "select {\n}", false},
+		{"nested literal does not terminate for us", "go func() {\nreturn\n}()\nfor {\n}", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := buildCFG(t, tc.body).ExitReachable(); got != tc.want {
+				t.Errorf("ExitReachable = %v, want %v\nbody:\n%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+func TestReaches(t *testing.T) {
+	isRecv := func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	}
+
+	// The receive sits after an unconditional spin: unreachable.
+	g := buildCFG(t, "for {\n}\n<-ch")
+	if g.Reaches(isRecv) {
+		t.Error("Reaches found a receive past an infinite loop")
+	}
+
+	// The receive is inside the live loop body: reachable.
+	g = buildCFG(t, "for {\n<-ch\n}")
+	if !g.Reaches(isRecv) {
+		t.Error("Reaches missed a receive in a live loop body")
+	}
+
+	// Receives inside function literals belong to another graph.
+	g = buildCFG(t, "go func() {\n<-ch\n}()")
+	if g.Reaches(isRecv) {
+		t.Error("Reaches descended into a function literal")
+	}
+}

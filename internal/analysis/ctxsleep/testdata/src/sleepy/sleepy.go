@@ -56,3 +56,27 @@ func allowed(ctx context.Context) {
 	time.Sleep(time.Millisecond)
 	_ = ctx
 }
+
+// a goroutine launched inside a ctx-aware function has the signal in
+// lexical reach: flagged.
+func spawner(ctx context.Context) {
+	go func() {
+		time.Sleep(time.Second) // want "time.Sleep ignores cancellation"
+	}()
+	_ = ctx
+}
+
+// a goroutine whose own literal takes the context is cancellable
+// regardless of the enclosing function: flagged.
+func spawnerPlain() {
+	go func(ctx context.Context) {
+		time.Sleep(time.Second) // want "time.Sleep ignores cancellation"
+	}(context.Background())
+}
+
+// neither the enclosing function nor the literal holds a signal: quiet.
+func spawnerNoSignal() {
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}

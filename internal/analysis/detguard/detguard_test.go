@@ -1,0 +1,12 @@
+package detguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detguard"
+)
+
+func TestDetguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detguard.Analyzer, "det")
+}

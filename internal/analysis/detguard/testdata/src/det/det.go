@@ -1,0 +1,77 @@
+// Package det is the detguard fixture: Evaluate/EvaluateCtx/
+// EvaluateBatch/Signature/Fingerprint anchor must-be-deterministic
+// paths, and the seeded violations cover every source kind the analyzer
+// knows.
+package det
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Model mirrors an evaluator with internal map state.
+type Model struct{ vals map[string]float64 }
+
+// Evaluate is a protected root; sum and stamp become transitively
+// must-be-deterministic through its calls.
+func (m Model) Evaluate(xs []float64) float64 {
+	return sum(m.vals) + stamp()
+}
+
+// stamp is reachable from Evaluate: the wall-clock read feeds a result.
+func stamp() float64 {
+	return float64(time.Now().UnixNano()) // want "wall clock"
+}
+
+// sum is reachable from Evaluate: map iteration order feeds the result.
+func sum(vals map[string]float64) float64 {
+	var t float64
+	for _, v := range vals { // want "ranges over a map"
+		t += v
+	}
+	return t
+}
+
+// Signature is a cache-key root; the global rand draw is flagged.
+func Signature() float64 {
+	return rand.Float64() // want "global rand"
+}
+
+// EvaluateCtx races two data channels: first-ready wins, so the result
+// depends on the scheduler.
+func EvaluateCtx(a, b chan float64) float64 {
+	select { // want "scheduler-order"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// EvaluateBatch races data against cancellation, the sanctioned shape.
+func EvaluateBatch(ctx context.Context, ch chan float64) float64 {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+// seeded uses a deterministic *rand.Rand: methods are never flagged.
+func SaveCheckpointNoise(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// offPath is tainted (it exports a NondetFact) but sits on no protected
+// path, so nothing is reported here.
+func offPath() time.Time { return time.Now() }
+
+// Fingerprint documents its wall-clock read: the suppression silences
+// the diagnostic and stops the taint from reaching callers.
+func Fingerprint() string {
+	_ = time.Now() //lint:allow detguard build stamp feeds a log label, never a result
+	return "fp"
+}

@@ -7,11 +7,14 @@
 // all of it: the evaluation is invisible to engine.Stats and pays full
 // price even when the engine already memoized the point.
 //
-// The analyzer flags method calls named Evaluate/EvaluateCtx whose
-// receiver's static type is an interface, in packages dse, aps and core.
-// Calls on concrete types (the engine itself, core.Model's analytic
-// evaluation) are the sanctioned paths and pass untouched. The engine's
-// own entry adapters carry `//lint:allow enginepath <reason>`.
+// The analyzer flags method calls named Evaluate/EvaluateCtx/
+// EvaluateBatch whose receiver's static type is an interface, in
+// packages dse, aps and core — the batch plane (BatchEvaluator) bypasses
+// the engine exactly as readily as the scalar one. Calls on concrete
+// types (the engine itself, core.Model's analytic evaluation, a concrete
+// BatchEvaluator implementer) are the sanctioned paths and pass
+// untouched. The engine's own entry adapters carry
+// `//lint:allow enginepath <reason>`.
 package enginepath
 
 import (
@@ -46,7 +49,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		}
 		name := sel.Sel.Name
-		if name != "Evaluate" && name != "EvaluateCtx" {
+		if name != "Evaluate" && name != "EvaluateCtx" && name != "EvaluateBatch" {
 			return true
 		}
 		selection, ok := pass.TypesInfo.Selections[sel]

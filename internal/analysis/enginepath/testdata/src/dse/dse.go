@@ -38,3 +38,26 @@ func documentedAdapter(ev Evaluator) (float64, error) {
 func otherMethodsAreFine(ev interface{ Reset() }) {
 	ev.Reset()
 }
+
+// BatchEvaluator mirrors the batch evaluation plane.
+type BatchEvaluator interface {
+	EvaluateBatch(xs []float64) ([]float64, error)
+}
+
+// batchEngine is a concrete implementer standing in for the engine's
+// batch front end.
+type batchEngine struct{}
+
+func (batchEngine) EvaluateBatch(xs []float64) ([]float64, error) { return xs, nil }
+
+func bypassesBatch(ev BatchEvaluator) ([]float64, error) {
+	return ev.EvaluateBatch(nil) // want "EvaluateBatch through the Evaluator interface bypasses internal/engine"
+}
+
+func sanctionedBatch(e batchEngine) ([]float64, error) {
+	return e.EvaluateBatch(nil)
+}
+
+func sanctionedBatchPointer(e *batchEngine) ([]float64, error) {
+	return e.EvaluateBatch(nil)
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+)
+
+// Facts are the framework's interprocedural channel: while analyzing one
+// package, an analyzer may export a fact — any JSON-serializable value —
+// about a package-level object (a function, a method, a type). The
+// driver runs packages in `go list -deps` order (dependencies first),
+// and after each package's analyzers finish it seals that package's
+// facts into one serialized archive. Analyzers running later, on
+// packages that import the sealed one, import facts by object and act on
+// them: detguard propagates "this function transitively reads the wall
+// clock" up the dependency graph, atomicguard propagates "this type must
+// not be copied".
+//
+// Facts are namespaced per analyzer (an analyzer only ever sees its own)
+// and keyed per object within a package, so two analyzers — or two
+// same-named methods on different receivers — never collide. Forcing
+// every fact through json.Marshal at export time keeps the mechanism
+// honest: a fact that cannot survive serialization is rejected
+// immediately, not when a future distributed driver tries to ship it
+// between processes.
+
+// FactStore holds every package's sealed fact archive plus the open
+// fact set of the package currently under analysis.
+type FactStore struct {
+	// sealed maps a package path to its serialized fact archive.
+	sealed map[string][]byte
+	// decoded caches unsealed archives: pkg path → fact key → raw fact.
+	decoded map[string]map[string]json.RawMessage
+	// current collects exports from the package being analyzed.
+	current map[string]json.RawMessage
+	// currentPath is the package the open fact set belongs to.
+	currentPath string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		sealed:  make(map[string][]byte),
+		decoded: make(map[string]map[string]json.RawMessage),
+	}
+}
+
+// Begin opens a fresh fact set for pkgPath. The driver calls it before
+// running analyzers on the package; exports land in the open set and are
+// visible to ImportObjectFact immediately (same-package lookups).
+func (s *FactStore) Begin(pkgPath string) {
+	s.current = make(map[string]json.RawMessage)
+	s.currentPath = pkgPath
+}
+
+// Seal serializes the open fact set as the archive of its package and
+// closes it. The archive is one deterministic JSON object (Go's
+// encoding/json sorts map keys), so equal analyses produce byte-equal
+// archives — the property a future cross-process driver would rely on.
+func (s *FactStore) Seal() error {
+	if s.current == nil {
+		return nil
+	}
+	data, err := json.Marshal(s.current)
+	if err != nil {
+		return fmt.Errorf("analysis: sealing facts of %s: %w", s.currentPath, err)
+	}
+	s.sealed[s.currentPath] = data
+	delete(s.decoded, s.currentPath)
+	s.current = nil
+	s.currentPath = ""
+	return nil
+}
+
+// PackageFacts returns the sealed archive of pkgPath (nil when the
+// package exported nothing or has not been sealed).
+func (s *FactStore) PackageFacts(pkgPath string) []byte {
+	return s.sealed[pkgPath]
+}
+
+// factKey names one analyzer's fact about one object inside a package
+// archive. The unit separator cannot appear in identifiers, so the key
+// is unambiguous.
+func factKey(analyzer string, obj types.Object) string {
+	return analyzer + "\x1f" + objectKey(obj)
+}
+
+// objectKey identifies a package-level object within its package:
+// "Name" for functions, types and variables, "(Recv).Name" for methods.
+// The receiver's pointerness is erased — a fact about a method belongs
+// to the method regardless of how the call spells the receiver.
+func objectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return "(" + named.Obj().Name() + ")." + fn.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+// export records one fact in the open set.
+func (s *FactStore) export(analyzer string, obj types.Object, fact interface{}) error {
+	if obj == nil || obj.Pkg() == nil {
+		return fmt.Errorf("analysis: fact export needs a package-level object")
+	}
+	if s.current == nil || obj.Pkg().Path() != s.currentPath {
+		return fmt.Errorf("analysis: %s exported a fact about %s outside its package's analysis", analyzer, obj.Pkg().Path())
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("analysis: %s fact about %s is not serializable: %w", analyzer, objectKey(obj), err)
+	}
+	s.current[factKey(analyzer, obj)] = data
+	return nil
+}
+
+// importFact decodes the named analyzer's fact about obj into fact (a
+// pointer), reporting whether one exists. Objects of the package under
+// analysis resolve against the open set; imported objects resolve
+// against their package's sealed archive.
+func (s *FactStore) importFact(analyzer string, obj types.Object, fact interface{}) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key := factKey(analyzer, obj)
+	var raw json.RawMessage
+	var ok bool
+	if obj.Pkg().Path() == s.currentPath && s.current != nil {
+		raw, ok = s.current[key]
+	} else {
+		archive, err := s.unseal(obj.Pkg().Path())
+		if err != nil {
+			return false
+		}
+		raw, ok = archive[key]
+	}
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, fact) == nil
+}
+
+// unseal decodes (and caches) one package's archive.
+func (s *FactStore) unseal(pkgPath string) (map[string]json.RawMessage, error) {
+	if m, ok := s.decoded[pkgPath]; ok {
+		return m, nil
+	}
+	data, ok := s.sealed[pkgPath]
+	if !ok {
+		return nil, nil
+	}
+	m := make(map[string]json.RawMessage)
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("analysis: corrupt fact archive for %s: %w", pkgPath, err)
+	}
+	s.decoded[pkgPath] = m
+	return m, nil
+}

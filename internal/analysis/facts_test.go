@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFact struct {
+	Reason string `json:"reason"`
+}
+
+func newFunc(pkg *types.Package, name string) *types.Func {
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func newMethod(pkg *types.Package, recvName, name string, ptr bool) *types.Func {
+	named := types.NewNamed(types.NewTypeName(token.NoPos, pkg, recvName, nil), types.NewStruct(nil, nil), nil)
+	var recvType types.Type = named
+	if ptr {
+		recvType = types.NewPointer(named)
+	}
+	recv := types.NewVar(token.NoPos, pkg, "r", recvType)
+	sig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func TestFactFlow(t *testing.T) {
+	dep := types.NewPackage("example.com/dep", "dep")
+	app := types.NewPackage("example.com/app", "app")
+	depFn := newFunc(dep, "Clock")
+	appFn := newFunc(app, "Eval")
+
+	s := NewFactStore()
+
+	// Analyze dep: export, then read back from the open set.
+	s.Begin(dep.Path())
+	if err := s.export("detguard", depFn, testFact{Reason: "reads the wall clock"}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var got testFact
+	if !s.importFact("detguard", depFn, &got) || got.Reason != "reads the wall clock" {
+		t.Fatalf("open-set import = %+v, want the exported fact", got)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+
+	// Analyze app: dep's fact resolves from the sealed archive; app's own
+	// exports land in the new open set; namespaces stay separate.
+	s.Begin(app.Path())
+	got = testFact{}
+	if !s.importFact("detguard", depFn, &got) || got.Reason != "reads the wall clock" {
+		t.Fatalf("sealed import = %+v, want the exported fact", got)
+	}
+	if s.importFact("atomicguard", depFn, &got) {
+		t.Error("fact leaked across analyzer namespaces")
+	}
+	if s.importFact("detguard", appFn, &got) {
+		t.Error("import reported a fact never exported")
+	}
+	if err := s.export("detguard", depFn, testFact{}); err == nil {
+		t.Error("export about a foreign package's object succeeded")
+	}
+}
+
+func TestFactArchiveDeterminism(t *testing.T) {
+	build := func() []byte {
+		pkg := types.NewPackage("example.com/p", "p")
+		s := NewFactStore()
+		s.Begin(pkg.Path())
+		// Export in a scrambled order; the archive must not care.
+		for _, name := range []string{"Zed", "Alpha", "Mid"} {
+			if err := s.export("detguard", newFunc(pkg, name), testFact{Reason: name}); err != nil {
+				t.Fatalf("export %s: %v", name, err)
+			}
+		}
+		if err := s.Seal(); err != nil {
+			t.Fatalf("seal: %v", err)
+		}
+		return s.PackageFacts(pkg.Path())
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Errorf("equal analyses sealed unequal archives:\n%s\n%s", a, b)
+	}
+}
+
+func TestObjectKey(t *testing.T) {
+	pkg := types.NewPackage("example.com/p", "p")
+	if got := objectKey(newFunc(pkg, "F")); got != "F" {
+		t.Errorf("function key = %q, want F", got)
+	}
+	// Pointerness of the receiver is erased: one method, one key.
+	ptr := objectKey(newMethod(pkg, "T", "M", true))
+	val := objectKey(newMethod(pkg, "T", "M", false))
+	if ptr != "(T).M" || val != "(T).M" {
+		t.Errorf("method keys = %q / %q, want (T).M for both", ptr, val)
+	}
+}
+
+func TestExportRejectsUnserializable(t *testing.T) {
+	pkg := types.NewPackage("example.com/p", "p")
+	s := NewFactStore()
+	s.Begin(pkg.Path())
+	if err := s.export("detguard", newFunc(pkg, "F"), make(chan int)); err == nil {
+		t.Error("a channel-valued fact serialized")
+	}
+}

@@ -9,4 +9,5 @@ import (
 
 func TestFixture(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), floatguard.Analyzer, "camat")
+	analysistest.Run(t, analysistest.TestData(t), floatguard.Analyzer, "core")
 }

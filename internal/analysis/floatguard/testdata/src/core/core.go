@@ -1,0 +1,72 @@
+// Package core is the floatguard fixture for compiled-kernel code
+// shapes: its name places it in the analyzer's numeric-package set, so
+// exported float APIs must validate range-restricted math, while the
+// bit-pattern idioms compiled kernels rely on stay untouched.
+package core
+
+import "math"
+
+// Kernel stands in for a compiled evaluation closure's receiver.
+type Kernel struct {
+	scale float64
+}
+
+// Latency applies a log transform with no NaN/Inf guard: flagged.
+func (k *Kernel) Latency(x float64) float64 {
+	return k.scale * math.Log(x) // want "math.Log result escapes exported Latency without NaN/Inf validation"
+}
+
+// LatencyChecked guards the same transform: quiet.
+func (k *Kernel) LatencyChecked(x float64) (float64, error) {
+	v := k.scale * math.Log(x)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, errDomain
+	}
+	return v, nil
+}
+
+// LatencyFinite delegates to the package validation vocabulary: quiet.
+func (k *Kernel) LatencyFinite(x float64) float64 {
+	return finite(k.scale * math.Log(x))
+}
+
+// SameBits is the kernel cache-key idiom — comparing bit patterns, not
+// floats — and must stay quiet: the operands are uint64.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// KeyOf hashes a point into a kernel cache key; integer arithmetic on
+// the bits is fine.
+func KeyOf(x float64) uint64 {
+	return math.Float64bits(x) * 0x9e3779b97f4a7c15
+}
+
+// drift compares floats bit-exactly: flagged wherever it appears.
+func drift(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// nanCompare is vacuously false: flagged.
+func nanCompare(x float64) bool {
+	return x == math.NaN() // want "comparison with math.NaN"
+}
+
+// unexported float math is outside rule 3's scope: quiet.
+func rawLog(x float64) float64 {
+	return math.Log(x)
+}
+
+// finite is the package's validation helper.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+type domainError struct{}
+
+func (domainError) Error() string { return "outside domain" }
+
+var errDomain = domainError{}

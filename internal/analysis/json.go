@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF-lite output: `c2vet -json` renders findings as one stable JSON
+// document for CI annotation. Stability is part of the contract —
+// findings are totally ordered (file, line, column, analyzer, message),
+// file paths are module-root-relative with forward slashes, and the
+// encoding is exactly json.Marshal of the Report — so two identical
+// analyses produce byte-identical documents and a CI diff of two runs
+// shows only real changes.
+
+// ReportVersion identifies the JSON schema.
+const ReportVersion = "c2vet/2"
+
+// Finding is one diagnostic in machine-readable form.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// File is the module-root-relative path (forward slashes).
+	File string `json:"file"`
+	// Line is the 1-based line.
+	Line int `json:"line"`
+	// Column is the 1-based column.
+	Column int `json:"column"`
+	// Message describes the violation.
+	Message string `json:"message"`
+}
+
+// Report is the full -json document.
+type Report struct {
+	// Version names the schema (ReportVersion).
+	Version string `json:"version"`
+	// Findings are the surviving diagnostics in total order.
+	Findings []Finding `json:"findings"`
+}
+
+// NewReport converts diagnostics to the machine-readable form, with
+// file paths relative to moduleDir.
+func NewReport(moduleDir string, fset *token.FileSet, diags []Diagnostic) Report {
+	r := Report{Version: ReportVersion, Findings: []Finding{}}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if rel, err := filepath.Rel(moduleDir, file); err == nil {
+			file = rel
+		}
+		r.Findings = append(r.Findings, Finding{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(file),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  d.Message,
+		})
+	}
+	r.Sort()
+	return r
+}
+
+// Sort puts the findings in their total order.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Write renders the report as json.Marshal bytes plus a trailing
+// newline — the exact bytes a round-trip through encoding/json
+// reproduces.
+func (r Report) Write(w io.Writer) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("analysis: encoding report: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("analysis: writing report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reportFixture builds a report from diagnostics seeded deliberately out
+// of order across two files.
+func reportFixture(t *testing.T) Report {
+	t.Helper()
+	fset := token.NewFileSet()
+	moduleDir := string(filepath.Separator) + filepath.Join("mod")
+	fileA := fset.AddFile(filepath.Join(moduleDir, "internal", "a", "a.go"), -1, 1000)
+	fileB := fset.AddFile(filepath.Join(moduleDir, "internal", "b", "b.go"), -1, 1000)
+	for _, f := range []*token.File{fileA, fileB} {
+		f.SetLinesForContent(bytes.Repeat([]byte("x\n"), 400))
+	}
+	at := func(f *token.File, line int) token.Pos { return f.LineStart(line) }
+	diags := []Diagnostic{
+		{Analyzer: "ctxsleep", Pos: at(fileB, 7), Message: "later file first"},
+		{Analyzer: "floatguard", Pos: at(fileA, 40), Message: "later line first"},
+		{Analyzer: "floatguard", Pos: at(fileA, 3), Message: "b of two on one line"},
+		{Analyzer: "ctxsleep", Pos: at(fileA, 3), Message: "a of two on one line"},
+	}
+	return NewReport(moduleDir, fset, diags)
+}
+
+func TestReportOrderAndPaths(t *testing.T) {
+	r := reportFixture(t)
+	var got []string
+	for _, f := range r.Findings {
+		got = append(got, f.File+":"+f.Analyzer)
+	}
+	want := []string{
+		"internal/a/a.go:ctxsleep",
+		"internal/a/a.go:floatguard",
+		"internal/a/a.go:floatguard",
+		"internal/b/b.go:ctxsleep",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("finding order = %v, want %v", got, want)
+	}
+	for _, f := range r.Findings {
+		if strings.Contains(f.File, "\\") || filepath.IsAbs(f.File) {
+			t.Errorf("file %q is not a slashed module-relative path", f.File)
+		}
+	}
+}
+
+// TestReportRoundTrip is the acceptance check: Write's bytes, decoded
+// with encoding/json and re-encoded, reproduce themselves exactly.
+func TestReportRoundTrip(t *testing.T) {
+	r := reportFixture(t)
+	var first bytes.Buffer
+	if err := r.Write(&first); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(first.Bytes(), &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	var second bytes.Buffer
+	if err := decoded.Write(&second); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("round trip changed the bytes:\n%s\n%s", first.Bytes(), second.Bytes())
+	}
+	if decoded.Version != ReportVersion {
+		t.Errorf("version = %q, want %q", decoded.Version, ReportVersion)
+	}
+}
+
+// TestEmptyReport pins the zero-finding encoding: findings is [], never
+// null, so consumers can range without a nil check.
+func TestEmptyReport(t *testing.T) {
+	r := NewReport("/mod", token.NewFileSet(), nil)
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	want := `{"version":"` + ReportVersion + `","findings":[]}` + "\n"
+	if buf.String() != want {
+		t.Errorf("empty report = %q, want %q", buf.String(), want)
+	}
+}

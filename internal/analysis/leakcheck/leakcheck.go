@@ -1,0 +1,91 @@
+// Package leakcheck guards library code against goroutines with no way
+// out. The repository's concurrency contract (DESIGN.md §6, §10) is
+// that no library goroutine outlives its call: workers range over a
+// closable work channel, waiters select on ctx.Done() or a done
+// channel, and EvaluateStream/Shutdown prove it with goroutine-leak
+// tests. A goroutine whose body can never reach its own exit — every
+// loop is infinite and no return is reachable — leaks a stack (and
+// often an engine or admission slot) each time its launch site runs,
+// and the runtime tests only notice when one happens to accumulate.
+//
+// The check is built on the framework's control-flow helper: for every
+// `go` statement in a non-main package it builds the launched body's
+// CFG (a function literal's body, or the declaration of a
+// same-package function) and asks whether the synthetic exit block is
+// reachable from the entry. Worker loops terminate through the range
+// exit edge of their channel, cancellation loops through the return
+// under a ctx.Done()/done-channel case — both reach the exit, so the
+// sanctioned patterns pass untouched. A `for {}` with no reachable
+// return does not, whatever it does inside: receiving in an infinite
+// loop does not end the goroutine, it parks it.
+//
+// Deliberate process-lifetime goroutines carry `//lint:allow leakcheck
+// <reason>`.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the leakcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "leakcheck",
+	Doc:  "flag library goroutines whose control-flow graph cannot reach its exit (no termination path: no return, every loop infinite)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	// Map declared functions to their bodies so `go f()` on a
+	// same-package function is checked like a literal.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body, name := launchedBody(pass, decls, gs)
+		if body == nil {
+			return true
+		}
+		if !analysis.NewCFG(body).ExitReachable() && !pass.Allowed(gs.Pos()) {
+			pass.Reportf(gs.Pos(),
+				"goroutine %s has no reachable termination path (no return, every loop infinite); range over a closable channel or select on ctx.Done()/a done channel and return",
+				name)
+		}
+		return true
+	})
+	return nil
+}
+
+// launchedBody resolves the body the go statement runs: a function
+// literal's, or the declaration of a statically-known same-package
+// function. Cross-package and dynamic callees return nil (their
+// packages are analyzed on their own).
+func launchedBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, "literal"
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, gs.Call)
+	if fn == nil {
+		return nil, ""
+	}
+	if fd, ok := decls[fn]; ok {
+		return fd.Body, fn.Name()
+	}
+	return nil, ""
+}

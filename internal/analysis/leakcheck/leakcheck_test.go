@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/leakcheck"
+)
+
+func TestLeakcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), leakcheck.Analyzer, "leaky")
+}

@@ -1,0 +1,83 @@
+// Package leaky is the leakcheck fixture: goroutines that can never
+// reach their exit beside the sanctioned worker/cancellation shapes.
+package leaky
+
+import "context"
+
+// an unconditional spin can never exit.
+func spin() {
+	go func() { // want "no reachable termination path"
+		for {
+		}
+	}()
+}
+
+// a worker draining a closable channel exits when the channel closes.
+func worker(work chan int, out chan int) {
+	go func() {
+		for v := range work {
+			out <- v
+		}
+	}()
+}
+
+// selecting on ctx.Done with a return exits.
+func watcher(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// receiving forever parks the goroutine; a receive is not an exit.
+func pump(ch chan int) {
+	go func() { // want "no reachable termination path"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// a named same-package function is resolved and checked like a literal.
+func spinNamed() {
+	go loop() // want "goroutine loop has no reachable termination path"
+}
+
+func loop() {
+	for {
+	}
+}
+
+// conditional loops can fall out of their head.
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+// a break makes even `for {}` exit.
+func breaker(ch chan int) {
+	go func() {
+		for {
+			if _, ok := <-ch; !ok {
+				break
+			}
+		}
+	}()
+}
+
+// a documented process-lifetime goroutine.
+func daemon() {
+	//lint:allow leakcheck process-lifetime pump, killed with the process
+	go func() {
+		for {
+		}
+	}()
+}

@@ -17,6 +17,23 @@ import (
 // context.Background, or the fault injector whose panic is the feature).
 const AllowDirective = "//lint:allow"
 
+// Directive is one parsed allow comment. The suppressor tracks whether
+// it ever fired, so `c2vet -suppressions` can audit the repository for
+// allows that no longer suppress anything (stale after a refactor moved
+// or fixed the code they used to excuse).
+type Directive struct {
+	// Pos is the comment's position.
+	Pos token.Pos
+	// Analyzer is the name the directive suppresses.
+	Analyzer string
+	// used flips when the directive suppresses a diagnostic or a
+	// fact-producing site consults it through Pass.Allowed.
+	used bool
+}
+
+// Used reports whether the directive suppressed anything this run.
+func (d *Directive) Used() bool { return d.used }
+
 // allowKey locates one allow comment: the file and line it governs.
 type allowKey struct {
 	file string
@@ -26,8 +43,10 @@ type allowKey struct {
 // Suppressor filters diagnostics against the allow comments of a file set.
 type Suppressor struct {
 	fset *token.FileSet
-	// allows maps (file, governed line) to the analyzer names allowed there.
-	allows map[allowKey]map[string]bool
+	// allows maps (file, governed line) to the directives active there.
+	allows map[allowKey][]*Directive
+	// directives lists every parsed allow in scan order, for auditing.
+	directives []*Directive
 	// malformed collects allow comments with no reason, reported as
 	// diagnostics in their own right so suppressions cannot rot silently.
 	malformed []Diagnostic
@@ -38,7 +57,7 @@ type Suppressor struct {
 // as a trailing comment and as a lead-in line above the flagged
 // statement).
 func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
-	s := &Suppressor{fset: fset, allows: make(map[allowKey]map[string]bool)}
+	s := &Suppressor{fset: fset, allows: make(map[allowKey][]*Directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -64,21 +83,31 @@ func (s *Suppressor) scan(c *ast.Comment) {
 		})
 		return
 	}
+	d := &Directive{Pos: c.Pos(), Analyzer: fields[0]}
+	s.directives = append(s.directives, d)
 	pos := s.fset.Position(c.Pos())
 	for _, line := range []int{pos.Line, pos.Line + 1} {
 		key := allowKey{file: pos.Filename, line: line}
-		if s.allows[key] == nil {
-			s.allows[key] = make(map[string]bool)
-		}
-		s.allows[key][fields[0]] = true
+		s.allows[key] = append(s.allows[key], d)
 	}
 }
 
-// Allowed reports whether the named analyzer is suppressed at pos.
+// Allowed reports whether the named analyzer is suppressed at pos,
+// marking the matching directive as used.
 func (s *Suppressor) Allowed(analyzer string, pos token.Pos) bool {
 	p := s.fset.Position(pos)
-	return s.allows[allowKey{file: p.Filename, line: p.Line}][analyzer]
+	allowed := false
+	for _, d := range s.allows[allowKey{file: p.Filename, line: p.Line}] {
+		if d.Analyzer == analyzer {
+			d.used = true
+			allowed = true
+		}
+	}
+	return allowed
 }
+
+// Directives returns every allow comment in scan order.
+func (s *Suppressor) Directives() []*Directive { return s.directives }
 
 // Filter drops suppressed diagnostics and appends one diagnostic per
 // malformed (reason-less) allow directive.

@@ -144,7 +144,7 @@ type SweepReport struct {
 // unevaluated entries), the structured report, and the context's error
 // when the sweep was cut short. The values slice is valid in every case.
 func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts SweepOptions) ([]float64, SweepReport, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow detguard wall time feeds SweepReport.Wall (reporting metadata), never the swept values
 	size := s.Size()
 	values := make([]float64, size)
 	for i := range values {
@@ -196,13 +196,13 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 		case err != nil:
 			resumeSp.Annotate(obs.S("error", err.Error()))
 			resumeSp.Finish()
-			rep.WallTime = time.Since(start)
+			rep.WallTime = time.Since(start) //lint:allow detguard WallTime is SweepReport metadata, never a swept value
 			return values, rep, fmt.Errorf("dse: resume: %w", err)
 		default:
 			if ck.Signature != s.Signature() {
 				resumeSp.Annotate(obs.S("error", "signature mismatch"))
 				resumeSp.Finish()
-				rep.WallTime = time.Since(start)
+				rep.WallTime = time.Since(start) //lint:allow detguard WallTime is SweepReport metadata, never a swept value
 				return values, rep, fmt.Errorf("dse: resume: checkpoint %q belongs to a different space (signature %s, want %s)",
 					opts.CheckpointPath, ck.Signature, s.Signature())
 			}
@@ -317,10 +317,10 @@ func SweepCtx(ctx context.Context, e CtxEvaluator, s Space, indices []int, opts 
 	sort.Slice(rep.Failed, func(i, j int) bool { return rep.Failed[i].Index < rep.Failed[j].Index })
 	save()
 	if ckErr != nil {
-		rep.WallTime = time.Since(start)
+		rep.WallTime = time.Since(start) //lint:allow detguard WallTime is SweepReport metadata, never a swept value
 		return values, rep, fmt.Errorf("dse: checkpoint: %w", ckErr)
 	}
 	rep.Canceled = ctx.Err() != nil
-	rep.WallTime = time.Since(start)
+	rep.WallTime = time.Since(start) //lint:allow detguard WallTime is SweepReport metadata, never a swept value
 	return values, rep, ctx.Err()
 }

@@ -55,7 +55,7 @@ func pointsEqual(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		if math.Float64bits(a[i]) != math.Float64bits(b[i]) { //lint:allow floatguard memo keys are IEEE-754 bit patterns, not numeric values
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			return false
 		}
 	}

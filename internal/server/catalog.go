@@ -129,6 +129,7 @@ func DefaultCatalog() *Catalog {
 // Names lists the registered applications, sorted.
 func (c *Catalog) Names() []string {
 	names := make([]string, 0, len(c.apps))
+	//lint:allow detguard key collection feeds the sort below; the returned slice is order-independent of the iteration
 	for name := range c.apps {
 		names = append(names, name)
 	}
@@ -145,6 +146,7 @@ func (c *Catalog) Resolve(spec ModelSpec) (core.Model, error) {
 		return core.Model{}, notFoundf("server: unknown application %q (have %v)", spec.App, c.Names())
 	}
 	app := mk()
+	//lint:allow detguard each override targets its own profile field, so application order cannot change the assembled model
 	for key, v := range spec.Overrides {
 		d, ok := appDomains[key]
 		if !ok {
@@ -156,6 +158,7 @@ func (c *Catalog) Resolve(spec ModelSpec) (core.Model, error) {
 		d.apply(&app, v)
 	}
 	cfg := c.chip
+	//lint:allow detguard each override targets its own chip field, so application order cannot change the assembled config
 	for key, v := range spec.Chip {
 		d, ok := chipDomains[key]
 		if !ok {

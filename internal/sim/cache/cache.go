@@ -343,6 +343,7 @@ func (c *Cache) Contents() int {
 // PruneInflight drops stale in-flight records older than the watermark;
 // the simulator calls it periodically to bound memory on long runs.
 func (c *Cache) PruneInflight(watermark int64) {
+	//lint:allow detguard prune order is irrelevant: every record below the watermark is deleted regardless of iteration order
 	for line, fill := range c.inflight {
 		if fill < watermark {
 			delete(c.inflight, line)
