@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-suppressions test test-short race race-heavy check bench bench-json bench-engine bench-obs bench-server bench-tenants serve figures figures-full examples cover fuzz-short clean
+.PHONY: all build vet lint lint-json lint-suppressions test test-short race race-heavy check bench bench-json bench-engine bench-families bench-obs bench-server bench-tenants serve figures figures-full examples cover fuzz-short clean
 
 all: build vet lint test
 
@@ -60,6 +60,12 @@ bench-json:
 # DESIGN.md §12). Fails if any value differs by a single bit.
 bench-engine:
 	$(GO) run ./cmd/enginebench -batch -out BENCH_engine.json
+
+# Every registered model family on the per-request scalar path vs the
+# compiled batched path, bit-identity verified per family (see
+# DESIGN.md §14). Fails if any family's values diverge by a single bit.
+bench-families:
+	$(GO) run ./cmd/enginebench -families -out BENCH_families.json
 
 # Observability cost: the same benchmark with the tracer and metrics
 # registry disabled vs enabled, side by side (see DESIGN.md §9).

@@ -196,9 +196,17 @@ type (
 )
 
 // PaperSpace returns the 10⁶-point §IV design space for the chip budget.
+//
+// Deprecated: use FamilyDesignSpace(m, 0) with a BuildModel c2bound
+// model — the family-generic form of the same grids, which also serves
+// every other registered family.
 func PaperSpace(cfg ChipConfig) (DesignSpace, error) { return dse.PaperSpace(cfg) }
 
 // ReducedSpace subsamples PaperSpace to per values per dimension.
+//
+// Deprecated: use FamilyDesignSpace(m, per) with a BuildModel c2bound
+// model — the family-generic form of the same grids, which also serves
+// every other registered family.
 func ReducedSpace(cfg ChipConfig, per int) (DesignSpace, error) { return dse.ReducedSpace(cfg, per) }
 
 // NewSimEvaluator builds a simulator-backed evaluator for a fixed-size

@@ -8,8 +8,8 @@
 // Usage:
 //
 //	enginebench [-out file] [-per k] [-rounds n] [-workers n]
-//	            [-batch] [-obs file] [-server] [-tenants] [-clients n]
-//	            [-duration d] [-trace out.json] [-metrics]
+//	            [-batch] [-families] [-obs file] [-server] [-tenants]
+//	            [-clients n] [-duration d] [-trace out.json] [-metrics]
 //	            [-cpuprofile out.pprof]
 //
 // With -batch the command runs the benchmark twice — once with the
@@ -19,6 +19,16 @@
 // and allocations per point (typically to BENCH_engine.json via
 // `make bench-engine`). The run fails if any value differs by a single
 // bit.
+//
+// With -families the command benchmarks every registered model family
+// through the family-generic path: for each family it measures the cold
+// scalar per-point rate (memoization disabled, batched dispatch
+// disabled), the cold batched rate through the family's compiled kernel,
+// and the warm cache-hit rate, verifying the scalar and batched sweeps
+// are bit-identical before writing the per-family table (typically to
+// BENCH_families.json via `make bench-families`). Small family spaces
+// are re-swept until each measurement covers a comparable number of
+// evaluations, so the rates are commensurable across families.
 //
 // With -server the command instead load-tests the HTTP serving path: it
 // starts an in-process c2bound server on a loopback listener and drives
@@ -59,6 +69,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/engine"
+	"repro/internal/model"
 	"repro/internal/obs"
 )
 
@@ -89,6 +100,27 @@ type batchReport struct {
 	BitIdentical bool    `json:"bit_identical"`
 }
 
+// familyReport is one model family's row in -families mode.
+type familyReport struct {
+	Family string `json:"family"`
+	// Space is the benchmarked design count: the family's own grids, or
+	// the densified bench grid when those hold too few points to time.
+	Space         int     `json:"space_points"`
+	ScalarColdSec float64 `json:"scalar_cold_evals_per_sec"`
+	BatchColdSec  float64 `json:"batched_cold_evals_per_sec"`
+	ColdSpeedup   float64 `json:"batched_over_scalar_cold"`
+	WarmEvalsSec  float64 `json:"warm_evals_per_sec"`
+	BitIdentical  bool    `json:"bit_identical"`
+}
+
+// familiesReport is the JSON document written by -families.
+type familiesReport struct {
+	App      string         `json:"app"`
+	Rounds   int            `json:"rounds"`
+	Workers  int            `json:"workers"`
+	Families []familyReport `json:"families"`
+}
+
 // obsReport is the JSON document written by -obs: the same benchmark run
 // with observability off and on, and the relative cost of turning it on.
 type obsReport struct {
@@ -106,6 +138,7 @@ func main() {
 	rounds := flag.Int("rounds", 3, "warm passes over the space")
 	workers := flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
 	batchMode := flag.Bool("batch", false, "run the scalar-vs-batched dispatch comparison (verifies bit-identical values)")
+	familiesMode := flag.Bool("families", false, "benchmark every registered model family (cold scalar vs cold batched vs warm, bit-identity verified)")
 	obsOut := flag.String("obs", "", "run disabled-vs-enabled observability comparison and write it to this JSON file")
 	serverMode := flag.Bool("server", false, "benchmark the HTTP serving path (c2bound-server) instead of the in-process engine")
 	tenantsMode := flag.Bool("tenants", false, "run the adversarial flooder-vs-trickler fair-share scenario")
@@ -130,6 +163,10 @@ func main() {
 
 	if *batchMode {
 		runBatchCompare(*out, *per, *rounds, *workers)
+		return
+	}
+	if *familiesMode {
+		runFamiliesBench(*out, *per, *rounds, *workers)
 		return
 	}
 	if *obsOut != "" {
@@ -282,6 +319,169 @@ func runBatchCompare(out string, per, rounds, workers int) {
 	fmt.Printf("batched: cold %.0f, warm %.0f evals/s (%.2f / %.2f allocs per point)\n",
 		batched.ColdEvalsSec, batched.WarmEvalsSec, batched.ColdAllocsPerPoint, batched.WarmAllocsPerPoint)
 	fmt.Printf("speedup: cold %.1fx, warm %.1fx, bit-identical → %s\n", cmp.ColdSpeedup, cmp.WarmSpeedup, out)
+}
+
+// familyBenchSpace returns the sweep space for one family's benchmark:
+// the family's own subsampled grids when they already carry at least
+// `floor` designs, otherwise a denser in-domain grid (linearly spaced
+// over each dimension's [Lo, Hi]) so every family's cold measurement
+// averages over a comparable number of evaluations instead of drowning
+// a four-point space in per-sweep overhead.
+func familyBenchSpace(m model.Model, per, floor int) (dse.Space, error) {
+	space, err := dse.SpaceFor(m, per)
+	if err != nil {
+		return dse.Space{}, err
+	}
+	if space.Size() >= floor {
+		return space, nil
+	}
+	ms := m.Space()
+	dims := ms.Dims()
+	// k = ceil(floor^(1/dims)): the per-dimension resolution that reaches
+	// the floor.
+	k := 1
+	for {
+		total := 1
+		for i := 0; i < dims; i++ {
+			total *= k
+		}
+		if total >= floor {
+			break
+		}
+		k++
+	}
+	params := make([]dse.Param, dims)
+	for i, p := range ms.Params {
+		n := len(p.Grid)
+		if n < k {
+			n = k
+		}
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = p.Lo + (p.Hi-p.Lo)*float64(j)/float64(n-1)
+		}
+		params[i] = dse.Param{Name: p.Name, Values: vals}
+	}
+	return dse.NewSpace(params...)
+}
+
+// runFamiliesBench measures each registered model family on the three
+// engine paths and verifies the scalar and batched values agree bit for
+// bit. "Scalar cold" is the point-at-a-time client path — resolve the
+// model, build a fresh evaluator, dispatch one point — which is the
+// exact cost profile of a POST /v1/evaluate request (the server resolves
+// per request). "Batched cold" resolves the model once and streams the
+// whole plane through the compiled kernel on a fresh engine. "Warm"
+// re-streams the plane against the populated memo cache. Cold passes
+// take the best of a few fresh-engine runs so the rates are not noise
+// from one scheduler hiccup.
+func runFamiliesBench(out string, per, rounds, workers int) {
+	cfg := model.Config{Chip: chip.DefaultConfig(), App: core.FluidanimateApp()}
+	ctx := context.Background()
+	rep := familiesReport{App: "fluidanimate", Rounds: rounds}
+
+	// The minimum designs per cold measurement: the c2bound space at the
+	// same subsampling.
+	floor := 1
+	for i := 0; i < 6; i++ {
+		floor *= per
+	}
+	// scalarCap bounds the slow per-request pass; the rate is per point,
+	// so a subsample of the same plane measures the same thing.
+	const scalarCap = 4096
+
+	for _, name := range model.Names() {
+		m, err := model.New(name, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		space, err := familyBenchSpace(m, per, floor)
+		if err != nil {
+			log.Fatalf("%s space: %v", name, err)
+		}
+		size := space.Size()
+		points := make([][]float64, size)
+		for i := range points {
+			points[i] = space.Point(i)
+		}
+
+		// Scalar cold: the per-request path over a bounded subsample.
+		sub := points
+		if len(sub) > scalarCap {
+			sub = sub[:scalarCap]
+		}
+		scalarVals := make([]float64, len(sub))
+		scalarRate := 0.0
+		for r := 0; r < 2; r++ {
+			eng := engine.New(engine.Options{Workers: workers, DisableBatch: true})
+			start := time.Now()
+			for i, p := range sub {
+				rm, err := model.New(name, cfg)
+				if err != nil {
+					log.Fatalf("%s: %v", name, err)
+				}
+				v, err := eng.Evaluate(ctx, dse.NewFamilyEvaluator(rm), p)
+				if err != nil {
+					log.Fatalf("%s scalar point %d: %v", name, i, err)
+				}
+				scalarVals[i] = v
+			}
+			if rate := float64(len(sub)) / time.Since(start).Seconds(); rate > scalarRate {
+				scalarRate = rate
+			}
+		}
+
+		// Batched cold: the whole plane, one resolved model, fresh engine.
+		ev := dse.NewFamilyEvaluator(m)
+		batchVals := make([]float64, size)
+		batchRate := 0.0
+		var eng *engine.Engine
+		for r := 0; r < 3; r++ {
+			e := engine.New(engine.Options{Workers: workers})
+			start := time.Now()
+			if err := e.EvaluateBatch(ctx, ev, points, batchVals); err != nil {
+				log.Fatalf("%s batch: %v", name, err)
+			}
+			if rate := float64(size) / time.Since(start).Seconds(); rate > batchRate {
+				batchRate = rate
+			}
+			eng = e
+		}
+		for i := range sub {
+			if math.Float64bits(scalarVals[i]) != math.Float64bits(batchVals[i]) {
+				log.Fatalf("%s: bit mismatch at point %d: scalar %v (%016x), batched %v (%016x)",
+					name, i, scalarVals[i], math.Float64bits(scalarVals[i]),
+					batchVals[i], math.Float64bits(batchVals[i]))
+			}
+		}
+
+		// Warm passes: the last batched engine already holds every point.
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if err := eng.EvaluateBatch(ctx, ev, points, batchVals); err != nil {
+				log.Fatalf("%s warm: %v", name, err)
+			}
+		}
+		warmRate := float64(size*rounds) / time.Since(start).Seconds()
+
+		fr := familyReport{
+			Family:        name,
+			Space:         size,
+			ScalarColdSec: scalarRate,
+			BatchColdSec:  batchRate,
+			WarmEvalsSec:  warmRate,
+			BitIdentical:  true,
+		}
+		if scalarRate > 0 {
+			fr.ColdSpeedup = batchRate / scalarRate
+		}
+		rep.Workers = eng.Workers()
+		rep.Families = append(rep.Families, fr)
+		fmt.Printf("%-10s %6d pts  scalar %9.0f/s  batched %10.0f/s (%5.1fx)  warm %11.0f/s\n",
+			name, size, scalarRate, batchRate, fr.ColdSpeedup, warmRate)
+	}
+	writeJSON(out, rep)
+	fmt.Printf("%d families, bit-identical scalar/batched values → %s\n", len(rep.Families), out)
 }
 
 // runCompare measures the cost of observability: the same benchmark with

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,table1,fig2,fig7,fig8,…,fig13,aps,regime,baselines,concurrency,validate,asym,pareto,prefetch,adapt")
+	only := flag.String("only", "", "comma-separated subset: fig1,table1,fig2,fig7,fig8,…,fig13,aps,regime,baselines,concurrency,validate,asym,pareto,prefetch,adapt,interference,xmodel")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	full := flag.Bool("full", false, "paper-scale DSE (10 values per dimension → 10^6 configurations)")
 	refs := flag.Int("refs", 0, "workload references per simulation (0: default)")
@@ -127,10 +127,14 @@ func main() {
 			tb, _, err := experiments.CoScheduleInterference(sc)
 			return tb, err
 		},
+		"xmodel": func() (*tablefmt.Table, error) {
+			tb, _, err := experiments.CrossModel(sc)
+			return tb, err
+		},
 	}
 	order := []string{"fig1", "table1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "aps", "regime", "baselines", "concurrency",
-		"validate", "asym", "pareto", "prefetch", "adapt", "interference"}
+		"validate", "asym", "pareto", "prefetch", "adapt", "interference", "xmodel"}
 
 	// Reject unknown names early.
 	for name := range selected {

@@ -9,11 +9,14 @@
 //
 // The analyzer flags method calls named Evaluate/EvaluateCtx/
 // EvaluateBatch whose receiver's static type is an interface, in
-// packages dse, aps and core — the batch plane (BatchEvaluator) bypasses
-// the engine exactly as readily as the scalar one. Calls on concrete
-// types (the engine itself, core.Model's analytic evaluation, a concrete
-// BatchEvaluator implementer) are the sanctioned paths and pass
-// untouched. The engine's own entry adapters carry
+// packages dse, aps, core and model — the batch plane (BatchEvaluator)
+// bypasses the engine exactly as readily as the scalar one. Since the
+// model-family redesign it also flags interface-dispatched
+// TimeAt/TimeWorkAt: a model.Kernel driven through the interface is an
+// evaluation the engine never sees, exactly like an Evaluator bypass.
+// Calls on concrete types (the engine itself, core.Model's analytic
+// evaluation, a family's own folded kernel struct) are the sanctioned
+// paths and pass untouched. The engine's own entry adapters carry
 // `//lint:allow enginepath <reason>`.
 package enginepath
 
@@ -33,7 +36,17 @@ var Analyzer = &analysis.Analyzer{
 
 // guardedPackages are the exploration packages whose evaluations must
 // route through internal/engine.
-var guardedPackages = map[string]bool{"dse": true, "aps": true, "core": true}
+var guardedPackages = map[string]bool{"dse": true, "aps": true, "core": true, "model": true}
+
+// flaggedNames are the evaluation entry points the invariant covers:
+// the Evaluator plane and the model-family Kernel plane.
+var flaggedNames = map[string]string{
+	"Evaluate":      "Evaluator",
+	"EvaluateCtx":   "Evaluator",
+	"EvaluateBatch": "Evaluator",
+	"TimeAt":        "Kernel",
+	"TimeWorkAt":    "Kernel",
+}
 
 func run(pass *analysis.Pass) error {
 	if !guardedPackages[pass.Pkg.Name()] {
@@ -49,7 +62,8 @@ func run(pass *analysis.Pass) error {
 			return true
 		}
 		name := sel.Sel.Name
-		if name != "Evaluate" && name != "EvaluateCtx" && name != "EvaluateBatch" {
+		plane, flagged := flaggedNames[name]
+		if !flagged {
 			return true
 		}
 		selection, ok := pass.TypesInfo.Selections[sel]
@@ -62,7 +76,7 @@ func run(pass *analysis.Pass) error {
 		}
 		if _, ok := recv.Underlying().(*types.Interface); ok {
 			pass.Reportf(call.Pos(),
-				"%s through the Evaluator interface bypasses internal/engine memoization/metering; submit via an Engine (or suppress with a reason)", name)
+				"%s through the %s interface bypasses internal/engine memoization/metering; submit via an Engine (or suppress with a reason)", name, plane)
 		}
 		return true
 	})

@@ -9,4 +9,5 @@ import (
 
 func TestFixture(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), enginepath.Analyzer, "dse")
+	analysistest.Run(t, analysistest.TestData(t), enginepath.Analyzer, "model")
 }

@@ -65,6 +65,14 @@ var builtin = map[string]domain{
 	"robust.FaultyEvaluator.PStall": unitInterval,
 	"camat.Params.MR":               unitInterval,
 	"camat.Params.PMR":              unitInterval,
+	// Model-family parameters (internal/model): occupancy and ratio
+	// knobs the family registry validates at runtime; the analyzer
+	// rejects out-of-domain constants statically at cross-package use
+	// sites.
+	"model.GPU.MFMA":           unitInterval,
+	"model.GPU.FFP32":          unitInterval,
+	"model.CommSync.DeltaSync": unitInterval,
+	"model.CommSync.DeltaComm": unitInterval,
 }
 
 var (

@@ -4,7 +4,10 @@
 // importing the real repository package.
 package params
 
-import "repro/internal/camat"
+import (
+	"repro/internal/camat"
+	"repro/internal/model"
+)
 
 // Knobs carries documented model parameters.
 type Knobs struct {
@@ -53,4 +56,16 @@ func documentedStressValue() camat.Params {
 
 func nonConstantIsFine(v float64) Knobs {
 	return Knobs{PDrop: v}
+}
+
+// The builtin table also covers the model-family parameter structs.
+func builtinTableCatchesFamilies() {
+	var g model.GPU
+	g.MFMA = 1.5 // want "MFMA is documented as \[0,1\] but gets constant 1.5"
+	g.FFP32 = 0.3
+	var c model.CommSync
+	c.DeltaSync = -0.25 // want "DeltaSync is documented as \[0,1\] but gets constant -0.25"
+	c.DeltaComm = 0.01
+	_ = g
+	_ = c
 }

@@ -205,12 +205,19 @@ func (e *Engine) doChunk(ctx context.Context, ev robust.Evaluator, be BatchEvalu
 	for i, p := range pts {
 		hashes[i] = hashPoint(seed, p)
 	}
+	// callSlab backs every in-flight registration of this chunk and done
+	// is their shared completion signal (the whole chunk publishes at
+	// once), so registration costs no per-point allocation.
+	callSlab := make([]call, len(pts))
+	var done chan struct{}
 	var (
-		miss     []int // chunk indices this call evaluates
-		missPts  [][]float64
-		calls    []*call // parallel to miss; nil for solo hash collisions
-		deferred []int   // chunk indices owned by another in-flight call
-		hits     uint64
+		miss       []int // chunk indices this call evaluates
+		missPts    [][]float64
+		missHashes []uint64
+		calls      []*call // parallel to miss; nil for solo hash collisions
+		collided   []bool  // non-nil when any calls entry is nil
+		deferred   []int   // chunk indices owned by another in-flight call
+		hits       uint64
 	)
 	e.mu.Lock()
 	fpID := e.internLocked(fp)
@@ -229,13 +236,23 @@ func (e *Engine) doChunk(ctx context.Context, ev robust.Evaluator, be BatchEvalu
 			// this batch but stay out of the memo and dedup tables.
 			miss = append(miss, i)
 			missPts = append(missPts, p)
+			missHashes = append(missHashes, hashes[i])
 			calls = append(calls, nil)
+			if collided == nil {
+				collided = make([]bool, len(pts))
+			}
+			collided[len(calls)-1] = true
 			continue
 		}
-		c := &call{fpID: fpID, point: p, done: make(chan struct{})}
+		if done == nil {
+			done = make(chan struct{})
+		}
+		c := &callSlab[i]
+		*c = call{fpID: fpID, point: p, done: done}
 		e.inflight[hashes[i]] = c
 		miss = append(miss, i)
 		missPts = append(missPts, p)
+		missHashes = append(missHashes, hashes[i])
 		calls = append(calls, c)
 	}
 	e.mu.Unlock()
@@ -259,25 +276,34 @@ func (e *Engine) doChunk(ctx context.Context, ev robust.Evaluator, be BatchEvalu
 		}
 		evicted := uint64(0)
 		e.mu.Lock()
+		registered := 0
 		for k, i := range miss {
 			outs[i] = chunkOutcome(vals[k], attempts, err)
-			c := calls[k]
-			if c == nil {
-				continue
+			if c := calls[k]; c != nil {
+				c.out = outs[i]
+				registered++
 			}
-			c.out = outs[i]
-			if err == nil {
-				if e.cache.add(hashes[i], fpID, missPts[k], vals[k]) {
-					evicted++
+		}
+		// Our registrations are all still present (only this call removes
+		// them), so a size match means the in-flight table holds nothing
+		// else and the chunk's registrations can be released in bulk — the
+		// common single-stream case, where per-key deletes would be the
+		// costliest map traffic of the publish path.
+		if registered == len(e.inflight) {
+			clear(e.inflight)
+		} else {
+			for k := range miss {
+				if calls[k] != nil {
+					delete(e.inflight, missHashes[k])
 				}
 			}
-			delete(e.inflight, hashes[i])
+		}
+		if err == nil {
+			evicted = e.cache.addBatch(missHashes, fpID, missPts, vals, collided)
 		}
 		e.mu.Unlock()
-		for _, c := range calls {
-			if c != nil {
-				close(c.done)
-			}
+		if done != nil {
+			close(done)
 		}
 		if evicted > 0 {
 			e.counters.evictions.Add(evicted)

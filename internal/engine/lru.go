@@ -86,7 +86,14 @@ func newLRU(capacity int) *lruCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	c := &lruCache{capacity: capacity, items: make(map[uint64]*lruEntry)}
+	// Pre-size the table toward its capacity (bounded: a default-size
+	// cache costs ~200 KB up front) so cold batched sweeps don't pay
+	// incremental rehash growth on every insert.
+	hint := capacity
+	if hint > 8192 {
+		hint = 8192
+	}
+	c := &lruCache{capacity: capacity, items: make(map[uint64]*lruEntry, hint)}
 	c.root.next = &c.root
 	c.root.prev = &c.root
 	return c
@@ -144,6 +151,58 @@ func (c *lruCache) add(hash uint64, fpID uint32, point []float64, val float64) (
 		return true
 	}
 	return false
+}
+
+// addBatch is add for a whole freshly computed chunk: one entry slab
+// and one flat point backing array are shared by every inserted entry,
+// so cold batched sweeps pay two allocations per chunk instead of two
+// per point (the dominant cost of cold insertion otherwise). skip, when
+// non-nil, marks entries the caller does not own (in-flight hash
+// collisions) that must stay out of the table. Entries evicted later
+// pin their slab until the whole chunk's generation ages out — bounded
+// by one extra chunk per resident generation, which the chunk-size cap
+// keeps small.
+func (c *lruCache) addBatch(hashes []uint64, fpID uint32, points [][]float64, vals []float64, skip []bool) (evicted uint64) {
+	slab := make([]lruEntry, len(hashes))
+	total := 0
+	for k, p := range points {
+		if skip == nil || !skip[k] {
+			total += len(p)
+		}
+	}
+	backing := make([]float64, 0, total)
+	for k, h := range hashes {
+		if skip != nil && skip[k] {
+			continue
+		}
+		if e, ok := c.items[h]; ok {
+			// Hash resident (a collision or an intra-chunk duplicate):
+			// same replacement semantics as add.
+			if e.fpID != fpID || !pointsEqual(e.point, points[k]) {
+				e.fpID = fpID
+				e.point = append(e.point[:0], points[k]...)
+			}
+			e.val = vals[k]
+			c.unlink(e)
+			c.pushFront(e)
+			continue
+		}
+		lo := len(backing)
+		backing = append(backing, points[k]...)
+		e := &slab[k]
+		*e = lruEntry{hash: h, fpID: fpID, point: backing[lo:len(backing):len(backing)], val: vals[k]}
+		c.items[h] = e
+		c.pushFront(e)
+		c.n++
+		if c.n > c.capacity {
+			oldest := c.root.prev
+			c.unlink(oldest)
+			delete(c.items, oldest.hash)
+			c.n--
+			evicted++
+		}
+	}
+	return evicted
 }
 
 func (c *lruCache) len() int { return c.n }

@@ -1,0 +1,163 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+)
+
+// FamilyCommSync is the catalog name of the Yavits/Morad/Ginosar
+// communication-and-synchronization Amdahl extension.
+const FamilyCommSync = "commsync"
+
+func init() {
+	mustRegister(Family{
+		Name: FamilyCommSync,
+		Doc:  "Amdahl's law extended with synchronization (grows with n) and inter-core communication penalties",
+		Params: []FamilyParam{
+			{Name: "delta_sync", Lo: 0, Hi: 1, Default: 2e-4,
+				Doc: "synchronization fraction added to the sequential term per core"},
+			{Name: "delta_comm", Lo: 0, Hi: 1, Default: 0.01,
+				Doc: "inter-core communication fraction added to the parallel term"},
+		},
+		New: func(cfg Config) (Model, error) {
+			if err := cfg.App.Validate(); err != nil {
+				return nil, err
+			}
+			if cfg.Chip.Pollack.K0 <= 0 {
+				return nil, fmt.Errorf("model: commsync: Pollack K0 must be positive, got %v", cfg.Chip.Pollack.K0)
+			}
+			return &CommSync{
+				Chip:      cfg.Chip,
+				App:       cfg.App,
+				DeltaSync: cfg.Params["delta_sync"],
+				DeltaComm: cfg.Params["delta_comm"],
+			}, nil
+		},
+	})
+}
+
+// CommSync is the Yavits/Morad/Ginosar extension of Amdahl's law: the
+// sequential term inflates with the synchronization cost of keeping n
+// cores coherent, and the parallel term carries a per-instruction
+// communication surcharge that does not shrink with n,
+//
+//	T = IC0 · CPIExe(a0) · ( fseq·(1 + δsync·n) + (1−fseq)·(1/n + δcomm) )
+//
+// over the same per-core area / core count plane as the paper's model
+// (CPIExe from Pollack's rule), which is exactly what makes its optimum
+// comparable with C²-Bound's.
+type CommSync struct {
+	Chip chip.Config
+	App  core.App
+
+	// DeltaSync is the synchronization fraction added to the sequential
+	// term per core.
+	DeltaSync float64
+	// DeltaComm is the communication fraction added to the parallel term.
+	DeltaComm float64
+}
+
+// Fingerprint implements Model.
+func (m *CommSync) Fingerprint() string {
+	return fmt.Sprintf("%stotal=%x fixed=%x k0=%x phi0=%x fseq=%x ic0=%x delta_sync=%x delta_comm=%x",
+		FingerprintPrefix(FamilyCommSync),
+		math.Float64bits(m.Chip.TotalArea), math.Float64bits(m.Chip.FixedArea),
+		math.Float64bits(m.Chip.Pollack.K0), math.Float64bits(m.Chip.Pollack.Phi0),
+		math.Float64bits(m.App.Fseq), math.Float64bits(m.App.IC0),
+		math.Float64bits(m.DeltaSync), math.Float64bits(m.DeltaComm))
+}
+
+// Space implements Model: per-core area A0 and core count N, on the
+// same grids as the paper space so cross-model comparisons sample
+// identical designs.
+func (m *CommSync) Space() Space {
+	ns := []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	maxPerCore := (m.Chip.TotalArea - m.Chip.FixedArea) / ns[len(ns)-1]
+	a0 := make([]float64, 10)
+	for i := range a0 {
+		a0[i] = 0.42 * maxPerCore * float64(i+1) / 10
+	}
+	return Space{Params: []Param{
+		{Name: "A0", Lo: 0, Hi: a0[len(a0)-1], Grid: a0},
+		{Name: "N", Lo: 1, Hi: ns[len(ns)-1], Grid: ns},
+	}}
+}
+
+// csFolded carries the point-independent subexpressions shared by the
+// direct and compiled paths.
+type csFolded struct {
+	k0, phi0  float64
+	fseq      float64
+	fpar      float64 // 1−fseq
+	ic0       float64
+	sync      float64
+	comm      float64
+	areaLimit float64
+}
+
+// fold computes the shared constants; both paths dispatch through it.
+func (m *CommSync) fold() csFolded {
+	return csFolded{
+		k0:        m.Chip.Pollack.K0,
+		phi0:      m.Chip.Pollack.Phi0,
+		fseq:      m.App.Fseq,
+		fpar:      1 - m.App.Fseq,
+		ic0:       m.App.IC0,
+		sync:      m.DeltaSync,
+		comm:      m.DeltaComm,
+		areaLimit: (m.Chip.TotalArea - m.Chip.FixedArea) * (1 + 1e-9),
+	}
+}
+
+// eval is the single evaluation routine both paths dispatch to.
+func (f csFolded) eval(point []float64) (t, w float64, ok bool) {
+	if len(point) != 2 {
+		return 0, 0, false
+	}
+	a0 := point[0]
+	n := float64(int(point[1] + 0.5))
+	if !(a0 > 0) || n < 1 {
+		return 0, 0, false
+	}
+	if n*a0 > f.areaLimit {
+		return 0, 0, false
+	}
+	cpi := f.k0/math.Sqrt(a0) + f.phi0
+	t = f.ic0 * cpi * (f.fseq*(1+f.sync*n) + f.fpar*(1/n+f.comm))
+	return t, f.ic0, true
+}
+
+// DirectTimeWorkAt implements Direct.
+func (m *CommSync) DirectTimeWorkAt(point []float64) (t, w float64, ok bool) {
+	return m.fold().eval(point)
+}
+
+// Compile implements Model.
+func (m *CommSync) Compile() (Kernel, error) {
+	if m.App.IC0 <= 0 {
+		return nil, fmt.Errorf("model: commsync: IC0 must be positive, got %v", m.App.IC0)
+	}
+	return csKernel{f: m.fold()}, nil
+}
+
+// csKernel is the compiled communication-synchronization kernel.
+type csKernel struct {
+	f csFolded
+}
+
+// TimeAt implements Kernel.
+func (k csKernel) TimeAt(point []float64) float64 {
+	t, _, ok := k.f.eval(point)
+	if !ok {
+		return math.Inf(1)
+	}
+	return t
+}
+
+// TimeWorkAt implements Kernel.
+func (k csKernel) TimeWorkAt(point []float64) (t, w float64, ok bool) {
+	return k.f.eval(point)
+}

@@ -1,0 +1,172 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+)
+
+// FamilyGPU is the catalog name of the CUDA-core throughput bound.
+const FamilyGPU = "gpu"
+
+func init() {
+	mustRegister(Family{
+		Name: FamilyGPU,
+		Doc:  "CUDA-core throughput bound Φ = θ·C_fp32·(1+m_FMA)·f_fp32 with an Amdahl host-serial term",
+		Params: []FamilyParam{
+			{Name: "m_fma", Lo: 0, Hi: 1, Default: 0.5,
+				Doc: "FMA fraction of the FP32 operations (each FMA retires two FLOPs)"},
+			{Name: "f_fp32", Lo: 0, Hi: 1, Default: 0.3,
+				Doc: "FP32 fraction of the instruction stream"},
+			{Name: "lane_area", Lo: 0, Hi: 1e6, Default: 0.05,
+				Doc: "silicon area per FP32 lane in mm²"},
+			{Name: "sm_area", Lo: 0, Hi: 1e6, Default: 2,
+				Doc: "fixed per-SM area in mm² (schedulers, register file, shared memory)"},
+		},
+		New: func(cfg Config) (Model, error) {
+			if err := cfg.App.Validate(); err != nil {
+				return nil, err
+			}
+			return &GPU{
+				Chip:     cfg.Chip,
+				App:      cfg.App,
+				MFMA:     cfg.Params["m_fma"],
+				FFP32:    cfg.Params["f_fp32"],
+				LaneArea: cfg.Params["lane_area"],
+				SMArea:   cfg.Params["sm_area"],
+			}, nil
+		},
+	})
+}
+
+// GPU is the accelerator-side model family: the per-SM CUDA-core
+// throughput bound of the gpucorde compositional model,
+//
+//	Φ = θ · C_fp32 · (1 + m_FMA) · f_fp32   [useful FLOPs/cycle/SM]
+//
+// scaled by the SM count, with the application's sequential fraction
+// executing host-side at one instruction per cycle (Amdahl's serial
+// term). The design space trades SM count against SM width (FP32 lanes
+// per SM) under the chip's area budget, with occupancy θ as the third
+// dimension.
+type GPU struct {
+	Chip chip.Config
+	App  core.App
+
+	// MFMA is the FMA fraction of the FP32 operations.
+	MFMA float64
+	// FFP32 is the FP32 fraction of the instruction stream.
+	FFP32 float64
+	// LaneArea is the silicon area of one FP32 lane (mm²).
+	LaneArea float64
+	// SMArea is the fixed area of one SM (mm²).
+	SMArea float64
+}
+
+// Fingerprint implements Model. It covers every input the objective
+// reads: the chip area budget, the application's sequential fraction
+// and instruction count, and the four family parameters.
+func (m *GPU) Fingerprint() string {
+	return fmt.Sprintf("%stotal=%x fixed=%x fseq=%x ic0=%x m_fma=%x f_fp32=%x lane_area=%x sm_area=%x",
+		FingerprintPrefix(FamilyGPU),
+		math.Float64bits(m.Chip.TotalArea), math.Float64bits(m.Chip.FixedArea),
+		math.Float64bits(m.App.Fseq), math.Float64bits(m.App.IC0),
+		math.Float64bits(m.MFMA), math.Float64bits(m.FFP32),
+		math.Float64bits(m.LaneArea), math.Float64bits(m.SMArea))
+}
+
+// Space implements Model: SM count, FP32 lanes per SM, and occupancy θ.
+func (m *GPU) Space() Space {
+	return Space{Params: []Param{
+		{Name: "SM", Lo: 1, Hi: 1024, Grid: []float64{1, 2, 4, 8, 16, 24, 32, 48, 64, 128}},
+		{Name: "Lanes", Lo: 1, Hi: 4096, Grid: []float64{32, 48, 64, 96, 128, 192, 256, 384, 512, 1024}},
+		{Name: "Theta", Lo: 0, Hi: 1, Grid: []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}},
+	}}
+}
+
+// gpuFolded carries the point-independent subexpressions shared by the
+// direct and compiled paths, so both perform the identical operation
+// sequence (the bit-exactness contract).
+type gpuFolded struct {
+	mix       float64 // (1+m_FMA)·f_fp32: useful FLOPs per warp instruction
+	flops     float64 // IC0·(1−fseq)·mix: FLOPs of the parallel portion
+	serial    float64 // IC0·fseq: host-serial cycles
+	work      float64 // IC0
+	laneArea  float64
+	smArea    float64
+	areaLimit float64 // TotalArea−FixedArea, with the same tolerance as core
+}
+
+// fold computes the shared constants. Both DirectTimeWorkAt (per call)
+// and Compile (once) go through here, so the folded values are
+// bit-identical by construction.
+func (m *GPU) fold() gpuFolded {
+	mix := (1 + m.MFMA) * m.FFP32
+	return gpuFolded{
+		mix:       mix,
+		flops:     m.App.IC0 * (1 - m.App.Fseq) * mix,
+		serial:    m.App.IC0 * m.App.Fseq,
+		work:      m.App.IC0,
+		laneArea:  m.LaneArea,
+		smArea:    m.SMArea,
+		areaLimit: (m.Chip.TotalArea - m.Chip.FixedArea) * (1 + 1e-9),
+	}
+}
+
+// eval is the single evaluation routine both paths dispatch to.
+func (f gpuFolded) eval(point []float64) (t, w float64, ok bool) {
+	if len(point) != 3 {
+		return 0, 0, false
+	}
+	sm := float64(int(point[0] + 0.5))
+	lanes := float64(int(point[1] + 0.5))
+	theta := point[2]
+	if sm < 1 || lanes < 1 || theta <= 0 || theta > 1 {
+		return 0, 0, false
+	}
+	if sm*(f.smArea+f.laneArea*lanes) > f.areaLimit {
+		return 0, 0, false
+	}
+	phi := theta * lanes * f.mix * sm
+	if !(phi > 0) {
+		return 0, 0, false
+	}
+	t = f.serial + f.flops/phi
+	return t, f.work, true
+}
+
+// DirectTimeWorkAt implements Direct, folding the constants afresh on
+// every call.
+func (m *GPU) DirectTimeWorkAt(point []float64) (t, w float64, ok bool) {
+	return m.fold().eval(point)
+}
+
+// Compile implements Model: the constants fold once, the kernel reuses
+// them for every point.
+func (m *GPU) Compile() (Kernel, error) {
+	if m.App.IC0 <= 0 {
+		return nil, fmt.Errorf("model: gpu: IC0 must be positive, got %v", m.App.IC0)
+	}
+	return gpuKernel{f: m.fold()}, nil
+}
+
+// gpuKernel is the compiled GPU throughput kernel.
+type gpuKernel struct {
+	f gpuFolded
+}
+
+// TimeAt implements Kernel.
+func (k gpuKernel) TimeAt(point []float64) float64 {
+	t, _, ok := k.f.eval(point)
+	if !ok {
+		return math.Inf(1)
+	}
+	return t
+}
+
+// TimeWorkAt implements Kernel.
+func (k gpuKernel) TimeWorkAt(point []float64) (t, w float64, ok bool) {
+	return k.f.eval(point)
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+)
+
+// Config is the family-independent construction input: the chip budget,
+// the application profile, and the family-specific parameters (validated
+// against the family's documented FamilyParam domains; missing keys take
+// the documented defaults).
+type Config struct {
+	Chip chip.Config
+	App  core.App
+	// Params carries the family-specific parameters by key (for example
+	// the GPU family's FMA ratio). Keys a family does not declare are
+	// rejected at construction.
+	Params map[string]float64
+}
+
+// FamilyParam documents one family-specific configuration parameter:
+// its key, inclusive domain, default, and a one-line description. The
+// domains mirror what the paramdomain analyzer enforces for in-repo
+// constants; request-supplied values are validated here at runtime.
+type FamilyParam struct {
+	Name    string
+	Lo, Hi  float64
+	Default float64
+	Doc     string
+}
+
+// Family describes one registered model family: its catalog name, a
+// one-line description, the documented family parameters, and the
+// constructor the registry invokes after validating the parameters.
+type Family struct {
+	Name string
+	Doc  string
+	// Params declares the family-specific configuration parameters. The
+	// registry fills defaults and validates domains before New runs, so
+	// constructors see a complete, in-domain parameter map.
+	Params []FamilyParam
+	// New builds a model from a validated configuration.
+	New func(cfg Config) (Model, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	families = map[string]Family{}
+)
+
+// Register adds a family to the registry. The name must be non-empty
+// and unused; the constructor must be non-nil.
+func Register(f Family) error {
+	if f.Name == "" {
+		return fmt.Errorf("model: family name empty")
+	}
+	if f.New == nil {
+		return fmt.Errorf("model: family %q has no constructor", f.Name)
+	}
+	for _, p := range f.Params {
+		if p.Name == "" || math.IsNaN(p.Lo) || math.IsNaN(p.Hi) || p.Lo > p.Hi {
+			return fmt.Errorf("model: family %q parameter %q has an invalid domain [%g, %g]", f.Name, p.Name, p.Lo, p.Hi)
+		}
+		if math.IsNaN(p.Default) || p.Default < p.Lo || p.Default > p.Hi {
+			return fmt.Errorf("model: family %q parameter %q default %v outside [%g, %g]", f.Name, p.Name, p.Default, p.Lo, p.Hi)
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := families[f.Name]; ok {
+		return fmt.Errorf("model: family %q already registered", f.Name)
+	}
+	families[f.Name] = f
+	return nil
+}
+
+// mustRegister is Register for the built-in families, whose
+// registrations cannot collide.
+func mustRegister(f Family) {
+	if err := Register(f); err != nil {
+		//lint:allow errwrap init-time registration of a built-in family; a collision is a programming error, Register is the checked path
+		panic(err)
+	}
+}
+
+// Lookup returns the named family.
+func Lookup(name string) (Family, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := families[name]
+	return f, ok
+}
+
+// Names lists the registered families, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(families))
+	//lint:allow detguard key collection feeds the sort below; the returned slice is order-independent of the iteration
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds a model of the named family: family parameters are
+// defaulted and domain-validated, the constructor runs, and the
+// resulting fingerprint is checked for the family's namespace prefix so
+// no family can leak into another's cache keys.
+func New(name string, cfg Config) (Model, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("model: unknown family %q (have %v)", name, Names())
+	}
+	params := make(map[string]float64, len(f.Params))
+	for _, p := range f.Params {
+		params[p.Name] = p.Default
+	}
+	//lint:allow detguard each key is validated and copied independently; application order cannot change the assembled map
+	for key, v := range cfg.Params {
+		var decl *FamilyParam
+		for i := range f.Params {
+			if f.Params[i].Name == key {
+				decl = &f.Params[i]
+				break
+			}
+		}
+		if decl == nil {
+			return nil, fmt.Errorf("model: family %q has no parameter %q (have %v)", name, key, paramNames(f.Params))
+		}
+		if math.IsNaN(v) || v < decl.Lo || v > decl.Hi {
+			return nil, fmt.Errorf("model: %s parameter %s=%v outside [%g, %g]", name, key, v, decl.Lo, decl.Hi)
+		}
+		params[key] = v
+	}
+	cfg.Params = params
+	m, err := f.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if prefix := FingerprintPrefix(name); !strings.HasPrefix(m.Fingerprint(), prefix) {
+		return nil, fmt.Errorf("model: family %q fingerprint %q lacks the %q namespace", name, m.Fingerprint(), prefix)
+	}
+	return m, nil
+}
+
+// paramNames lists the declared parameter keys in declaration order.
+func paramNames(ps []FamilyParam) []string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}

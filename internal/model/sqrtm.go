@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+)
+
+// FamilySqrtM is the catalog name of Ginosar's √m area-speedup law.
+const FamilySqrtM = "sqrtm"
+
+func init() {
+	mustRegister(Family{
+		Name: FamilySqrtM,
+		Doc:  "Ginosar's √m law: splitting the usable area into m cores speeds the parallel phase √m and slows the serial phase √m",
+		New: func(cfg Config) (Model, error) {
+			if err := cfg.App.Validate(); err != nil {
+				return nil, err
+			}
+			if cfg.Chip.Pollack.K0 <= 0 {
+				return nil, fmt.Errorf("model: sqrtm: Pollack K0 must be positive, got %v", cfg.Chip.Pollack.K0)
+			}
+			if cfg.Chip.TotalArea-cfg.Chip.FixedArea <= 0 {
+				return nil, fmt.Errorf("model: sqrtm: no usable area (total %v, fixed %v)", cfg.Chip.TotalArea, cfg.Chip.FixedArea)
+			}
+			return &SqrtM{Chip: cfg.Chip, App: cfg.App}, nil
+		},
+	})
+}
+
+// SqrtM is Ginosar's single-dimension area-speedup law: with the whole
+// usable area A spent either on one big core or split evenly into m
+// small ones, Pollack's rule (perf ∝ √area) makes the m-core machine
+// √m faster on the parallel phase and √m slower on the serial phase
+// than the monolithic core,
+//
+//	T(m) = IC0 · CPIExe(A) · ( fseq·√m + (1−fseq)/√m )
+//
+// normalizing so m=1 is the monolithic baseline. Its optimum
+// m* = ((1−fseq)/fseq) is a pure function of the sequential fraction —
+// the sharpest possible contrast with C²-Bound, which moves the optimum
+// with capacity as well as concurrency.
+type SqrtM struct {
+	Chip chip.Config
+	App  core.App
+}
+
+// Fingerprint implements Model.
+func (m *SqrtM) Fingerprint() string {
+	return fmt.Sprintf("%stotal=%x fixed=%x k0=%x phi0=%x fseq=%x ic0=%x",
+		FingerprintPrefix(FamilySqrtM),
+		math.Float64bits(m.Chip.TotalArea), math.Float64bits(m.Chip.FixedArea),
+		math.Float64bits(m.Chip.Pollack.K0), math.Float64bits(m.Chip.Pollack.Phi0),
+		math.Float64bits(m.App.Fseq), math.Float64bits(m.App.IC0))
+}
+
+// Space implements Model: the single core-count dimension m.
+func (m *SqrtM) Space() Space {
+	return Space{Params: []Param{
+		{Name: "M", Lo: 1, Hi: 1e6, Grid: []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}},
+	}}
+}
+
+// smFolded carries the point-independent subexpressions shared by the
+// direct and compiled paths.
+type smFolded struct {
+	base float64 // IC0 · CPIExe(usable area)
+	fseq float64
+	fpar float64 // 1−fseq
+	ic0  float64
+}
+
+// fold computes the shared constants; both paths dispatch through it.
+func (m *SqrtM) fold() smFolded {
+	usable := m.Chip.TotalArea - m.Chip.FixedArea
+	return smFolded{
+		base: m.App.IC0 * m.Chip.Pollack.CPIExe(usable),
+		fseq: m.App.Fseq,
+		fpar: 1 - m.App.Fseq,
+		ic0:  m.App.IC0,
+	}
+}
+
+// eval is the single evaluation routine both paths dispatch to.
+func (f smFolded) eval(point []float64) (t, w float64, ok bool) {
+	if len(point) != 1 {
+		return 0, 0, false
+	}
+	mm := float64(int(point[0] + 0.5))
+	if mm < 1 {
+		return 0, 0, false
+	}
+	s := math.Sqrt(mm)
+	t = f.base * (f.fseq*s + f.fpar/s)
+	return t, f.ic0, true
+}
+
+// DirectTimeWorkAt implements Direct.
+func (m *SqrtM) DirectTimeWorkAt(point []float64) (t, w float64, ok bool) {
+	return m.fold().eval(point)
+}
+
+// Compile implements Model.
+func (m *SqrtM) Compile() (Kernel, error) {
+	if m.App.IC0 <= 0 {
+		return nil, fmt.Errorf("model: sqrtm: IC0 must be positive, got %v", m.App.IC0)
+	}
+	return smKernel{f: m.fold()}, nil
+}
+
+// smKernel is the compiled √m kernel.
+type smKernel struct {
+	f smFolded
+}
+
+// TimeAt implements Kernel.
+func (k smKernel) TimeAt(point []float64) float64 {
+	t, _, ok := k.f.eval(point)
+	if !ok {
+		return math.Inf(1)
+	}
+	return t
+}
+
+// TimeWorkAt implements Kernel.
+func (k smKernel) TimeWorkAt(point []float64) (t, w float64, ok bool) {
+	return k.f.eval(point)
+}

@@ -7,7 +7,15 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/model"
 )
+
+// CatalogSchema is the current wire schema of model specs. Version 2
+// adds the "family" selector and family parameters; specs without a
+// schema field parse as version 1, whose fields and meaning are
+// unchanged (family defaults to c2bound), so existing catalog JSON and
+// clients keep working byte-for-byte.
+const CatalogSchema = "catalog/2"
 
 // ModelSpec selects a catalog application and optionally overrides
 // individual application or chip parameters. A request is pure data —
@@ -15,8 +23,18 @@ import (
 // fingerprint-keyed memo cache is shared across every client asking for
 // the same effective model.
 type ModelSpec struct {
+	// Schema versions the spec ("catalog/2"). Empty means the original
+	// catalog/1 wire format, which is a strict subset.
+	Schema string `json:"schema,omitempty"`
 	// App names a catalog profile: tmm, stencil, fft or fluidanimate.
 	App string `json:"app"`
+	// Family names the model family (catalog/2). Empty defaults to
+	// "c2bound", the paper's objective, preserving catalog/1 semantics.
+	Family string `json:"family,omitempty"`
+	// Params carries family-specific parameters by key (catalog/2), for
+	// example the gpu family's m_fma. Each key is validated against the
+	// family's documented domain by the model registry.
+	Params map[string]float64 `json:"params,omitempty"`
 	// Overrides replaces application parameters by key (fseq, fmem,
 	// overlap, ch, cm, pmr_ratio, pamp_ratio, ic0). Each key is validated
 	// against the same domain App.Validate (and the paramdomain analyzer)
@@ -137,23 +155,23 @@ func (c *Catalog) Names() []string {
 	return names
 }
 
-// Resolve builds the model a spec describes, validating every override
-// against its documented domain and the assembled profile against
-// App.Validate.
-func (c *Catalog) Resolve(spec ModelSpec) (core.Model, error) {
+// resolveAppChip assembles the overridden application profile and chip
+// configuration a spec describes, validating every override against its
+// documented domain.
+func (c *Catalog) resolveAppChip(spec ModelSpec) (core.App, chip.Config, error) {
 	mk, ok := c.apps[spec.App]
 	if !ok {
-		return core.Model{}, notFoundf("server: unknown application %q (have %v)", spec.App, c.Names())
+		return core.App{}, chip.Config{}, notFoundf("server: unknown application %q (have %v)", spec.App, c.Names())
 	}
 	app := mk()
 	//lint:allow detguard each override targets its own profile field, so application order cannot change the assembled model
 	for key, v := range spec.Overrides {
 		d, ok := appDomains[key]
 		if !ok {
-			return core.Model{}, validationf("server: unknown override %q", key)
+			return core.App{}, chip.Config{}, validationf("server: unknown override %q", key)
 		}
 		if math.IsNaN(v) || v < d.lo || v > d.hi {
-			return core.Model{}, validationf("server: override %s=%v outside [%g, %g]", key, v, d.lo, d.hi)
+			return core.App{}, chip.Config{}, validationf("server: override %s=%v outside [%g, %g]", key, v, d.lo, d.hi)
 		}
 		d.apply(&app, v)
 	}
@@ -162,12 +180,42 @@ func (c *Catalog) Resolve(spec ModelSpec) (core.Model, error) {
 	for key, v := range spec.Chip {
 		d, ok := chipDomains[key]
 		if !ok {
-			return core.Model{}, validationf("server: unknown chip override %q", key)
+			return core.App{}, chip.Config{}, validationf("server: unknown chip override %q", key)
 		}
 		if math.IsNaN(v) || v < d.lo || v > d.hi {
-			return core.Model{}, validationf("server: chip override %s=%v outside [%g, %g]", key, v, d.lo, d.hi)
+			return core.App{}, chip.Config{}, validationf("server: chip override %s=%v outside [%g, %g]", key, v, d.lo, d.hi)
 		}
 		d.apply(&cfg, v)
+	}
+	return app, cfg, nil
+}
+
+// checkSchema validates the spec's wire versioning: catalog/1 (the
+// empty string) has no family fields; catalog/2 adds them.
+func checkSchema(spec ModelSpec) error {
+	switch spec.Schema {
+	case "", "catalog/1", CatalogSchema:
+	default:
+		return validationf("server: unknown schema %q (want %q)", spec.Schema, CatalogSchema)
+	}
+	return nil
+}
+
+// Resolve builds the C²-Bound model a spec describes, validating every
+// override against its documented domain and the assembled profile
+// against App.Validate. It serves the c2bound-only call sites (the KKT
+// optimizer, the simulator evaluator); family-generic paths go through
+// ResolveModel.
+func (c *Catalog) Resolve(spec ModelSpec) (core.Model, error) {
+	if err := checkSchema(spec); err != nil {
+		return core.Model{}, err
+	}
+	if spec.Family != "" && spec.Family != model.FamilyC2Bound {
+		return core.Model{}, validationf("server: family %q has no analytic C²-Bound form; this endpoint needs family %q", spec.Family, model.FamilyC2Bound)
+	}
+	app, cfg, err := c.resolveAppChip(spec)
+	if err != nil {
+		return core.Model{}, err
 	}
 	m := core.Model{Chip: cfg, App: app}
 	if err := m.App.Validate(); err != nil {
@@ -175,6 +223,39 @@ func (c *Catalog) Resolve(spec ModelSpec) (core.Model, error) {
 	}
 	return m, nil
 }
+
+// FamilyName returns the effective family of a spec: the "family" field
+// when present, c2bound otherwise (catalog/1 compatibility).
+func FamilyName(spec ModelSpec) string {
+	if spec.Family == "" {
+		return model.FamilyC2Bound
+	}
+	return spec.Family
+}
+
+// ResolveModel builds the model-family instance a spec describes:
+// application and chip overrides resolve exactly as Resolve, then the
+// named family is constructed through the model registry, which
+// validates the family parameters against their documented domains.
+// Absent family fields default to c2bound, so a catalog/1 spec resolves
+// to the same model (and the same engine fingerprint) as before.
+func (c *Catalog) ResolveModel(spec ModelSpec) (model.Model, error) {
+	if err := checkSchema(spec); err != nil {
+		return nil, err
+	}
+	app, cfg, err := c.resolveAppChip(spec)
+	if err != nil {
+		return nil, err
+	}
+	m, err := model.New(FamilyName(spec), model.Config{Chip: cfg, App: app, Params: spec.Params})
+	if err != nil {
+		return nil, validationf("server: %v", err)
+	}
+	return m, nil
+}
+
+// Families lists the registered model families, sorted.
+func (c *Catalog) Families() []string { return model.Names() }
 
 // Space builds the design space a spec describes for the given model.
 func (c *Catalog) Space(m core.Model, spec SpaceSpec) (dse.Space, error) {
@@ -233,6 +314,53 @@ func (c *Catalog) Evaluator(m core.Model, spec EvaluatorSpec) (dse.CtxEvaluator,
 			return nil, validationf("server: %v", err)
 		}
 		return ev, nil
+	default:
+		return nil, validationf("server: unknown evaluator kind %q (want model or sim)", spec.Kind)
+	}
+}
+
+// SpaceFamily builds the design space a spec describes for a
+// family-generic model: Per subsamples the family's declared grids,
+// Params is an explicit grid, and an empty spec takes the family's full
+// default grids. For the c2bound family Per produces exactly
+// dse.ReducedSpace, so catalog/1 requests sweep identical designs.
+func (c *Catalog) SpaceFamily(m model.Model, spec SpaceSpec) (dse.Space, error) {
+	switch {
+	case spec.Per > 0 && len(spec.Params) > 0:
+		return dse.Space{}, validationf("server: space spec carries both per and params; pick one")
+	case len(spec.Params) > 0:
+		params := make([]dse.Param, len(spec.Params))
+		for i, p := range spec.Params {
+			params[i] = dse.Param{Name: p.Name, Values: p.Values}
+		}
+		s, err := dse.NewSpace(params...)
+		if err != nil {
+			return dse.Space{}, validationf("server: %v", err)
+		}
+		return s, nil
+	default:
+		s, err := dse.SpaceFor(m, spec.Per)
+		if err != nil {
+			return dse.Space{}, validationf("server: %v", err)
+		}
+		return s, nil
+	}
+}
+
+// EvaluatorFamily builds the scoring evaluator for a family-generic
+// model. The c2bound family keeps returning the original
+// dse.ModelEvaluator — same fingerprint, so old and new clients share
+// memo entries — and is the only family the simulator can score (its
+// points are chip designs; other families' points are not).
+func (c *Catalog) EvaluatorFamily(m model.Model, spec EvaluatorSpec) (dse.CtxEvaluator, error) {
+	if cb, ok := m.(*model.C2Bound); ok {
+		return c.Evaluator(cb.CoreModel(), spec)
+	}
+	switch spec.Kind {
+	case "", "model":
+		return dse.NewFamilyEvaluator(m), nil
+	case "sim":
+		return nil, validationf("server: evaluator kind \"sim\" needs the %s family (simulator points are chip designs)", model.FamilyC2Bound)
 	default:
 		return nil, validationf("server: unknown evaluator kind %q (want model or sim)", spec.Kind)
 	}

@@ -8,12 +8,14 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/aps"
 	"repro/internal/dse"
 	"repro/internal/engine"
+	"repro/internal/model"
 	"repro/internal/robust"
 )
 
@@ -130,18 +132,37 @@ func wrapEvaluator(ev dse.CtxEvaluator) dse.CtxEvaluator {
 	return ev
 }
 
-// resolveWork builds the (model, evaluator) pair shared by the four work
-// endpoints.
-func (s *Server) resolveWork(m ModelSpec, e EvaluatorSpec) (dse.CtxEvaluator, error) {
-	model, err := s.catalog.Resolve(m)
+// resolveWork builds the (model, evaluator) pair shared by the point
+// and batch endpoints, returning the resolved model too so callers can
+// validate point dimensionality against its declared space. Every
+// family goes through the registry; the c2bound family resolves to the
+// original dse.ModelEvaluator with an unchanged fingerprint, so
+// catalog/1 clients keep sharing memo entries.
+func (s *Server) resolveWork(m ModelSpec, e EvaluatorSpec) (model.Model, dse.CtxEvaluator, error) {
+	fm, err := s.catalog.ResolveModel(m)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	ev, err := s.catalog.Evaluator(model, e)
+	ev, err := s.catalog.EvaluatorFamily(fm, e)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return wrapEvaluator(ev), nil
+	return fm, wrapEvaluator(ev), nil
+}
+
+// checkPointDims validates a point's dimensionality against the
+// resolved family's declared space, naming the expected dimensions in
+// the error.
+func checkPointDims(fm model.Model, p []float64) error {
+	params := fm.Space().Params
+	if len(p) == len(params) {
+		return nil
+	}
+	names := make([]string, len(params))
+	for i, pr := range params {
+		names[i] = pr.Name
+	}
+	return validationf("server: point has %d dims, want %d (%s)", len(p), len(params), strings.Join(names, ", "))
 }
 
 // handleEvaluate scores one point through the shared engine.
@@ -151,12 +172,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	if len(req.Point) != 6 {
-		s.fail(w, validationf("server: point has %d dims, want 6 (A0, A1, A2, N, issue, ROB)", len(req.Point)))
+	fm, ev, err := s.resolveWork(req.Model, req.Evaluator)
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
-	ev, err := s.resolveWork(req.Model, req.Evaluator)
-	if err != nil {
+	if err := checkPointDims(fm, req.Point); err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -240,16 +261,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, validationf("server: batch of %d points exceeds the %d-point bound", len(req.Points), s.opts.MaxBatchPoints))
 		return
 	}
-	for i, p := range req.Points {
-		if len(p) != 6 {
-			s.fail(w, validationf("server: point %d has %d dims, want 6", i, len(p)))
-			return
-		}
-	}
-	ev, err := s.resolveWork(req.Model, req.Evaluator)
+	fm, ev, err := s.resolveWork(req.Model, req.Evaluator)
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+	for i, p := range req.Points {
+		if err := checkPointDims(fm, p); err != nil {
+			s.fail(w, validationf("server: point %d: %s", i, strings.TrimPrefix(err.Error(), "server: ")))
+			return
+		}
 	}
 
 	start := time.Now()
@@ -391,17 +412,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	model, err := s.catalog.Resolve(req.Model)
+	fm, err := s.catalog.ResolveModel(req.Model)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	space, err := s.catalog.Space(model, req.Space)
+	var space dse.Space
+	if cb, ok := fm.(*model.C2Bound); ok {
+		// The paper's family keeps the catalog/1 space semantics exactly
+		// (per/params required, dse.ReducedSpace grids).
+		space, err = s.catalog.Space(cb.CoreModel(), req.Space)
+	} else {
+		space, err = s.catalog.SpaceFamily(fm, req.Space)
+	}
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	ev, err := s.catalog.Evaluator(model, req.Evaluator)
+	ev, err := s.catalog.EvaluatorFamily(fm, req.Evaluator)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -548,17 +576,23 @@ func (s *Server) handleAPS(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	model, err := s.catalog.Resolve(req.Model)
+	fm, err := s.catalog.ResolveModel(req.Model)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	space, err := s.catalog.Space(model, req.Space)
+	cb, isC2 := fm.(*model.C2Bound)
+	if !isC2 {
+		s.handleAPSFamily(w, r, fm, req)
+		return
+	}
+	coreModel := cb.CoreModel()
+	space, err := s.catalog.Space(coreModel, req.Space)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	ev, err := s.catalog.Evaluator(model, req.Evaluator)
+	ev, err := s.catalog.Evaluator(coreModel, req.Evaluator)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -585,7 +619,7 @@ func (s *Server) handleAPS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer unlock()
-	res, err := aps.RunCtx(r.Context(), model, space, ev, aps.Options{
+	res, err := aps.RunCtx(r.Context(), coreModel, space, ev, aps.Options{
 		Engine: s.eng,
 		Radius: req.Radius,
 		Metric: metric,
@@ -620,6 +654,119 @@ func (s *Server) handleAPS(w http.ResponseWriter, r *http.Request) {
 		resp.BestPoint = res.BestPoint
 		v := jsonFloat(res.BestValue)
 		resp.BestValue = &v
+	}
+	writeJSON(w, resp)
+}
+
+// handleAPSFamily serves /v1/aps for non-C²-Bound families: no analytic
+// KKT phase exists for them, so the optimum comes from the exhaustive
+// engine-batched grid scan over the family's declared space
+// (aps.RunModelCtx). The response keeps the APSResponse shape with the
+// analytic block marked "grid" and zero simulations.
+func (s *Server) handleAPSFamily(w http.ResponseWriter, r *http.Request, fm model.Model, req APSRequest) {
+	if len(req.Space.Params) > 0 {
+		s.fail(w, validationf("server: family APS sweeps the family's declared space; use per, not an explicit grid"))
+		return
+	}
+	if req.Metric != "" && req.Metric != "time" {
+		s.fail(w, validationf("server: family APS supports only the time metric, got %q", req.Metric))
+		return
+	}
+	if req.Evaluator.Kind != "" && req.Evaluator.Kind != "model" {
+		s.fail(w, validationf("server: family APS needs the model evaluator, got %q", req.Evaluator.Kind))
+		return
+	}
+	ckPath, err := s.checkpointPath(r.Context(), req.Checkpoint)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	unlock, err := s.lockCheckpoint(ckPath)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer unlock()
+	res, err := aps.RunModelCtx(r.Context(), fm, aps.ModelOptions{
+		Engine: s.eng,
+		Per:    req.Space.Per,
+		Sweep: dse.SweepOptions{
+			CheckpointPath: ckPath,
+			Resume:         req.Resume,
+		},
+	})
+	if err != nil {
+		s.fail(w, fmt.Errorf("aps: %w", err))
+		return
+	}
+	resp := APSResponse{
+		Analytic:       APSDesign{Method: "grid"},
+		Snapped:        []int{},
+		BestIndex:      res.BestIdx,
+		AnalyticPoints: res.SpaceSize,
+		SpaceSize:      res.SpaceSize,
+		Report:         res.Report,
+		Engine:         res.Engine,
+	}
+	if res.BestIdx >= 0 {
+		resp.BestPoint = res.BestPoint
+		v := jsonFloat(res.BestValue)
+		resp.BestValue = &v
+	}
+	writeJSON(w, resp)
+}
+
+// --- catalog ---------------------------------------------------------
+
+// CatalogParam documents one family parameter on the wire.
+type CatalogParam struct {
+	Name    string    `json:"name"`
+	Lo      jsonFloat `json:"lo"`
+	Hi      jsonFloat `json:"hi"`
+	Default jsonFloat `json:"default"`
+	Doc     string    `json:"doc,omitempty"`
+}
+
+// CatalogFamily documents one registered model family on the wire.
+type CatalogFamily struct {
+	Name   string         `json:"name"`
+	Doc    string         `json:"doc,omitempty"`
+	Params []CatalogParam `json:"params,omitempty"`
+}
+
+// CatalogResponse is the GET /v1/catalog payload: the wire schema, the
+// named applications, and every registered model family with its
+// documented parameter domains.
+type CatalogResponse struct {
+	Schema   string          `json:"schema"`
+	Apps     []string        `json:"apps"`
+	Families []CatalogFamily `json:"families"`
+}
+
+// handleCatalog lists the applications and model families a client can
+// name in a ModelSpec, with the parameter domains the server validates
+// overrides against.
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	resp := CatalogResponse{
+		Schema: CatalogSchema,
+		Apps:   s.catalog.Names(),
+	}
+	for _, name := range s.catalog.Families() {
+		f, ok := model.Lookup(name)
+		if !ok {
+			continue
+		}
+		cf := CatalogFamily{Name: f.Name, Doc: f.Doc}
+		for _, p := range f.Params {
+			cf.Params = append(cf.Params, CatalogParam{
+				Name:    p.Name,
+				Lo:      jsonFloat(p.Lo),
+				Hi:      jsonFloat(p.Hi),
+				Default: jsonFloat(p.Default),
+				Doc:     p.Doc,
+			})
+		}
+		resp.Families = append(resp.Families, cf)
 	}
 	writeJSON(w, resp)
 }

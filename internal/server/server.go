@@ -266,6 +266,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.Handle("POST /v1/evaluate", s.work("server.evaluate", s.handleEvaluate))
 	s.mux.Handle("POST /v1/evaluate:batch", s.work("server.batch", s.handleBatch))
 	s.mux.Handle("POST /v1/sweep", s.work("server.sweep", s.handleSweep))
