@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-suppressions test test-short race race-heavy check bench bench-json bench-engine bench-families bench-obs bench-server bench-tenants serve figures figures-full examples cover fuzz-short clean
+.PHONY: all build vet lint lint-json lint-suppressions test test-short race race-heavy check bench bench-json bench-engine bench-families bench-obs bench-server bench-tenants bench-cluster serve figures figures-full examples cover fuzz-short clean
 
 all: build vet lint test
 
@@ -12,10 +12,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain-specific static analysis (see DESIGN.md §8 and §13): the eleven
-# c2vet analyzers — floatguard, errwrap, ctxflow, httpctx, ctxsleep,
-# enginepath, batchpar, paramdomain and the interprocedural detguard,
-# atomicguard and leakcheck — over every package. Exit 1 means findings,
+# Domain-specific static analysis (see DESIGN.md §8 and §13): the twelve
+# c2vet analyzers — floatguard, errwrap, ctxflow, httpctx, outboundctx,
+# ctxsleep, enginepath, batchpar, paramdomain and the interprocedural
+# detguard, atomicguard and leakcheck — over every package. Exit 1 means findings,
 # exit 2 means the packages did not load or type-check.
 lint:
 	$(GO) run ./cmd/c2vet ./...
@@ -82,6 +82,13 @@ bench-server:
 # (see DESIGN.md §11).
 bench-tenants:
 	$(GO) run ./cmd/enginebench -tenants -clients 16 -duration 10s -out BENCH_tenants.json
+
+# Distributed tier: 1..3 real c2bound-server processes sharing a
+# consistent-hash ring, one full catalog sweep each — shard balance,
+# warm hit-rate vs peer count and fan-out latency (see DESIGN.md §15).
+# Fails on shard imbalance over 15% or a non-increasing warm hit rate.
+bench-cluster:
+	$(GO) run ./cmd/enginebench -cluster -cluster-peers 3 -per 4 -out BENCH_cluster.json
 
 # Run the evaluation service locally on :8080.
 serve:

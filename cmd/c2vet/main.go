@@ -1,9 +1,10 @@
 // Command c2vet is the repository's domain-aware static-analysis suite:
-// a multichecker over the eleven analyzers under internal/analysis that
+// a multichecker over the twelve analyzers under internal/analysis that
 // encode C²-Bound's cross-cutting invariants — floating-point hygiene
 // (floatguard), error-chain wrapping and no library panics (errwrap),
 // the cancellation contract (ctxflow), request-scoped contexts in HTTP
-// handlers (httpctx), no blind time.Sleep in cancellable or serving-layer
+// handlers (httpctx), context-less outbound HTTP calls in library code
+// (outboundctx), no blind time.Sleep in cancellable or serving-layer
 // code (ctxsleep), engine-routed evaluation (enginepath), paired
 // batch/scalar evaluator methods (batchpar), documented parameter
 // domains (paramdomain), determinism of evaluation and checkpoint paths
@@ -45,6 +46,7 @@ import (
 	"repro/internal/analysis/floatguard"
 	"repro/internal/analysis/httpctx"
 	"repro/internal/analysis/leakcheck"
+	"repro/internal/analysis/outboundctx"
 	"repro/internal/analysis/paramdomain"
 )
 
@@ -54,6 +56,7 @@ var suite = []*analysis.Analyzer{
 	enginepath.Analyzer,
 	batchpar.Analyzer,
 	httpctx.Analyzer,
+	outboundctx.Analyzer,
 	ctxsleep.Analyzer,
 	errwrap.Analyzer,
 	floatguard.Analyzer,

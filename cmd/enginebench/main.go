@@ -9,8 +9,8 @@
 //
 //	enginebench [-out file] [-per k] [-rounds n] [-workers n]
 //	            [-batch] [-families] [-obs file] [-server] [-tenants]
-//	            [-clients n] [-duration d] [-trace out.json] [-metrics]
-//	            [-cpuprofile out.pprof]
+//	            [-cluster] [-cluster-peers n] [-clients n] [-duration d]
+//	            [-trace out.json] [-metrics] [-cpuprofile out.pprof]
 //
 // With -batch the command runs the benchmark twice — once with the
 // engine's batched dispatch disabled (scalar per-point path) and once
@@ -42,6 +42,17 @@
 // second, and the report records whether the trickler's tail latency and
 // shed count survived the flood (typically to BENCH_tenants.json via
 // `make bench-tenants`). The run fails if the trickler is ever shed.
+//
+// With -cluster the command measures the distributed tier end-to-end:
+// it builds cmd/c2bound-server, spawns 1..-cluster-peers real server
+// processes sharing one peers.json membership table, drives the full
+// tmm catalog sweep through the first peer (cold, warm, then a warm
+// batch pass) and records ring shard balance, the aggregate warm
+// hit-rate as capacity scales out, and the fan-out hop's latency — the
+// communication term — into the report (typically BENCH_cluster.json
+// via `make bench-cluster`). The run fails on shard imbalance over 15%,
+// on any un-triggered local fallback, or if the warm hit rate does not
+// rise with peer count.
 //
 // With -obs the command instead runs the benchmark twice — once with
 // observability disabled (nil tracer and registry) and once with a live
@@ -142,6 +153,8 @@ func main() {
 	obsOut := flag.String("obs", "", "run disabled-vs-enabled observability comparison and write it to this JSON file")
 	serverMode := flag.Bool("server", false, "benchmark the HTTP serving path (c2bound-server) instead of the in-process engine")
 	tenantsMode := flag.Bool("tenants", false, "run the adversarial flooder-vs-trickler fair-share scenario")
+	clusterMode := flag.Bool("cluster", false, "benchmark the multi-process cluster tier (spawns real c2bound-server processes)")
+	peerCount := flag.Int("cluster-peers", 3, "largest peer count in -cluster mode (measures 1..n)")
 	clients := flag.Int("clients", 8, "concurrent HTTP clients in -server and -tenants modes")
 	duration := flag.Duration("duration", 10*time.Second, "flood length in -tenants mode")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
@@ -179,6 +192,10 @@ func main() {
 	}
 	if *tenantsMode {
 		runTenantBench(*out, *workers, *clients, *duration)
+		return
+	}
+	if *clusterMode {
+		runClusterBench(*out, *per, *peerCount)
 		return
 	}
 

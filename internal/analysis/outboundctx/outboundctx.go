@@ -1,0 +1,89 @@
+// Package outboundctx guards the outbound half of the cancellation
+// contract that httpctx guards inbound: library code making HTTP calls
+// with http.Get, http.Post, http.PostForm, http.Head or http.NewRequest
+// builds requests on context.Background(), so the call outlives the
+// caller's cancellation, ignores its deadline, and pins connections
+// through graceful shutdown. The cluster tier made this load-bearing:
+// every peer exchange must die with the request that spawned it, or a
+// drained server waits on orphaned peer calls forever.
+//
+// The analyzer flags the package-level convenience forms and the
+// equivalent (*http.Client) methods in any non-main package; the fix is
+// http.NewRequestWithContext plus client.Do. Command-line tools
+// (package main) own their process lifetime and often have no context
+// to thread, so they are exempt, mirroring ctxflow's scope. The usual
+// `//lint:allow outboundctx <reason>` suppression applies.
+package outboundctx
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the outboundctx check.
+var Analyzer = &analysis.Analyzer{
+	Name: "outboundctx",
+	Doc:  "flag context-less outbound HTTP calls (http.Get, http.NewRequest, client.Post, ...) in library code; use http.NewRequestWithContext",
+	Run:  run,
+}
+
+// pkgFuncs are the flagged package-level net/http convenience calls.
+var pkgFuncs = map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true, "NewRequest": true}
+
+// clientMethods are the flagged (*http.Client) convenience methods.
+// Client.Do is fine: the request it executes carries whatever context
+// the caller attached.
+var clientMethods = map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			switch {
+			case sig.Recv() == nil && pkgFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"http.%s builds the request on context.Background, detaching it from the caller's cancellation and deadline; use http.NewRequestWithContext",
+					fn.Name())
+			case isClientRecv(sig.Recv()) && clientMethods[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"(*http.Client).%s builds the request on context.Background, detaching it from the caller's cancellation and deadline; use http.NewRequestWithContext with client.Do",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isClientRecv reports whether recv is *net/http.Client.
+func isClientRecv(recv *types.Var) bool {
+	if recv == nil {
+		return false
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Client" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

@@ -1,0 +1,16 @@
+package outboundctx_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/outboundctx"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), outboundctx.Analyzer, "outbound")
+}
+
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), outboundctx.Analyzer, "outboundmain")
+}

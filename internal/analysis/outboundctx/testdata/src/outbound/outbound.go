@@ -1,0 +1,54 @@
+// Package outbound is an outboundctx fixture: a library package, so
+// every context-less outbound HTTP form is flagged.
+package outbound
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+func pkgLevelForms() {
+	_, _ = http.Get("http://example.invalid")                                               // want "http.Get builds the request on context.Background"
+	_, _ = http.Post("http://example.invalid", "text/plain", strings.NewReader("x"))        // want "http.Post builds the request on context.Background"
+	_, _ = http.PostForm("http://example.invalid", url.Values{})                            // want "http.PostForm builds the request on context.Background"
+	_, _ = http.Head("http://example.invalid")                                              // want "http.Head builds the request on context.Background"
+	_, _ = http.NewRequest(http.MethodGet, "http://example.invalid", nil)                   // want "http.NewRequest builds the request on context.Background"
+	_, _ = http.NewRequestWithContext(context.Background(), "GET", "http://e.invalid", nil) // ctx-aware form is fine here (ctxflow owns Background misuse)
+}
+
+func clientMethods(c *http.Client) {
+	_, _ = c.Get("http://example.invalid")                                        // want "Client..Get builds the request on context.Background"
+	_, _ = c.Post("http://example.invalid", "text/plain", strings.NewReader("x")) // want "Client..Post builds the request on context.Background"
+	_, _ = c.PostForm("http://example.invalid", url.Values{})                     // want "Client..PostForm builds the request on context.Background"
+	_, _ = c.Head("http://example.invalid")                                       // want "Client..Head builds the request on context.Background"
+}
+
+// do is the sanctioned shape: the request carries the caller's context.
+func do(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.invalid", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// lookalike proves name matching is type-driven: a local Get on a local
+// Client is not net/http's.
+type localClient struct{}
+
+func (localClient) Get(string) error { return nil }
+
+func lookalike(c localClient) {
+	_ = c.Get("x")
+}
+
+func suppressed() {
+	//lint:allow outboundctx fixture exercises the suppression path
+	_, _ = http.Get("http://example.invalid")
+}

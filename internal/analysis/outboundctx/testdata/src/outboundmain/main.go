@@ -1,0 +1,13 @@
+// Command outboundmain is an outboundctx fixture: package main owns its
+// process lifetime, so the context-less convenience forms are exempt.
+package main
+
+import "net/http"
+
+func main() {
+	resp, err := http.Get("http://example.invalid")
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// newListener rebinds the host:port of a base URL (reviving a "dead"
+// peer at its old address).
+func newListener(baseURL string) (net.Listener, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	return net.Listen("tcp", u.Host)
+}
+
+func testConfig(self string, names ...string) Config {
+	cfg := Config{Self: self}
+	for _, n := range names {
+		cfg.Peers = append(cfg.Peers, PeerConfig{Name: n, URL: "http://127.0.0.1:1/" + n})
+	}
+	return cfg
+}
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	a := buildRing([]string{"a", "b", "c"}, 64)
+	b := buildRing([]string{"c", "a", "b"}, 64)
+	for i := 0; i < 4096; i++ {
+		key := engine.KeyHash("ring/det", []float64{float64(i)})
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("key %d owned by %q vs %q depending on input order", i, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// The acceptance bound: ≤15% per-peer shard imbalance with ≥64
+	// virtual nodes over a realistic keyset (a catalog sweep's points).
+	for _, peers := range [][]string{{"a", "b"}, {"a", "b", "c"}, {"a", "b", "c", "d", "e"}} {
+		r := buildRing(peers, DefaultVirtualNodes)
+		counts := make(map[string]int)
+		total := 8192
+		for i := 0; i < total; i++ {
+			counts[r.owner(engine.KeyHash("ring/balance", []float64{float64(i), float64(i % 7)}))]++
+		}
+		mean := float64(total) / float64(len(peers))
+		for _, name := range peers {
+			dev := math.Abs(float64(counts[name])-mean) / mean
+			if dev > 0.15 {
+				t.Errorf("%d peers: %q owns %d of %d keys (%.1f%% from even share, budget 15%%)",
+					len(peers), name, counts[name], total, dev*100)
+			}
+		}
+	}
+}
+
+func TestRingEjectionMovesOnlyEjectedShare(t *testing.T) {
+	full := buildRing([]string{"a", "b", "c"}, DefaultVirtualNodes)
+	without := buildRing([]string{"a", "c"}, DefaultVirtualNodes)
+	moved, total := 0, 4096
+	for i := 0; i < total; i++ {
+		key := engine.KeyHash("ring/eject", []float64{float64(i)})
+		before, after := full.owner(key), without.owner(key)
+		if before != after {
+			moved++
+			if before != "b" {
+				t.Fatalf("key moved from surviving peer %q to %q", before, after)
+			}
+		}
+	}
+	// Roughly one third of the keys belonged to b; consistent hashing
+	// must not reshuffle the rest.
+	if frac := float64(moved) / float64(total); frac < 0.2 || frac > 0.5 {
+		t.Fatalf("ejecting 1 of 3 peers moved %.1f%% of keys, want roughly a third", frac*100)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"empty", Config{Self: "a"}, "empty"},
+		{"no-self", testConfig("", "a", "b"), "no self"},
+		{"self-missing", testConfig("z", "a", "b"), "not in the membership"},
+		{"dup", Config{Self: "a", Peers: []PeerConfig{
+			{Name: "a", URL: "http://h:1"}, {Name: "a", URL: "http://h:2"}}}, "duplicate"},
+		{"bad-url", Config{Self: "a", Peers: []PeerConfig{{Name: "a", URL: "ftp://h"}}}, "invalid URL"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg, Options{}); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLoadPeersFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peers.json")
+	body := `{"self":"a","vnodes":32,"peers":[{"name":"a","url":"http://127.0.0.1:9001"},{"name":"b","url":"http://127.0.0.1:9002"}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadPeersFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Self != "a" || cfg.VirtualNodes != 32 || len(cfg.Peers) != 2 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if _, err := LoadPeersFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+}
+
+func TestOwnerRoutesAndSetPeersPreservesState(t *testing.T) {
+	c, err := New(testConfig("a", "a", "b", "c"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := engine.KeyHash("cluster/route", []float64{7})
+	owner1, _ := c.Owner(key)
+
+	// Trip b's breaker by hand, then reload membership with a new URL
+	// for b: the breaker state must survive the swap.
+	p := c.peer("b")
+	p.recordFailure(time.Now(), 1, time.Minute)
+	cfg := testConfig("a", "a", "b", "c")
+	cfg.Peers[1].URL = "http://127.0.0.1:2/b"
+	if err := c.SetPeers(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if open, _ := c.BreakerOpen("b"); !open {
+		t.Fatal("breaker state lost across SetPeers")
+	}
+	if got := c.peer("b").baseURL(); got != "http://127.0.0.1:2/b" {
+		t.Fatalf("URL not updated: %s", got)
+	}
+	owner2, _ := c.Owner(key)
+	if owner1 != owner2 {
+		t.Fatalf("same membership, owner moved %q → %q", owner1, owner2)
+	}
+	if err := c.SetPeers(testConfig("b", "a", "b", "c")); err == nil {
+		t.Fatal("changing self at runtime: want error")
+	}
+	// Removing a peer changes ownership of (roughly) its share only.
+	if err := c.SetPeers(testConfig("a", "a", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := c.Owner(key); name == "b" {
+		t.Fatal("removed peer still owns keys")
+	}
+}
+
+func TestBreakerOpensAndHalfOpens(t *testing.T) {
+	p := &peerState{name: "x", url: "http://h:1"}
+	now := time.Now()
+	if !p.allow(now) {
+		t.Fatal("fresh breaker must admit")
+	}
+	p.recordFailure(now, 2, 50*time.Millisecond)
+	if !p.allow(now) {
+		t.Fatal("one failure below threshold must admit")
+	}
+	p.recordFailure(now, 2, 50*time.Millisecond)
+	if p.allow(now) {
+		t.Fatal("breaker at threshold must reject")
+	}
+	later := now.Add(60 * time.Millisecond)
+	if !p.allow(later) {
+		t.Fatal("cooled-down breaker must admit one half-open trial")
+	}
+	if p.allow(later) {
+		t.Fatal("second concurrent half-open trial must be rejected")
+	}
+	p.recordSuccess()
+	if !p.allow(later) {
+		t.Fatal("successful trial must close the breaker")
+	}
+}
+
+func TestProbeEjectsAndReadmits(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer up.Close()
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+
+	cfg := Config{Self: "self", Peers: []PeerConfig{
+		{Name: "self", URL: "http://127.0.0.1:1"},
+		{Name: "up", URL: up.URL},
+		{Name: "down", URL: down.URL},
+	}}
+	reg := obs.NewRegistry()
+	c, err := New(cfg, Options{Metrics: reg, EjectAfter: 2, ProbeTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down.Close()
+
+	ctx := context.Background()
+	c.ProbeOnce(ctx)
+	if ej, _ := c.Ejected("down"); ej {
+		t.Fatal("one failed probe must not eject (threshold 2)")
+	}
+	c.ProbeOnce(ctx)
+	if ej, _ := c.Ejected("down"); !ej {
+		t.Fatal("two failed probes must eject")
+	}
+	if ej, _ := c.Ejected("up"); ej {
+		t.Fatal("healthy peer ejected")
+	}
+	sum := c.Summary()
+	if sum.Peers != 3 || sum.Alive != 2 || sum.Ejected != 1 {
+		t.Fatalf("summary %+v, want 3 peers / 2 alive / 1 ejected", sum)
+	}
+	// No key may resolve to the ejected peer.
+	for i := 0; i < 2048; i++ {
+		if name, _ := c.Owner(engine.KeyHash("probe", []float64{float64(i)})); name == "down" {
+			t.Fatal("ejected peer still owns ring segments")
+		}
+	}
+	if reg.Counter("cluster_ring_moves_total").Value() == 0 {
+		t.Fatal("ejection moved no ring ownership")
+	}
+
+	// Revive "down" at the same address: one good probe readmits.
+	revived := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	revived.Listener.Close()
+	l, err := newListener(down.URL)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", down.URL, err)
+	}
+	revived.Listener = l
+	revived.Start()
+	defer revived.Close()
+	c.ProbeOnce(ctx)
+	if ej, _ := c.Ejected("down"); ej {
+		t.Fatal("healthy probe must readmit")
+	}
+}
+
+func TestPeerWireBits(t *testing.T) {
+	for _, v := range []float64{0, math.Copysign(0, -1), 1.5, math.Inf(1), math.Inf(-1), math.NaN(), math.Pi} {
+		got, err := ParseBits(FormatBits(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(v) {
+			t.Fatalf("bits round trip lost %v", v)
+		}
+	}
+	if _, err := ParseBits("nope"); err == nil {
+		t.Fatal("garbage bits: want error")
+	}
+}
+
+func TestDecodePeerEvalRejectsShortResponses(t *testing.T) {
+	full := `{"index":0,"bits":"3ff0000000000000"}` + "\n" +
+		`{"index":1,"bits":"4000000000000000","cache_hit":true}` + "\n" +
+		`{"done":true,"points":2,"errors":0}` + "\n"
+	outs, err := decodePeerEval(strings.NewReader(full), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Value != 1 || outs[1].Value != 2 || !outs[1].CacheHit {
+		t.Fatalf("decoded %+v", outs)
+	}
+	cases := map[string]string{
+		"no-summary": `{"index":0,"bits":"3ff0000000000000"}` + "\n" + `{"index":1,"bits":"4000000000000000"}` + "\n",
+		"missing":    `{"index":0,"bits":"3ff0000000000000"}` + "\n" + `{"done":true}` + "\n",
+		"dup":        `{"index":0,"bits":"3ff0000000000000"}` + "\n" + `{"index":0,"bits":"3ff0000000000000"}` + "\n" + `{"done":true}` + "\n",
+		"range":      `{"index":9,"bits":"3ff0000000000000"}` + "\n" + `{"done":true}` + "\n",
+	}
+	for name, body := range cases {
+		if _, err := decodePeerEval(strings.NewReader(body), 2); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -473,6 +473,16 @@ func (e *Engine) EvaluateStream(ctx context.Context, ev robust.Evaluator, points
 	return ctx.Err()
 }
 
+// KeyHash returns the engine's canonical 64-bit memo key for a
+// (fingerprint, point) pair: FNV-1a over the fingerprint seeding a
+// splitmix64-style fold of the point's IEEE-754 bits — exactly the hash
+// the cache, the in-flight table and the batched path use internally.
+// The cluster tier places keys on its consistent-hash ring with this
+// function, so cache ownership and memo identity can never disagree.
+func KeyHash(fp string, point []float64) uint64 {
+	return hashPoint(hashFP(fp), point)
+}
+
 // CacheLen returns the current number of memoized entries.
 func (e *Engine) CacheLen() int {
 	e.mu.Lock()

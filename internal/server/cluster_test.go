@@ -1,0 +1,345 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/robust"
+)
+
+// clusterPeer is one loopback cluster member: a full Server (private
+// engine) joined to the shared ring, listening on a real TCP port so
+// peers reach each other over HTTP and a "killed" peer's address can be
+// re-bound to revive it.
+type clusterPeer struct {
+	name string
+	url  string
+	addr string
+	srv  *Server
+	cl   *cluster.Cluster
+	reg  *obs.Registry
+	hs   *http.Server
+}
+
+// kill closes the peer's listener and in-flight connections; the Server
+// object stays alive so revive can re-bind the same address.
+func (p *clusterPeer) kill() { _ = p.hs.Close() }
+
+// revive re-binds the peer's original address with the same Server.
+func (p *clusterPeer) revive(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", p.addr, err)
+	}
+	p.hs = &http.Server{Handler: p.srv}
+	go func() { _ = p.hs.Serve(ln) }()
+	t.Cleanup(p.kill)
+}
+
+// startClusterPeers boots an n-peer loopback cluster. Every peer gets
+// its own engine, registry and ring view over the same membership.
+func startClusterPeers(t *testing.T, n int, copts cluster.Options) []*clusterPeer {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	var cfg cluster.Config
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		cfg.Peers = append(cfg.Peers, cluster.PeerConfig{
+			Name: fmt.Sprintf("p%d", i),
+			URL:  "http://" + ln.Addr().String(),
+		})
+	}
+	peers := make([]*clusterPeer, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Self = cfg.Peers[i].Name
+		reg := obs.NewRegistry()
+		o := copts
+		o.Metrics = reg
+		cl, err := cluster.New(c, o)
+		if err != nil {
+			t.Fatalf("cluster.New: %v", err)
+		}
+		srv := New(Options{Cluster: cl, Metrics: reg})
+		p := &clusterPeer{
+			name: c.Self,
+			url:  cfg.Peers[i].URL,
+			addr: lns[i].Addr().String(),
+			srv:  srv,
+			cl:   cl,
+			reg:  reg,
+			hs:   &http.Server{Handler: srv},
+		}
+		go func(ln net.Listener, hs *http.Server) { _ = hs.Serve(ln) }(lns[i], p.hs)
+		t.Cleanup(p.kill)
+		peers[i] = p
+	}
+	return peers
+}
+
+// sweepOver POSTs a sweep and returns its final result frame.
+func sweepOver(t *testing.T, baseURL string, req SweepRequest) SweepResult {
+	t.Helper()
+	resp := postJSON(t, &http.Client{}, baseURL+"/v1/sweep", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	var res SweepResult
+	found := false
+	for sc.Scan() {
+		var frame struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Bytes(), err)
+		}
+		if frame.Type == "result" {
+			if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+				t.Fatalf("result frame: %v", err)
+			}
+			found = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading sweep stream: %v", err)
+	}
+	if !found {
+		t.Fatal("sweep stream ended without a result frame")
+	}
+	if res.Error != nil {
+		t.Fatalf("sweep error: %+v", *res.Error)
+	}
+	return res
+}
+
+// wantBitIdentical compares two dense value slices bit for bit.
+func wantBitIdentical(t *testing.T, label string, want, got []jsonFloat) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(float64(want[i])) != math.Float64bits(float64(got[i])) {
+			t.Fatalf("%s: value[%d] = %x, want %x (bit divergence)",
+				label, i, math.Float64bits(float64(got[i])), math.Float64bits(float64(want[i])))
+		}
+	}
+}
+
+// TestClusterSweepBitIdenticalToSingleNode is the tentpole acceptance
+// check: a 3-peer loopback cluster sweeping the tmm and fft catalog
+// models must produce exactly the single-node bits, and the work must
+// actually have been partitioned over the ring.
+func TestClusterSweepBitIdenticalToSingleNode(t *testing.T) {
+	_, single := newTestServer(t, Options{})
+	peers := startClusterPeers(t, 3, cluster.Options{})
+
+	for _, app := range []string{"tmm", "fft"} {
+		req := SweepRequest{
+			Model:         ModelSpec{App: app},
+			Space:         SpaceSpec{Per: 4},
+			IncludeValues: true,
+			ProgressMS:    50,
+		}
+		want := sweepOver(t, single.URL, req)
+		got := sweepOver(t, peers[0].url, req)
+		wantBitIdentical(t, app, want.Values, got.Values)
+		if len(got.Report.Completed) != got.Report.Total || len(got.Report.Pending) != 0 {
+			t.Fatalf("%s: cluster sweep incomplete: %d/%d done, %d pending",
+				app, len(got.Report.Completed), got.Report.Total, len(got.Report.Pending))
+		}
+		if got.BestIndex != want.BestIndex {
+			t.Fatalf("%s: best index %d, want %d", app, got.BestIndex, want.BestIndex)
+		}
+	}
+
+	// The coordinator must have shipped a remote share, not swept alone.
+	if peers[0].reg.Counter("cluster_remote_points_total").Value() == 0 {
+		t.Fatal("cluster sweep routed no points to remote peers")
+	}
+	if peers[0].reg.Counter("cluster_local_points_total").Value() == 0 {
+		t.Fatal("cluster sweep kept no points local")
+	}
+	if peers[0].reg.Counter("cluster_fallback_points_total").Value() != 0 {
+		t.Fatal("healthy cluster fell back to local compute")
+	}
+}
+
+// TestClusterBatchRemoteCacheHits drives the peer-eval exchange: a batch
+// through the coordinator lands each point in its ring owner's cache, so
+// the same batch again is served warm by the remote peers.
+func TestClusterBatchRemoteCacheHits(t *testing.T) {
+	peers := startClusterPeers(t, 3, cluster.Options{})
+	req := BatchRequest{Model: ModelSpec{App: "tmm"}, Points: testPoints(t, 64)}
+
+	run := func() (hits int) {
+		resp := postJSON(t, &http.Client{}, peers[0].url+"/v1/evaluate:batch", req)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch status %d", resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 64<<20)
+		for sc.Scan() {
+			var sum BatchSummary
+			if err := json.Unmarshal(sc.Bytes(), &sum); err == nil && sum.Done {
+				return sum.CacheHits
+			}
+		}
+		t.Fatal("batch stream ended without a summary")
+		return 0
+	}
+	if hits := run(); hits != 0 {
+		t.Fatalf("cold batch reported %d cache hits", hits)
+	}
+	if hits := run(); hits != len(req.Points) {
+		t.Fatalf("warm batch hit %d of %d points", hits, len(req.Points))
+	}
+	if peers[0].reg.Counter("cluster_remote_hits_total").Value() == 0 {
+		t.Fatal("warm batch recorded no remote cache hits")
+	}
+}
+
+// TestClusterSweepSurvivesPeerDeath is the fault-injection satellite:
+// killing one peer mid-sweep must not change a single bit of the result
+// (its share falls back to local compute), the victim's breaker opens,
+// and once the peer returns at the same address the breaker readmits
+// traffic and remote serving resumes.
+func TestClusterSweepSurvivesPeerDeath(t *testing.T) {
+	copts := cluster.Options{
+		FailThreshold: 1,
+		Cooldown:      150 * time.Millisecond,
+		Retry:         robust.RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond},
+	}
+	peers := startClusterPeers(t, 3, copts)
+	_, single := newTestServer(t, Options{})
+
+	// A simulated workload big enough that the kill lands mid-sweep.
+	req := SweepRequest{
+		Model:         ModelSpec{App: "fluidanimate"},
+		Evaluator:     EvaluatorSpec{Kind: "sim", TotalRefs: 300},
+		Space:         SpaceSpec{Per: 3},
+		IncludeValues: true,
+		ProgressMS:    20,
+	}
+	want := sweepOver(t, single.URL, req)
+
+	victim := peers[2]
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(30 * time.Millisecond)
+		victim.kill()
+	}()
+	got := sweepOver(t, peers[0].url, req)
+	<-killed
+
+	wantBitIdentical(t, "fluidanimate", want.Values, got.Values)
+	if len(got.Report.Completed) != got.Report.Total || len(got.Report.Failed) != 0 {
+		t.Fatalf("sweep with dead peer: %d/%d completed, %d failed",
+			len(got.Report.Completed), got.Report.Total, len(got.Report.Failed))
+	}
+
+	// Drive the breaker open deterministically: a batch spanning the
+	// space must route some points at the dead victim and fail over.
+	batch := BatchRequest{Model: ModelSpec{App: "tmm"}, Points: testPoints(t, 64)}
+	fb0 := peers[0].reg.Counter("cluster_fallback_points_total").Value()
+	resp := postJSON(t, &http.Client{}, peers[0].url+"/v1/evaluate:batch", batch)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if open, err := peers[0].cl.BreakerOpen(victim.name); err != nil || !open {
+		t.Fatalf("breaker open = %v (err %v), want open after failed exchange", open, err)
+	}
+	if fb := peers[0].reg.Counter("cluster_fallback_points_total").Value(); fb == fb0 {
+		t.Fatal("dead peer's points were not recomputed locally")
+	}
+
+	// Revive the victim at its old address: after the cooldown the next
+	// exchange is the half-open trial, closes the breaker, and remote
+	// serving resumes — visible as remote cache hits once the victim has
+	// warmed the batch's points.
+	victim.revive(t)
+	rh0 := peers[0].reg.Counter("cluster_remote_hits_total").Value()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := postJSON(t, &http.Client{}, peers[0].url+"/v1/evaluate:batch", batch)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		open, err := peers[0].cl.BreakerOpen(victim.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !open && peers[0].reg.Counter("cluster_remote_hits_total").Value() > rh0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("revived peer not readmitted: breaker open=%v, remote hits %d→%d",
+				open, rh0, peers[0].reg.Counter("cluster_remote_hits_total").Value())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestReadyzClusterFieldNames pins the peer-ring summary's wire shape:
+// readyz carries a "cluster" object with stable field names (operators
+// and the bench harness parse them), and standalone servers omit it.
+func TestReadyzClusterFieldNames(t *testing.T) {
+	peers := startClusterPeers(t, 2, cluster.Options{})
+	resp, err := http.Get(peers[0].url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload map[string]json.RawMessage
+	decodeBody(t, resp, &payload)
+	raw, ok := payload["cluster"]
+	if !ok {
+		t.Fatal("readyz omits the cluster summary on a clustered server")
+	}
+	var sum map[string]interface{}
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"self", "peers", "alive", "ejected"} {
+		if _, ok := sum[field]; !ok {
+			t.Errorf("cluster summary missing stable field %q (have %v)", field, sum)
+		}
+	}
+	if sum["peers"].(float64) != 2 || sum["alive"].(float64) != 2 {
+		t.Fatalf("summary %v, want peers=2 alive=2", sum)
+	}
+
+	// Standalone: no cluster key, and the peer endpoints do not exist.
+	_, single := newTestServer(t, Options{})
+	resp, err = http.Get(single.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alone map[string]json.RawMessage
+	decodeBody(t, resp, &alone)
+	if _, ok := alone["cluster"]; ok {
+		t.Fatal("standalone readyz reports a cluster summary")
+	}
+	resp = postJSON(t, single.Client(), single.URL+"/internal/v1/peer-eval", cluster.PeerEvalRequest{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("standalone peer-eval status %d, want 404", resp.StatusCode)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/aps"
+	"repro/internal/cluster"
 	"repro/internal/dse"
 	"repro/internal/engine"
 	"repro/internal/model"
@@ -65,6 +66,9 @@ type readyzResponse struct {
 	Tenants []string `json:"tenants,omitempty"`
 	// Jobs counts known jobs when /v1/jobs is enabled.
 	Jobs int `json:"jobs,omitempty"`
+	// Cluster summarizes the peer ring when the server is clustered:
+	// membership size, alive/ejected counts and open breakers.
+	Cluster *cluster.Summary `json:"cluster,omitempty"`
 }
 
 // handleReadyz reports readiness: 200 while serving, 503 once draining,
@@ -82,6 +86,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		s.jobs.mu.Lock()
 		resp.Jobs = len(s.jobs.entries)
 		s.jobs.mu.Unlock()
+	}
+	if s.cluster != nil {
+		sum := s.cluster.Summary()
+		resp.Cluster = &sum
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if !resp.Ready {
@@ -183,9 +191,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	// One-point stream rather than Do: the stream path takes the engine's
 	// fair-share gate and worker semaphore, so a single-point flood from
-	// one tenant cannot crowd the pool any more than a batch can.
+	// one tenant cannot crowd the pool any more than a batch can. In a
+	// cluster the point may resolve on its ring owner's cache instead.
 	var out engine.Outcome
-	streamErr := s.eng.EvaluateStream(r.Context(), ev, [][]float64{req.Point}, func(_ int, o engine.Outcome) {
+	streamErr := s.streamRouted(r.Context(), ev, req.Model, req.Evaluator, [][]float64{req.Point}, func(_ int, o engine.Outcome) {
 		out = o
 	})
 	if streamErr != nil {
@@ -278,7 +287,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := newNDJSONWriter(w)
 	ordered := newOrderedEmitter(out)
 	hits, failures := 0, 0
-	streamErr := s.eng.EvaluateStream(r.Context(), ev, req.Points, func(i int, o engine.Outcome) {
+	streamErr := s.streamRouted(r.Context(), ev, req.Model, req.Evaluator, req.Points, func(i int, o engine.Outcome) {
 		line := BatchResult{Index: i, CacheHit: o.CacheHit, Shared: o.Shared, Attempts: o.Attempts}
 		if o.Err != nil {
 			failures++
@@ -405,8 +414,17 @@ func withCount(ev dse.CtxEvaluator, n *atomic.Int64) dse.CtxEvaluator {
 
 // handleSweep runs dse.SweepCtx on the shared engine and streams NDJSON:
 // progress heartbeats while the sweep runs, then one result frame with
-// the structured report (and optionally the dense values).
+// the structured report (and optionally the dense values). In a cluster
+// the sweep is partitioned by ring ownership first (cluster.go).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.serveSweep(w, r, true)
+}
+
+// serveSweep is the shared sweep engine behind /v1/sweep (partition =
+// true) and /internal/v1/peer-sweep (partition = false: a forwarded
+// sub-sweep always evaluates locally, so ring disagreement between peers
+// cannot ping-pong work).
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, partition bool) {
 	var req SweepRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.fail(w, err)
@@ -484,8 +502,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		err    error
 	}
 	doneCh := make(chan sweepDone, 1)
+	rp := newRemoteProgress()
 	go func() {
-		values, report, err := dse.SweepCtx(r.Context(), counted, space, req.Indices, opts)
+		var values []float64
+		var report dse.SweepReport
+		var err error
+		if partition && s.cluster != nil {
+			values, report, err = s.clusterSweep(r.Context(), req, space, counted, opts, rp)
+		} else {
+			values, report, err = dse.SweepCtx(r.Context(), counted, space, req.Indices, opts)
+		}
 		doneCh <- sweepDone{values: values, report: report, err: err}
 	}()
 
@@ -499,7 +525,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		case <-ticker.C:
 			out.Emit(SweepProgress{
 				Type:      "progress",
-				Evaluated: evaluated.Load(),
+				Evaluated: evaluated.Load() + rp.total(),
 				Total:     total,
 				ElapsedMS: time.Since(start).Milliseconds(),
 			})

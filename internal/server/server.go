@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
 )
@@ -118,6 +119,15 @@ type Options struct {
 	// Catalog is the named model registry (nil: DefaultCatalog).
 	Catalog *Catalog
 
+	// Cluster joins this server to a peer tier (internal/cluster): each
+	// (fingerprint, point) key is routed to its ring owner, remote-owned
+	// points travel over POST /internal/v1/peer-eval, sweeps are
+	// partitioned by ownership, and any peer failure falls back to local
+	// compute. Nil runs the server standalone (the endpoints 404). Pass
+	// the same obs.Registry to both so /metrics shows the cluster_*
+	// instruments.
+	Cluster *cluster.Cluster
+
 	// Tracer records server.* and engine.* spans (nil: tracing off).
 	Tracer *obs.Tracer
 	// Metrics receives the server_* instruments and backs /metrics (nil:
@@ -152,6 +162,7 @@ type Stats struct {
 type Server struct {
 	opts    Options
 	eng     *engine.Engine
+	cluster *cluster.Cluster
 	catalog *Catalog
 	tracer  *obs.Tracer
 	metrics *obs.Registry
@@ -239,6 +250,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		eng:     eng,
+		cluster: opts.Cluster,
 		catalog: catalog,
 		tracer:  opts.Tracer,
 		metrics: metrics,
@@ -271,6 +283,10 @@ func New(opts Options) *Server {
 	s.mux.Handle("POST /v1/evaluate:batch", s.work("server.batch", s.handleBatch))
 	s.mux.Handle("POST /v1/sweep", s.work("server.sweep", s.handleSweep))
 	s.mux.Handle("POST /v1/aps", s.work("server.aps", s.handleAPS))
+	if s.cluster != nil {
+		s.mux.Handle("POST /internal/v1/peer-eval", s.peerWork("server.peer_eval", s.handlePeerEval))
+		s.mux.Handle("POST /internal/v1/peer-sweep", s.peerWork("server.peer_sweep", s.handlePeerSweep))
+	}
 	if opts.JobDir != "" {
 		s.jobs = newJobManager(s, opts.JobDir)
 		s.mux.Handle("POST /v1/jobs", s.control("server.jobs.submit", s.handleJobSubmit))

@@ -26,7 +26,14 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(opts)
 	ts := httptest.NewServer(s)
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		// Drain before the TempDir cleanups run: async job runners may
+		// still be writing records into a test-owned JobDir.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
 	return s, ts
 }
 
